@@ -1,0 +1,204 @@
+//! Parallel-configuration selection: how many GPUs a single model
+//! instance needs (`G_inter`), driven by the per-GPU memory model.
+//!
+//! This is the mechanism of the paper's Sec. IV-B: "When SAMO is used to
+//! reduce the memory required for training ... we can reduce the number
+//! of GPUs required to deploy a single instance of the neural network
+//! i.e. decrease `G_inter`. This can allow us to use more GPUs for data
+//! parallelism."
+
+use models::gpt::GptConfig;
+use samo::memory::{m_default_bytes, m_samo_bytes};
+use summit_sim::machine::Machine;
+
+/// How the model state is stored (decides the memory footprint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateStorage {
+    /// Dense mixed precision, `20φ` bytes (AxoNN, DeepSpeed).
+    Dense,
+    /// SAMO at pruned fraction `p` ⇒ `24(1−p)φ + 2φ` bytes.
+    Samo { sparsity_pct: u8 },
+    /// Sparse weights throughout (Sputnik baseline): compressed weights,
+    /// gradients and optimizer state, ~`(26(1−p) + 4(1−p))φ` ≈ SAMO minus
+    /// the dense θ16 plus sparse metadata.
+    Sparse { sparsity_pct: u8 },
+}
+
+impl StateStorage {
+    /// Model-state bytes for `phi` parameters.
+    pub fn state_bytes(&self, phi: u64) -> u64 {
+        match *self {
+            StateStorage::Dense => m_default_bytes(phi),
+            StateStorage::Samo { sparsity_pct } => m_samo_bytes(phi, sparsity_pct as f64 / 100.0),
+            StateStorage::Sparse { sparsity_pct } => {
+                // Everything compressed: 20 B/param over fφ values plus a
+                // 4 B index shared by all states (weights stored CSR-ish).
+                let f = 1.0 - sparsity_pct as f64 / 100.0;
+                ((20.0 + 4.0) * f * phi as f64).round() as u64
+            }
+        }
+    }
+}
+
+/// A fully resolved hybrid-parallel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Pipeline stages per model instance.
+    pub g_inter: usize,
+    /// Data-parallel replicas (`G / g_inter`).
+    pub g_data: usize,
+    /// Microbatch size in sequences.
+    pub mbs: usize,
+    /// Microbatches each pipeline processes per batch.
+    pub microbatches: usize,
+}
+
+/// Usable fraction of the 16 GB card after allocator fragmentation and
+/// transient spikes (calibrated so that dense GPT-2.7B selects
+/// G_inter = 8 and SAMO selects G_inter = 2, reproducing the paper's
+/// measured aggregate memory of 80.16 GB → 20.28 GB for one instance).
+const USABLE_MEM_FRACTION: f64 = 0.68;
+/// Framework overhead per GPU (CUDA context, NCCL buffers), bytes.
+const FRAMEWORK_OVERHEAD: u64 = 1_500_000_000;
+
+/// Per-GPU memory demand of a GPT model split over `g_inter` stages.
+pub fn per_gpu_bytes(
+    cfg: &GptConfig,
+    storage: StateStorage,
+    g_inter: usize,
+    mbs: usize,
+) -> u64 {
+    let phi = cfg.params();
+    let state = storage.state_bytes(phi) / g_inter as u64;
+    let layers_per_stage = cfg.layers.div_ceil(g_inter);
+    let boundary = cfg.boundary_activation_bytes(mbs);
+    // Activation memory with checkpointing: one boundary checkpoint per
+    // layer per in-flight microbatch (the 1F1B window of g_inter + 1),
+    // plus a single layer-recompute working set (~8 boundary tensors).
+    let in_flight = (g_inter + 1) as u64;
+    let act = boundary * layers_per_stage as u64 * in_flight + 8 * boundary;
+    state + act + FRAMEWORK_OVERHEAD
+}
+
+/// Smallest `g_inter` (a power of two dividing `gpus`, at most
+/// `min(gpus, layers)`) whose per-GPU demand fits the machine. Returns
+/// `None` if even the largest feasible `g_inter` does not fit.
+pub fn select_config(
+    machine: &Machine,
+    cfg: &GptConfig,
+    storage: StateStorage,
+    gpus: usize,
+    mbs: usize,
+) -> Option<ParallelConfig> {
+    assert!(gpus.is_power_of_two(), "GPU counts in the study are powers of two");
+    let budget = (machine.gpu_mem_bytes as f64 * USABLE_MEM_FRACTION) as u64;
+    let mut g_inter = 1usize;
+    while g_inter <= gpus && g_inter <= cfg.layers {
+        if per_gpu_bytes(cfg, storage, g_inter, mbs) <= budget {
+            let g_data = gpus / g_inter;
+            let shard = cfg.batch / g_data;
+            if shard == 0 {
+                return None; // more replicas than batch sequences
+            }
+            let microbatches = (shard / mbs).max(1);
+            return Some(ParallelConfig {
+                g_inter,
+                g_data,
+                mbs,
+                microbatches,
+            });
+        }
+        g_inter *= 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::gpt::{GPT3_13B, GPT3_2_7B, GPT3_6_7B, GPT3_XL};
+    use summit_sim::machine::SUMMIT;
+
+    #[test]
+    fn dense_27b_needs_8_stages_samo_needs_2() {
+        // The calibration anchor: the paper's measured aggregate memory
+        // for one GPT-2.7B instance is 80.16 GB (dense) vs 20.28 GB
+        // (SAMO at p = 0.9). At ~10 GB/GPU that implies G_inter 8 vs 2.
+        let dense = select_config(&SUMMIT, &GPT3_2_7B, StateStorage::Dense, 128, 1).unwrap();
+        assert_eq!(dense.g_inter, 8, "{dense:?}");
+        let samo = select_config(
+            &SUMMIT,
+            &GPT3_2_7B,
+            StateStorage::Samo { sparsity_pct: 90 },
+            128,
+            1,
+        )
+        .unwrap();
+        assert_eq!(samo.g_inter, 2, "{samo:?}");
+    }
+
+    #[test]
+    fn samo_never_needs_more_stages_than_dense() {
+        for cfg in [GPT3_XL, GPT3_2_7B, GPT3_6_7B, GPT3_13B] {
+            let gpus = cfg.batch; // max scale of the study
+            let dense = select_config(&SUMMIT, &cfg, StateStorage::Dense, gpus, 1).unwrap();
+            let samo = select_config(
+                &SUMMIT,
+                &cfg,
+                StateStorage::Samo { sparsity_pct: 90 },
+                gpus,
+                1,
+            )
+            .unwrap();
+            assert!(
+                samo.g_inter <= dense.g_inter / 2,
+                "{}: dense {} samo {}",
+                cfg.name,
+                dense.g_inter,
+                samo.g_inter
+            );
+        }
+    }
+
+    #[test]
+    fn product_invariant_g_inter_times_g_data() {
+        for gpus in [64usize, 128, 256, 512] {
+            let c = select_config(&SUMMIT, &GPT3_2_7B, StateStorage::Dense, gpus, 1).unwrap();
+            assert_eq!(c.g_inter * c.g_data, gpus);
+        }
+    }
+
+    #[test]
+    fn g_inter_is_stable_across_scales() {
+        // Memory need per instance doesn't depend on total GPUs, so
+        // g_inter stays fixed as we strong-scale.
+        let a = select_config(&SUMMIT, &GPT3_13B, StateStorage::Dense, 256, 1).unwrap();
+        let b = select_config(&SUMMIT, &GPT3_13B, StateStorage::Dense, 2048, 1).unwrap();
+        assert_eq!(a.g_inter, b.g_inter);
+    }
+
+    #[test]
+    fn bigger_models_need_more_stages() {
+        let xl = select_config(&SUMMIT, &GPT3_XL, StateStorage::Dense, 512, 1).unwrap();
+        let b13 = select_config(&SUMMIT, &GPT3_13B, StateStorage::Dense, 2048, 1).unwrap();
+        assert!(b13.g_inter > xl.g_inter);
+    }
+
+    #[test]
+    fn sparse_storage_is_smallest() {
+        let phi = 1_000_000_000u64;
+        let dense = StateStorage::Dense.state_bytes(phi);
+        let samo = StateStorage::Samo { sparsity_pct: 90 }.state_bytes(phi);
+        let sparse = StateStorage::Sparse { sparsity_pct: 90 }.state_bytes(phi);
+        assert!(sparse < samo);
+        assert!(samo < dense);
+    }
+
+    #[test]
+    fn infeasible_when_batch_smaller_than_replicas() {
+        // XL has batch 512; on 4096 GPUs with g_inter small, g_data could
+        // exceed the batch.
+        let r = select_config(&SUMMIT, &GPT3_XL, StateStorage::Samo { sparsity_pct: 90 }, 4096, 1);
+        assert!(r.is_none());
+    }
+}

@@ -1,0 +1,26 @@
+//! AxoNN-style hybrid data + inter-layer parallel training, simulated.
+//!
+//! The paper integrates SAMO into AxoNN (Singh & Bhatele, IPDPS 2022), a
+//! framework combining data parallelism (`G_data` groups) with
+//! inter-layer pipeline parallelism (`G_inter` GPUs per group,
+//! asynchronous message-driven microbatch scheduling). This crate
+//! simulates that runtime on the `summit-sim` machine model and adds the
+//! comparison frameworks of the paper's evaluation:
+//!
+//! * [`pipeline`] — event-driven pipeline simulation with Fig.-8-style
+//!   phase attribution (compute / p2p / bubble), validated against the
+//!   paper's Eq. 7 closed form,
+//! * [`config`] — memory-driven `G_inter` selection (the mechanism by
+//!   which SAMO's savings become communication savings, Sec. IV-B),
+//! * [`frameworks`] — batch-time models for AxoNN, AxoNN+SAMO,
+//!   DeepSpeed-3D and Sputnik-in-AxoNN, for GPT and vision models.
+
+pub mod config;
+pub mod frameworks;
+pub mod memory_report;
+pub mod pipeline;
+
+pub use config::{select_config, ParallelConfig, StateStorage};
+pub use memory_report::{memory_map, MemoryMap};
+pub use frameworks::{run_gpt, run_vision, Framework, PhaseBreakdown, RunReport, STUDY_SPARSITY};
+pub use pipeline::{analytic_bubble, ascii_schedule, render_gantt, simulate_pipeline, PipelineSpec};

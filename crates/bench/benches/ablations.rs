@@ -1,0 +1,72 @@
+//! Ablations of SAMO's design choices (DESIGN.md §6):
+//! * compressed vs dense all-reduce payloads,
+//! * expand-into-existing-buffer vs allocate-fresh,
+//! * magnitude vs random pruning mask generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use samo::trainer::allreduce_mean_f16;
+use tensor::f16::F16;
+
+fn bench_allreduce_payload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_payload");
+    group.sample_size(20);
+    let phi = 1_000_000usize;
+    let replicas = 4usize;
+
+    // Dense: each replica reduces phi fp16 values.
+    let mut dense: Vec<Vec<F16>> = (0..replicas)
+        .map(|r| (0..phi).map(|i| F16::from_f32((i + r) as f32 * 1e-4)).collect())
+        .collect();
+    group.bench_function(BenchmarkId::new("dense", phi), |b| {
+        b.iter(|| {
+            let mut bufs: Vec<&mut [F16]> = dense.iter_mut().map(|v| v.as_mut_slice()).collect();
+            allreduce_mean_f16(&mut bufs);
+        });
+    });
+
+    // SAMO: only the unpruned 10%.
+    let nnz = phi / 10;
+    let mut compressed: Vec<Vec<F16>> = (0..replicas)
+        .map(|r| (0..nnz).map(|i| F16::from_f32((i + r) as f32 * 1e-4)).collect())
+        .collect();
+    group.bench_function(BenchmarkId::new("samo_p090", nnz), |b| {
+        b.iter(|| {
+            let mut bufs: Vec<&mut [F16]> =
+                compressed.iter_mut().map(|v| v.as_mut_slice()).collect();
+            allreduce_mean_f16(&mut bufs);
+        });
+    });
+    group.finish();
+}
+
+fn bench_expand_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expand_strategy");
+    let numel = 1_000_000usize;
+    let mask = prune::random_prune(&[numel], 0.9, 3);
+    let values: Vec<f32> = (0..mask.nnz()).map(|i| i as f32).collect();
+    let mut buf = vec![0.0f32; numel];
+    group.bench_function("expand_into_reused_buffer", |b| {
+        b.iter(|| samo::compressed::expand_f32_into(&values, &mask, &mut buf));
+    });
+    group.bench_function("expand_fresh_alloc", |b| {
+        b.iter(|| samo::expand_f32(&values, &mask));
+    });
+    group.finish();
+}
+
+fn bench_mask_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask_generation");
+    group.sample_size(20);
+    let numel = 1_000_000usize;
+    let weights: Vec<f32> = (0..numel).map(|i| ((i * 37) % 1000) as f32 * 1e-3).collect();
+    group.bench_function("magnitude_prune", |b| {
+        b.iter(|| prune::magnitude_prune(&weights, &[numel], 0.9));
+    });
+    group.bench_function("random_prune", |b| {
+        b.iter(|| prune::random_prune(&[numel], 0.9, 7));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce_payload, bench_expand_strategies, bench_mask_generation);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks the SAMO compression/expansion primitives (the per-layer
+//! backward-pass overhead and the optimizer downcast step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tensor::f16::F16;
+
+fn bench_compress_expand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_expand");
+    for &numel in &[100_000usize, 1_000_000] {
+        let mask = prune::random_prune(&[numel], 0.9, 1);
+        let dense: Vec<f32> = (0..numel).map(|i| i as f32 * 0.001).collect();
+        let compressed = samo::compress_f32(&dense, &mask);
+        let c16: Vec<F16> = compressed.iter().map(|&v| F16::from_f32(v)).collect();
+        let mut dense16 = vec![F16::ZERO; numel];
+
+        group.throughput(Throughput::Bytes(4 * numel as u64));
+        group.bench_with_input(BenchmarkId::new("compress_f32", numel), &numel, |b, _| {
+            b.iter(|| samo::compress_f32(&dense, &mask));
+        });
+        group.bench_with_input(BenchmarkId::new("expand_f32", numel), &numel, |b, _| {
+            b.iter(|| samo::expand_f32(&compressed, &mask));
+        });
+        group.bench_with_input(BenchmarkId::new("expand_f16_into", numel), &numel, |b, _| {
+            b.iter(|| samo::compressed::expand_f16_into(&c16, &mask, &mut dense16));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress_expand);
+criterion_main!(benches);

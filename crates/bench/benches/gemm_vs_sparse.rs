@@ -1,0 +1,32 @@
+//! Criterion companion to Fig. 1: dense blocked GEMM vs sparse spMM on
+//! this crate's CPU kernels, 90% sparsity, batch 576.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const BATCH: usize = 576;
+
+fn bench_fc_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fc_layer_90pct_sparse");
+    group.sample_size(10);
+    for n in [128usize, 512, 1024] {
+        let w = sparse::random_sparse(n, n, 0.9, 42);
+        let w_dense = w.to_dense();
+        let w_csr = w.to_csr();
+        let x: Vec<f32> = (0..n * BATCH).map(|i| (i % 97) as f32 * 0.01).collect();
+        let mut y = vec![0.0f32; n * BATCH];
+
+        group.bench_with_input(BenchmarkId::new("dense_gemm", n), &n, |b, &n| {
+            b.iter(|| tensor::gemm::matmul(n, BATCH, n, &w_dense, &x, &mut y));
+        });
+        group.bench_with_input(BenchmarkId::new("spmm", n), &n, |b, _| {
+            b.iter(|| sparse::spmm(&w_csr, &x, BATCH, &mut y));
+        });
+        group.bench_with_input(BenchmarkId::new("spmm_row_split", n), &n, |b, _| {
+            b.iter(|| sparse::spmm_row_split(&w_csr, &x, BATCH, &mut y));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fc_layer);
+criterion_main!(benches);

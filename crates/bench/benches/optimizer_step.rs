@@ -1,0 +1,38 @@
+//! Dense vs SAMO mixed-precision optimizer step: the SAMO step touches
+//! ~10x fewer bytes at 90% sparsity, plus the expand.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nn::mixed::{DenseMixedState, Optimizer};
+use nn::optim::AdamConfig;
+use samo::SamoLayerState;
+
+fn bench_optimizer_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_step");
+    group.sample_size(20);
+    let opt = Optimizer::Adam(AdamConfig::default());
+    for &numel in &[100_000usize, 1_000_000] {
+        let values: Vec<f32> = (0..numel).map(|i| (i as f32 * 0.001).sin()).collect();
+        let grads = vec![0.01f32; numel];
+
+        let mut dense = DenseMixedState::from_params(&values, &opt);
+        group.bench_with_input(BenchmarkId::new("dense_20phi", numel), &numel, |b, _| {
+            b.iter(|| {
+                dense.set_grad_from_f32(&grads);
+                dense.optimizer_step(&opt, 1.0);
+            });
+        });
+
+        let mask = prune::random_prune(&[numel], 0.9, 2);
+        let mut samo_state = SamoLayerState::from_params(&values, mask, &opt);
+        group.bench_with_input(BenchmarkId::new("samo_p090", numel), &numel, |b, _| {
+            b.iter(|| {
+                samo_state.compress_grad(&grads);
+                samo_state.optimizer_step(&opt, 1.0);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer_step);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Throughput of the discrete-event pipeline simulator and of the
+//! end-to-end framework models that regenerate Figs. 6-8.
+
+use axonn_sim::frameworks::{run_gpt, Framework};
+use axonn_sim::pipeline::{simulate_pipeline, PipelineSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use models::gpt::GPT3_2_7B;
+use summit_sim::machine::SUMMIT;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_sim");
+    for &(stages, microbatches) in &[(8usize, 32usize), (32, 256)] {
+        let spec = PipelineSpec {
+            stages,
+            microbatches,
+            t_fwd: vec![1e-3; stages],
+            t_bwd: vec![3e-3; stages],
+            msg_bytes: 10_000_000,
+            gpu_ids: (0..stages).collect(),
+            max_in_flight: stages + 1,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("simulate", format!("{stages}x{microbatches}")),
+            &spec,
+            |b, spec| b.iter(|| simulate_pipeline(&SUMMIT, spec)),
+        );
+    }
+    group.bench_function("run_gpt_2.7B_512gpus_all_frameworks", |b| {
+        b.iter(|| {
+            for fw in [Framework::Axonn, Framework::AxonnSamo, Framework::DeepSpeed3D, Framework::Sputnik] {
+                let _ = run_gpt(&SUMMIT, &GPT3_2_7B, fw, 512);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

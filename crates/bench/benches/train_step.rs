@@ -1,0 +1,85 @@
+//! End-to-end training-step throughput: the real tiny GPT trained dense
+//! vs pruned+SAMO — measures the whole stack (forward, backward,
+//! compression, optimizer, expansion) rather than isolated kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use models::tiny::{TinyGpt, TinyGptConfig};
+use nn::layer::Layer;
+use nn::loss::cross_entropy;
+use nn::mixed::Optimizer;
+use nn::optim::AdamConfig;
+use prune::Mask;
+use samo::trainer::{DenseMaskedTrainer, SamoTrainer};
+
+fn cfg() -> TinyGptConfig {
+    TinyGptConfig {
+        vocab: nn::data::VOCAB,
+        seq: 32,
+        dim: 64,
+        heads: 4,
+        layers: 2,
+    }
+}
+
+fn masks(model: &TinyGpt, sparsity: f64) -> Vec<Mask> {
+    model
+        .params()
+        .iter()
+        .map(|p| {
+            if p.value.shape().len() >= 2 && p.numel() >= 1024 {
+                prune::magnitude_prune(p.value.as_slice(), p.value.shape(), sparsity)
+            } else {
+                Mask::dense(p.value.shape())
+            }
+        })
+        .collect()
+}
+
+fn adam() -> Optimizer {
+    Optimizer::Adam(AdamConfig {
+        lr: 1e-3,
+        ..Default::default()
+    })
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiny_gpt_train_step");
+    group.sample_size(20);
+    let corpus = nn::data::Corpus::generate(10_000, 1);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
+    let (x, y) = corpus.sample_batch(8, 32, &mut rng);
+
+    let mut dense_model = TinyGpt::new(cfg(), 3);
+    let dense_masks: Vec<Mask> = dense_model
+        .params()
+        .iter()
+        .map(|p| Mask::dense(p.value.shape()))
+        .collect();
+    let mut dense_tr = DenseMaskedTrainer::new(&mut dense_model, dense_masks, adam());
+    group.bench_function("dense_20phi", |b| {
+        b.iter(|| {
+            let logits = dense_model.forward_ids(&x, 8, 32);
+            let (_, mut d) = cross_entropy(&logits, &y);
+            tensor::ops::scale(dense_tr.loss_scale(), d.as_mut_slice());
+            dense_model.backward(&d);
+            dense_tr.step(&mut dense_model);
+        });
+    });
+
+    let mut samo_model = TinyGpt::new(cfg(), 3);
+    let m = masks(&samo_model, 0.9);
+    let mut samo_tr = SamoTrainer::new(&mut samo_model, m, adam());
+    group.bench_function("samo_p090", |b| {
+        b.iter(|| {
+            let logits = samo_model.forward_ids(&x, 8, 32);
+            let (_, mut d) = cross_entropy(&logits, &y);
+            tensor::ops::scale(samo_tr.loss_scale(), d.as_mut_slice());
+            samo_model.backward(&d);
+            samo_tr.step(&mut samo_model);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Minimal ASCII line charts for rendering the regenerated figures in a
+//! terminal (each `repro` experiment also writes the underlying CSV).
+
+/// A named series of (x, y) points.
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+    pub glyph: char,
+}
+
+/// Renders one or more series into a fixed-size ASCII grid with axis
+/// labels. X positions are mapped linearly; later series overwrite
+/// earlier ones on collisions.
+pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if (xmax - xmin).abs() < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let col = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+            let row = (((y - ymin) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - row][col] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{ymax:>10.2}")
+        } else if i == height - 1 {
+            format!("{ymin:>10.2}")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>11}{:>width$.2}\n",
+        format!("{xmin:.2}"),
+        xmax,
+        width = width - 4
+    ));
+    let legend: Vec<String> = series.iter().map(|s| format!("{} {}", s.glyph, s.name)).collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("    ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(name: &str, glyph: char, pts: &[(f64, f64)]) -> Series {
+        Series {
+            name: name.into(),
+            points: pts.to_vec(),
+            glyph,
+        }
+    }
+
+    #[test]
+    fn renders_grid_with_labels_and_legend() {
+        let s = mk("a", '*', &[(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]);
+        let chart = line_chart("test", &[s], 20, 6);
+        assert!(chart.starts_with("test\n"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains("4.00")); // ymax label
+        assert!(chart.contains("0.00")); // ymin label
+        assert!(chart.contains("* a"));
+        // 1 title + 6 grid + axis + xlabel + legend lines.
+        assert_eq!(chart.lines().count(), 10);
+    }
+
+    #[test]
+    fn extremes_map_to_edges() {
+        let s = mk("e", 'o', &[(0.0, 0.0), (10.0, 10.0)]);
+        let chart = line_chart("edges", &[s], 16, 4);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Top grid row holds the max point at the right edge.
+        assert!(lines[1].ends_with('o'), "{:?}", lines[1]);
+        // Bottom grid row holds the min point at the left edge (after
+        // the 10-char label and '|').
+        assert_eq!(lines[4].chars().nth(11), Some('o'), "{:?}", lines[4]);
+    }
+
+    #[test]
+    fn multiple_series_both_visible() {
+        let a = mk("up", 'A', &[(0.0, 0.0), (1.0, 1.0)]);
+        let b = mk("down", 'B', &[(0.0, 1.0), (1.0, 0.0)]);
+        let chart = line_chart("two", &[a, b], 20, 8);
+        assert!(chart.contains('A'));
+        assert!(chart.contains('B'));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let flat = mk("flat", 'x', &[(1.0, 5.0), (2.0, 5.0)]);
+        let chart = line_chart("flat", &[flat], 16, 4);
+        assert!(chart.contains('x'));
+        let single = mk("one", 'y', &[(3.0, 3.0)]);
+        let chart2 = line_chart("single", &[single], 16, 4);
+        assert!(chart2.contains('y'));
+        let empty = line_chart("none", &[], 16, 4);
+        assert!(empty.contains("no data"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Compression and expansion primitives (paper Sec. III-B/III-C).
+//!
+//! A *compressed* tensor holds values only at the unpruned positions
+//! given by a shared, linearized `u32` index tensor (`ind`). "Expansion"
+//! is defined by the paper as the inverse of compression: it takes a
+//! compressed tensor and `ind` and produces the dense tensor with zeros
+//! at pruned positions.
+
+use prune::Mask;
+use tensor::f16::F16;
+use tensor::pool::par_ranges;
+
+/// Gathers `dense[ind[j]]` into a new compressed buffer.
+///
+/// ```
+/// use prune::Mask;
+/// let mask = Mask::new(&[2, 2], vec![0, 3]); // paper's Sec. III-B example
+/// let compressed = samo::compress_f32(&[1.0, 2.0, 3.0, 4.0], &mask);
+/// assert_eq!(compressed, vec![1.0, 4.0]);
+/// assert_eq!(samo::expand_f32(&compressed, &mask), vec![1.0, 0.0, 0.0, 4.0]);
+/// ```
+pub fn compress_f32(dense: &[f32], mask: &Mask) -> Vec<f32> {
+    assert_eq!(dense.len(), mask.numel(), "dense length must match mask");
+    let ind = mask.indices();
+    let mut out = vec![0.0f32; ind.len()];
+    let out_slice = &mut out[..];
+    // Disjoint writes: position j of out only depends on ind[j].
+    let out_ptr = SyncPtr(out_slice.as_mut_ptr());
+    let out_ptr = &out_ptr;
+    par_ranges(ind.len(), 64 * 1024, |s, e| {
+        for j in s..e {
+            // SAFETY: each j is written by exactly one task.
+            unsafe {
+                *out_ptr.0.add(j) = dense[ind[j] as usize];
+            }
+        }
+    });
+    out
+}
+
+/// Scatters compressed values to a fresh dense buffer (zeros elsewhere).
+pub fn expand_f32(values: &[f32], mask: &Mask) -> Vec<f32> {
+    let mut out = vec![0.0f32; mask.numel()];
+    expand_f32_into(values, mask, &mut out);
+    out
+}
+
+/// Scatters compressed values into an existing dense buffer; positions
+/// not covered by the mask are zeroed.
+pub fn expand_f32_into(values: &[f32], mask: &Mask, dense: &mut [f32]) {
+    assert_eq!(values.len(), mask.nnz(), "values must match mask nnz");
+    assert_eq!(dense.len(), mask.numel());
+    dense.fill(0.0);
+    let ind = mask.indices();
+    for (j, &i) in ind.iter().enumerate() {
+        dense[i as usize] = values[j];
+    }
+}
+
+/// Gathers half-precision values at the mask positions.
+pub fn compress_f16(dense: &[F16], mask: &Mask) -> Vec<F16> {
+    assert_eq!(dense.len(), mask.numel());
+    let ind = mask.indices();
+    ind.iter().map(|&i| dense[i as usize]).collect()
+}
+
+/// Scatters compressed half-precision values into an existing dense
+/// buffer, zeroing pruned positions — the "expand" of the paper's
+/// parameter-downcast step.
+pub fn expand_f16_into(values: &[F16], mask: &Mask, dense: &mut [F16]) {
+    assert_eq!(values.len(), mask.nnz());
+    assert_eq!(dense.len(), mask.numel());
+    dense.fill(F16::ZERO);
+    let ind = mask.indices();
+    for (j, &i) in ind.iter().enumerate() {
+        dense[i as usize] = values[j];
+    }
+}
+
+/// Allocating variant of [`expand_f16_into`].
+pub fn expand_f16(values: &[F16], mask: &Mask) -> Vec<F16> {
+    let mut out = vec![F16::ZERO; mask.numel()];
+    expand_f16_into(values, mask, &mut out);
+    out
+}
+
+struct SyncPtr(*mut f32);
+unsafe impl Send for SyncPtr {}
+unsafe impl Sync for SyncPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_4of8() -> Mask {
+        Mask::new(&[2, 4], vec![0, 3, 5, 6])
+    }
+
+    #[test]
+    fn compress_gathers_in_index_order() {
+        let dense: Vec<f32> = (0..8).map(|i| i as f32 * 10.0).collect();
+        let c = compress_f32(&dense, &mask_4of8());
+        assert_eq!(c, vec![0.0, 30.0, 50.0, 60.0]);
+    }
+
+    #[test]
+    fn expand_restores_masked_dense() {
+        let c = vec![1.0f32, 2.0, 3.0, 4.0];
+        let d = expand_f32(&c, &mask_4of8());
+        assert_eq!(d, vec![1.0, 0.0, 0.0, 2.0, 0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn expand_compress_is_identity_on_compressed() {
+        let mask = mask_4of8();
+        let c = vec![7.0f32, -1.0, 0.5, 9.0];
+        assert_eq!(compress_f32(&expand_f32(&c, &mask), &mask), c);
+    }
+
+    #[test]
+    fn compress_expand_is_masking_on_dense() {
+        let mask = mask_4of8();
+        let dense: Vec<f32> = (1..=8).map(|i| i as f32).collect();
+        let roundtrip = expand_f32(&compress_f32(&dense, &mask), &mask);
+        let mut masked = dense.clone();
+        mask.apply(&mut masked);
+        assert_eq!(roundtrip, masked);
+    }
+
+    #[test]
+    fn expand_into_overwrites_stale_data() {
+        let mask = mask_4of8();
+        let mut dense = vec![99.0f32; 8];
+        expand_f32_into(&[1.0, 2.0, 3.0, 4.0], &mask, &mut dense);
+        assert_eq!(dense, vec![1.0, 0.0, 0.0, 2.0, 0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn f16_roundtrip() {
+        let mask = mask_4of8();
+        let dense: Vec<F16> = (0..8).map(|i| F16::from_f32(i as f32)).collect();
+        let c = compress_f16(&dense, &mask);
+        assert_eq!(c.len(), 4);
+        let mut back = vec![F16::ONE; 8];
+        expand_f16_into(&c, &mask, &mut back);
+        for (i, v) in back.iter().enumerate() {
+            if [0usize, 3, 5, 6].contains(&i) {
+                assert_eq!(v.to_f32(), i as f32);
+            } else {
+                assert!(v.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_full_masks() {
+        let empty = Mask::new(&[4], vec![]);
+        assert!(compress_f32(&[1.0; 4], &empty).is_empty());
+        assert_eq!(expand_f32(&[], &empty), vec![0.0; 4]);
+
+        let full = Mask::dense(&[4]);
+        let d = vec![1.0f32, 2.0, 3.0, 4.0];
+        assert_eq!(compress_f32(&d, &full), d);
+        assert_eq!(expand_f32(&d, &full), d);
+    }
+
+    #[test]
+    fn large_parallel_compress() {
+        let n = 300_000;
+        let dense: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let mask = prune::random_prune(&[n], 0.9, 5);
+        let c = compress_f32(&dense, &mask);
+        assert_eq!(c.len(), mask.nnz());
+        for (j, &i) in mask.indices().iter().enumerate() {
+            assert_eq!(c[j], i as f32);
+        }
+    }
+}

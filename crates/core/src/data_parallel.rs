@@ -1,0 +1,325 @@
+//! In-process data-parallel SAMO training with ZeRO-style sharding —
+//! the full runtime the paper's Sec. IV-A describes (compressed gradient
+//! all-reduce across `G_data` replicas), composed with the sharded
+//! optimizer extension of [`crate::sharded`].
+//!
+//! Each rank holds a full replica of the compute model (dense θ16), the
+//! full compressed fp16 gradient, and *its shard* of the fp32/optimizer
+//! state. One training step:
+//!
+//! 1. every rank runs forward/backward on its batch shard (caller),
+//! 2. the compressed `∇θ16` are all-reduced (mean) across ranks,
+//! 3. every rank applies the optimizer to its own shard,
+//! 4. the updated compressed fp16 parameters are all-gathered and
+//!    expanded into every replica's dense θ16.
+
+use crate::sharded::ShardedSamoLayerState;
+use crate::trainer::allreduce_mean_f16;
+use nn::layer::Layer;
+use nn::mixed::{LossScaler, Optimizer};
+use prune::Mask;
+use tensor::f16::F16;
+
+/// A group of data-parallel ranks training one pruned model with SAMO.
+pub struct DataParallelSamo<M: Layer> {
+    replicas: Vec<M>,
+    /// `[rank][param]` sharded states.
+    states: Vec<Vec<ShardedSamoLayerState>>,
+    opt: Optimizer,
+    scaler: LossScaler,
+    steps_taken: u64,
+}
+
+impl<M: Layer> DataParallelSamo<M> {
+    /// Builds the group from identically initialized replicas (their
+    /// parameters must match — this is checked) and one mask per
+    /// parameter tensor.
+    pub fn new(mut replicas: Vec<M>, masks: Vec<Mask>, opt: Optimizer) -> DataParallelSamo<M> {
+        assert!(!replicas.is_empty());
+        let d = replicas.len();
+        // Check replicas agree before pruning.
+        {
+            let first: Vec<Vec<f32>> = replicas[0]
+                .params()
+                .iter()
+                .map(|p| p.value.as_slice().to_vec())
+                .collect();
+            for (r, m) in replicas.iter().enumerate().skip(1) {
+                for (p, expect) in m.params().iter().zip(&first) {
+                    assert_eq!(
+                        p.value.as_slice(),
+                        &expect[..],
+                        "replica {r} differs at init ({})",
+                        p.name
+                    );
+                }
+            }
+        }
+        let mut states = Vec::with_capacity(d);
+        for (rank, model) in replicas.iter_mut().enumerate() {
+            let params = model.params_mut();
+            assert_eq!(params.len(), masks.len(), "one mask per parameter");
+            let mut rank_states = Vec::with_capacity(params.len());
+            for (p, mask) in params.into_iter().zip(&masks) {
+                let st = ShardedSamoLayerState::from_params(
+                    p.value.as_slice(),
+                    mask.clone(),
+                    &opt,
+                    rank,
+                    d,
+                );
+                p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+                rank_states.push(st);
+            }
+            states.push(rank_states);
+        }
+        DataParallelSamo {
+            replicas,
+            states,
+            opt,
+            scaler: LossScaler::default(),
+            steps_taken: 0,
+        }
+    }
+
+    /// Number of data-parallel ranks.
+    pub fn world_size(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Replaces the loss scaler (e.g. a lower initial scale for models
+    /// whose raw gradients approach the fp16 range).
+    pub fn set_scaler(&mut self, scaler: LossScaler) {
+        self.scaler = scaler;
+    }
+
+    /// Mutable access to rank `r`'s model for forward/backward.
+    pub fn replica_mut(&mut self, r: usize) -> &mut M {
+        &mut self.replicas[r]
+    }
+
+    /// Current loss scale (multiply the loss before backward).
+    pub fn loss_scale(&self) -> f32 {
+        self.scaler.scale()
+    }
+
+    /// Applied steps.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Per-rank model-state bytes (all ranks hold the same amount ±1
+    /// shard-remainder element).
+    pub fn bytes_per_rank(&self) -> u64 {
+        self.states[0].iter().map(|s| s.measured_bytes(true)).sum()
+    }
+
+    /// Completes a step after every replica has run forward/backward
+    /// with the scaled loss: compress → all-reduce → shard-step →
+    /// all-gather → expand. Returns `false` if skipped on overflow.
+    pub fn step(&mut self) -> bool {
+        let d = self.replicas.len();
+        let nparams = self.states[0].len();
+
+        // 1. Compress each rank's gradients.
+        for (model, rank_states) in self.replicas.iter_mut().zip(&mut self.states) {
+            for (p, st) in model.params_mut().into_iter().zip(rank_states.iter_mut()) {
+                st.compress_grad(p.grad.as_slice());
+            }
+        }
+
+        // 2. All-reduce (mean) the compressed fp16 gradients per param.
+        for pi in 0..nparams {
+            let mut bufs: Vec<&mut [F16]> = Vec::with_capacity(d);
+            // Split-borrow across ranks.
+            let mut rest: &mut [Vec<ShardedSamoLayerState>] = &mut self.states;
+            while let Some((head, tail)) = rest.split_first_mut() {
+                bufs.push(&mut head[pi].grad16);
+                rest = tail;
+            }
+            allreduce_mean_f16(&mut bufs);
+        }
+
+        // Overflow check on the reduced gradients.
+        let finite = !self
+            .states
+            .iter()
+            .flat_map(|rs| rs.iter())
+            .any(|st| st.grad16.iter().any(|g| !g.is_finite()));
+        let scale = self.scaler.scale();
+        let proceed = self.scaler.check_and_update(finite);
+        if !proceed {
+            for model in &mut self.replicas {
+                model.zero_grad();
+            }
+            return false;
+        }
+
+        // 3–4. Each rank steps its shard; gather shards per parameter.
+        for pi in 0..nparams {
+            let nnz = self.states[0][pi].grad16.len();
+            let mut gathered = vec![F16::ZERO; nnz];
+            for rank_states in &mut self.states {
+                let st = &mut rank_states[pi];
+                let shard16 = st.optimizer_step_shard(&self.opt, 1.0 / scale);
+                let (lo, hi) = st.shard_range();
+                gathered[lo..hi].copy_from_slice(&shard16);
+            }
+            for rank_states in &mut self.states {
+                rank_states[pi].install_gathered(&gathered);
+            }
+        }
+
+        // 5. Write the updated dense parameters into every replica.
+        for (model, rank_states) in self.replicas.iter_mut().zip(&self.states) {
+            for (p, st) in model.params_mut().into_iter().zip(rank_states) {
+                p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+                p.zero_grad();
+            }
+        }
+        self.steps_taken += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::layer::Sequential;
+    use nn::linear::Linear;
+    use nn::loss::mse;
+    use nn::optim::AdamConfig;
+    use tensor::Tensor;
+
+    fn model(seed: u64) -> Sequential {
+        Sequential::new()
+            .push(Linear::new(6, 12, true, seed))
+            .push(nn::activations::Gelu::new())
+            .push(Linear::new(12, 6, true, seed + 1))
+    }
+
+    fn masks(m: &Sequential) -> Vec<Mask> {
+        m.params()
+            .iter()
+            .map(|p| {
+                if p.value.shape().len() >= 2 {
+                    prune::magnitude_prune(p.value.as_slice(), p.value.shape(), 0.7)
+                } else {
+                    Mask::dense(p.value.shape())
+                }
+            })
+            .collect()
+    }
+
+    fn adam() -> Optimizer {
+        Optimizer::Adam(AdamConfig {
+            lr: 1e-2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn replicas_stay_bitwise_synchronized() {
+        let masks = masks(&model(5));
+        let mut dp = DataParallelSamo::new(vec![model(5), model(5), model(5)], masks, adam());
+        dp.set_scaler(LossScaler::new(256.0));
+        for step in 0..6 {
+            for r in 0..dp.world_size() {
+                let scale = dp.loss_scale();
+                let x = Tensor::randn(&[4, 6], 1.0, 100 + (step * 3 + r) as u64);
+                let t = Tensor::randn(&[4, 6], 1.0, 200 + (step * 3 + r) as u64);
+                let m = dp.replica_mut(r);
+                let y = m.forward(&x);
+                let (_, mut dy) = mse(&y, &t);
+                tensor::ops::scale(scale, dy.as_mut_slice());
+                m.backward(&dy);
+            }
+            assert!(dp.step());
+            // All replicas bitwise identical after the step.
+            let reference: Vec<Vec<f32>> = dp.replicas[0]
+                .params()
+                .iter()
+                .map(|p| p.value.as_slice().to_vec())
+                .collect();
+            for r in 1..dp.world_size() {
+                for (p, want) in dp.replicas[r].params().iter().zip(&reference) {
+                    assert_eq!(p.value.as_slice(), &want[..], "step {step} rank {r}");
+                }
+            }
+        }
+        assert_eq!(dp.steps_taken(), 6);
+    }
+
+    #[test]
+    fn sharding_reduces_per_rank_memory() {
+        let masks1 = masks(&model(7));
+        let dp1 = DataParallelSamo::new(vec![model(7)], masks1, adam());
+        let masks4 = masks(&model(7));
+        let dp4 =
+            DataParallelSamo::new(vec![model(7), model(7), model(7), model(7)], masks4, adam());
+        assert!(
+            dp4.bytes_per_rank() < dp1.bytes_per_rank(),
+            "{} vs {}",
+            dp4.bytes_per_rank(),
+            dp1.bytes_per_rank()
+        );
+    }
+
+    #[test]
+    fn matches_single_rank_samo_trainer() {
+        // d = 1 sharded data-parallel ≡ the plain SamoTrainer, bitwise.
+        use crate::trainer::SamoTrainer;
+        let masks_dp = masks(&model(9));
+        let mut dp = DataParallelSamo::new(vec![model(9)], masks_dp, adam());
+        dp.set_scaler(LossScaler::new(256.0));
+        let mut plain_model = model(9);
+        let masks_plain = masks(&model(9));
+        let mut plain = SamoTrainer::new(&mut plain_model, masks_plain, adam());
+        plain.scaler = LossScaler::new(256.0);
+
+        for step in 0..5 {
+            let x = Tensor::randn(&[4, 6], 1.0, 300 + step);
+            let t = Tensor::randn(&[4, 6], 1.0, 400 + step);
+
+            let scale = dp.loss_scale();
+            let m = dp.replica_mut(0);
+            let y = m.forward(&x);
+            let (_, mut dy) = mse(&y, &t);
+            tensor::ops::scale(scale, dy.as_mut_slice());
+            m.backward(&dy);
+            dp.step();
+
+            let y = plain_model.forward(&x);
+            let (_, mut dy) = mse(&y, &t);
+            tensor::ops::scale(plain.loss_scale(), dy.as_mut_slice());
+            plain_model.backward(&dy);
+            plain.step(&mut plain_model);
+
+            for (a, b) in dp.replicas[0].params().iter().zip(plain_model.params()) {
+                assert_eq!(a.value.as_slice(), b.value.as_slice(), "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_skips_and_keeps_ranks_aligned() {
+        let masks2 = masks(&model(11));
+        let mut dp = DataParallelSamo::new(vec![model(11), model(11)], masks2, adam());
+        // Poison one rank's gradient; the reduced gradient overflows and
+        // every rank must skip.
+        let before: Vec<Vec<f32>> = dp.replicas[0]
+            .params()
+            .iter()
+            .map(|p| p.value.as_slice().to_vec())
+            .collect();
+        dp.replica_mut(0).params_mut()[0]
+            .grad
+            .as_mut_slice()
+            .fill(f32::INFINITY);
+        assert!(!dp.step());
+        for (p, want) in dp.replicas[1].params().iter().zip(&before) {
+            assert_eq!(p.value.as_slice(), &want[..]);
+        }
+        assert_eq!(dp.steps_taken(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! SAMO — Sparsity-Aware Memory Optimization.
+//!
+//! The core contribution of "Exploiting Sparsity in Pruned Neural
+//! Networks to Optimize Large Model Training" (Singh & Bhatele, IPDPS
+//! 2023): given a network pruned to sparsity `p`, keep the fp16 compute
+//! parameters dense (fast dense kernels) and store every other
+//! model-state tensor compressed against one shared linearized index
+//! tensor, cutting model-state memory from `20φ` to `24(1−p)φ + 2φ`
+//! bytes — then spend the savings on communication (smaller all-reduce
+//! messages; fewer pipeline stages).
+//!
+//! * [`compressed`] — compress / "expand" primitives,
+//! * [`memory`] — the Sec. III-D analytical model (Fig. 2) and byte-exact
+//!   accounting,
+//! * [`state`] — [`state::SamoLayerState`], the per-layer compressed
+//!   mixed-precision model state and its three-phase optimizer step,
+//! * [`trainer`] — whole-model SAMO training, the dense masked baseline
+//!   it is numerically equivalent to, and the compressed all-reduce.
+
+//! ```
+//! use nn::layer::Layer;
+//! // Prune a layer to 90% and train it with compressed model state.
+//! let mut model = nn::Linear::new(32, 32, true, 7);
+//! let masks = vec![
+//!     prune::magnitude_prune(
+//!         model.params()[0].value.as_slice(), &[32, 32], 0.9),
+//!     prune::Mask::dense(&[32]), // bias stays dense
+//! ];
+//! let opt = nn::mixed::Optimizer::Adam(nn::optim::AdamConfig::default());
+//! let trainer = samo::SamoTrainer::new(&mut model, masks, opt);
+//! // Model state: 2φ dense θ16 + 24 bytes per unpruned parameter,
+//! // versus 20φ for dense mixed precision.
+//! assert!(trainer.model_state_bytes(true) < 20 * trainer.numel() as u64 / 2);
+//! ```
+
+pub mod compressed;
+pub mod data_parallel;
+pub mod memory;
+pub mod serialize;
+pub mod sharded;
+pub mod state;
+pub mod trainer;
+
+pub use compressed::{compress_f16, compress_f32, expand_f16, expand_f32};
+pub use memory::{m_default_bytes, m_samo_bytes, samo_savings_fraction, SamoBreakdown};
+pub use data_parallel::DataParallelSamo;
+pub use sharded::{m_samo_zero_bytes, ShardedSamoLayerState};
+pub use state::SamoLayerState;
+pub use trainer::{DenseMaskedTrainer, SamoTrainer};

@@ -1,0 +1,265 @@
+//! Binary serialization of SAMO training state — save/resume for long
+//! training runs (the paper's runs train to completion over many jobs;
+//! checkpointing the *compressed* state writes `24fφ`-ish bytes instead
+//! of `20φ`, the same ~4× saving on disk as in memory).
+//!
+//! Format: a small versioned header, then per layer: mask (shape +
+//! linearized indices), compressed `θ32`, `∇θ16`, and the optimizer
+//! state. All integers little-endian; no external schema needed.
+
+use crate::state::SamoLayerState;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nn::mixed::{OptState, Optimizer};
+use nn::optim::{AdamState, SgdState};
+use prune::Mask;
+use tensor::f16::F16;
+
+const MAGIC: u32 = 0x53414D4F; // "SAMO"
+const VERSION: u16 = 1;
+
+/// Serializes the per-layer SAMO states into a self-describing buffer.
+pub fn save_layers(layers: &[SamoLayerState]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(layers.len() as u32);
+    for layer in layers {
+        let mask = layer.mask();
+        buf.put_u8(mask.shape().len() as u8);
+        for &d in mask.shape() {
+            buf.put_u64_le(d as u64);
+        }
+        buf.put_u64_le(mask.nnz() as u64);
+        for &i in mask.indices().iter() {
+            buf.put_u32_le(i);
+        }
+        for &v in &layer.theta32 {
+            buf.put_f32_le(v);
+        }
+        for g in &layer.grad16 {
+            buf.put_u16_le(g.to_bits());
+        }
+        match &layer.os {
+            OptState::Adam(st) => {
+                buf.put_u8(0);
+                buf.put_u64_le(st.step);
+                for &m in &st.m {
+                    buf.put_f32_le(m);
+                }
+                for &v in &st.v {
+                    buf.put_f32_le(v);
+                }
+            }
+            OptState::Sgd(st) => {
+                buf.put_u8(1);
+                for &v in &st.velocity {
+                    buf.put_f32_le(v);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<(), String> {
+    if buf.remaining() < n {
+        Err(format!("truncated checkpoint while reading {what}"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Deserializes layers previously written by [`save_layers`]. The
+/// optimizer kind must match what was saved.
+pub fn load_layers(mut buf: &[u8], opt: &Optimizer) -> Result<Vec<SamoLayerState>, String> {
+    need(&buf, 10, "header")?;
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(format!("bad magic {magic:#010x}"));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(format!("unsupported version {version}"));
+    }
+    let nlayers = buf.get_u32_le() as usize;
+    let mut layers = Vec::with_capacity(nlayers);
+    for li in 0..nlayers {
+        need(&buf, 1, "shape rank")?;
+        let rank = buf.get_u8() as usize;
+        need(&buf, rank * 8 + 8, "shape")?;
+        let shape: Vec<usize> = (0..rank).map(|_| buf.get_u64_le() as usize).collect();
+        let nnz = buf.get_u64_le() as usize;
+        need(&buf, nnz * 4, "indices")?;
+        let indices: Vec<u32> = (0..nnz).map(|_| buf.get_u32_le()).collect();
+        let mask = Mask::new(&shape, indices);
+
+        need(&buf, nnz * 4, "theta32")?;
+        let theta32: Vec<f32> = (0..nnz).map(|_| buf.get_f32_le()).collect();
+        need(&buf, nnz * 2, "grad16")?;
+        let grad16: Vec<F16> = (0..nnz).map(|_| F16::from_bits(buf.get_u16_le())).collect();
+
+        need(&buf, 1, "optimizer tag")?;
+        let tag = buf.get_u8();
+        let os = match (tag, opt) {
+            (0, Optimizer::Adam(_)) => {
+                need(&buf, 8 + nnz * 8, "adam state")?;
+                let step = buf.get_u64_le();
+                let m: Vec<f32> = (0..nnz).map(|_| buf.get_f32_le()).collect();
+                let v: Vec<f32> = (0..nnz).map(|_| buf.get_f32_le()).collect();
+                OptState::Adam(AdamState { m, v, step })
+            }
+            (1, Optimizer::Sgd(_)) => {
+                need(&buf, nnz * 4, "sgd state")?;
+                let velocity: Vec<f32> = (0..nnz).map(|_| buf.get_f32_le()).collect();
+                OptState::Sgd(SgdState { velocity })
+            }
+            (t, _) => {
+                return Err(format!(
+                    "layer {li}: optimizer tag {t} does not match the requested optimizer"
+                ))
+            }
+        };
+        layers.push(SamoLayerState::from_parts(mask, theta32, grad16, os));
+    }
+    if buf.has_remaining() {
+        return Err(format!("{} trailing bytes after checkpoint", buf.remaining()));
+    }
+    Ok(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::optim::{AdamConfig, SgdConfig};
+
+    fn adam() -> Optimizer {
+        Optimizer::Adam(AdamConfig {
+            lr: 0.05,
+            ..Default::default()
+        })
+    }
+
+    fn make_layers(opt: &Optimizer) -> Vec<SamoLayerState> {
+        (0..3u64)
+            .map(|i| {
+                let phi = 100 + 17 * i as usize;
+                let mask = prune::random_prune(&[phi], 0.6, i);
+                let values: Vec<f32> = (0..phi).map(|j| (j as f32).sin()).collect();
+                let mut st = SamoLayerState::from_params(&values, mask, opt);
+                // Make the state non-trivial.
+                st.compress_grad(&vec![0.25; phi]);
+                st.optimizer_step(opt, 1.0);
+                st
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_adam() {
+        let opt = adam();
+        let layers = make_layers(&opt);
+        let bytes = save_layers(&layers);
+        let loaded = load_layers(&bytes, &opt).unwrap();
+        assert_eq!(loaded.len(), 3);
+        for (a, b) in layers.iter().zip(&loaded) {
+            assert_eq!(a.mask(), b.mask());
+            assert_eq!(a.theta32, b.theta32);
+            assert_eq!(a.grad16, b.grad16);
+            assert_eq!(a.theta16, b.theta16, "θ16 must be reconstructible");
+            match (&a.os, &b.os) {
+                (OptState::Adam(x), OptState::Adam(y)) => {
+                    assert_eq!(x.step, y.step);
+                    assert_eq!(x.m, y.m);
+                    assert_eq!(x.v, y.v);
+                }
+                _ => panic!("wrong optimizer state"),
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_sgd() {
+        let opt = Optimizer::Sgd(SgdConfig::default());
+        let layers = make_layers(&opt);
+        let bytes = save_layers(&layers);
+        let loaded = load_layers(&bytes, &opt).unwrap();
+        for (a, b) in layers.iter().zip(&loaded) {
+            match (&a.os, &b.os) {
+                (OptState::Sgd(x), OptState::Sgd(y)) => assert_eq!(x.velocity, y.velocity),
+                _ => panic!("wrong optimizer state"),
+            }
+        }
+    }
+
+    #[test]
+    fn resume_continues_identically() {
+        // Train 3 steps, checkpoint, train 3 more; vs load + 3 more.
+        let opt = adam();
+        let phi = 200usize;
+        let mask = prune::random_prune(&[phi], 0.8, 9);
+        let values: Vec<f32> = (0..phi).map(|j| (j as f32 * 0.1).cos()).collect();
+        let grad_at = |s: usize| -> Vec<f32> {
+            (0..phi).map(|j| ((j + s) % 7) as f32 * 0.05 - 0.15).collect()
+        };
+
+        let mut live = SamoLayerState::from_params(&values, mask, &opt);
+        for s in 0..3 {
+            live.compress_grad(&grad_at(s));
+            live.optimizer_step(&opt, 1.0);
+        }
+        let checkpoint = save_layers(std::slice::from_ref(&live));
+        let mut resumed = load_layers(&checkpoint, &opt).unwrap().pop().unwrap();
+        for s in 3..6 {
+            live.compress_grad(&grad_at(s));
+            live.optimizer_step(&opt, 1.0);
+            resumed.compress_grad(&grad_at(s));
+            resumed.optimizer_step(&opt, 1.0);
+        }
+        assert_eq!(live.theta32, resumed.theta32);
+        assert_eq!(live.theta16, resumed.theta16);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let opt = adam();
+        let bytes = save_layers(&make_layers(&opt));
+
+        // Bad magic.
+        let mut bad = bytes.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(load_layers(&bad, &opt).unwrap_err().contains("magic"));
+
+        // Truncation at every interesting boundary family.
+        for cut in [5usize, 12, bytes.len() / 2, bytes.len() - 1] {
+            let err = load_layers(&bytes[..cut], &opt).unwrap_err();
+            assert!(err.contains("truncated"), "cut at {cut}: {err}");
+        }
+
+        // Trailing garbage.
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert!(load_layers(&long, &opt).unwrap_err().contains("trailing"));
+
+        // Optimizer mismatch.
+        let sgd = Optimizer::Sgd(SgdConfig::default());
+        assert!(load_layers(&bytes, &sgd)
+            .unwrap_err()
+            .contains("does not match"));
+    }
+
+    #[test]
+    fn checkpoint_size_reflects_compression() {
+        // At 90% sparsity, the checkpoint is ~(16+4)·fφ + header — far
+        // below a dense 20φ dump.
+        let opt = adam();
+        let phi = 10_000usize;
+        let mask = prune::random_prune(&[phi], 0.9, 3);
+        let nnz = mask.nnz();
+        let st = SamoLayerState::from_params(&vec![0.1; phi], mask, &opt);
+        let bytes = save_layers(std::slice::from_ref(&st));
+        // indices 4 + θ32 4 + ∇θ16 2 + adam 8 = 18 bytes per nnz.
+        let expect = 18 * nnz;
+        assert!(bytes.len() >= expect && bytes.len() < expect + 128);
+        assert!(bytes.len() < 20 * phi / 4, "must be far below dense state");
+    }
+}

@@ -1,0 +1,275 @@
+//! SAMO model state: the paper's core data structure (Sec. III).
+//!
+//! Per layer, SAMO keeps the half-precision compute parameters `θ16`
+//! **dense** (so forward/backward use dense kernels) and every other
+//! model-state tensor **compressed** against one shared linearized index
+//! tensor:
+//!
+//! | tensor   | storage     | size      |
+//! |----------|-------------|-----------|
+//! | `θ16`    | dense       | `2φ` B    |
+//! | `ind`    | shared      | `4fφ` B   |
+//! | `θ32`    | compressed  | `4fφ` B   |
+//! | `∇θ16`   | compressed  | `2fφ` B   |
+//! | `∇θ32`   | compressed  | `4fφ` B   |
+//! | `os`     | compressed  | `8fφ` B   |
+
+use crate::compressed::{compress_f32, expand_f16_into};
+use crate::memory::SamoBreakdown;
+use nn::mixed::{OptState, Optimizer};
+use prune::Mask;
+use tensor::f16::F16;
+
+/// SAMO-compressed mixed-precision model state for one layer.
+#[derive(Clone, Debug)]
+pub struct SamoLayerState {
+    mask: Mask,
+    /// Dense fp16 parameters — zeros explicitly present at pruned
+    /// positions so dense kernels apply directly.
+    pub theta16: Vec<F16>,
+    /// Compressed fp32 master parameters (length = nnz).
+    pub theta32: Vec<f32>,
+    /// Compressed fp16 gradients.
+    pub grad16: Vec<F16>,
+    /// Compressed fp32 gradients.
+    pub grad32: Vec<f32>,
+    /// Compressed optimizer state.
+    pub os: OptState,
+}
+
+impl SamoLayerState {
+    /// Builds the state from dense fp32 parameter values and a pruning
+    /// mask. Values at pruned positions are discarded (set to zero in the
+    /// dense θ16, absent in compressed tensors).
+    pub fn from_params(values: &[f32], mask: Mask, opt: &Optimizer) -> SamoLayerState {
+        assert_eq!(values.len(), mask.numel());
+        let theta32 = compress_f32(values, &mask);
+        let mut theta16 = vec![F16::ZERO; values.len()];
+        let temp16: Vec<F16> = theta32.iter().map(|&v| F16::from_f32(v)).collect();
+        expand_f16_into(&temp16, &mask, &mut theta16);
+        let nnz = mask.nnz();
+        SamoLayerState {
+            mask,
+            theta16,
+            theta32,
+            grad16: vec![F16::ZERO; nnz],
+            grad32: vec![0.0; nnz],
+            os: OptState::new(opt, nnz),
+        }
+    }
+
+    /// Reassembles a state from checkpointed parts (see
+    /// `crate::serialize`): the dense θ16 is reconstructed from the
+    /// compressed θ32, and ∇θ32 is transient (rebuilt on the next step).
+    pub(crate) fn from_parts(
+        mask: Mask,
+        theta32: Vec<f32>,
+        grad16: Vec<F16>,
+        os: OptState,
+    ) -> SamoLayerState {
+        assert_eq!(theta32.len(), mask.nnz());
+        assert_eq!(grad16.len(), mask.nnz());
+        let mut theta16 = vec![F16::ZERO; mask.numel()];
+        let temp16: Vec<F16> = theta32.iter().map(|&v| F16::from_f32(v)).collect();
+        expand_f16_into(&temp16, &mask, &mut theta16);
+        let nnz = mask.nnz();
+        SamoLayerState {
+            theta16,
+            theta32,
+            grad16,
+            grad32: vec![0.0; nnz],
+            os,
+            mask,
+        }
+    }
+
+    /// The layer's pruning mask.
+    pub fn mask(&self) -> &Mask {
+        &self.mask
+    }
+
+    /// Total parameter count φ (including pruned).
+    pub fn numel(&self) -> usize {
+        self.mask.numel()
+    }
+
+    /// Unpruned parameter count fφ.
+    pub fn nnz(&self) -> usize {
+        self.mask.nnz()
+    }
+
+    /// Compresses a freshly produced dense (loss-scaled) fp32 gradient
+    /// into `∇θ16` — done "at the granularity of a layer ... so that we
+    /// never have to store the uncompressed gradients for the entire
+    /// model" (Sec. III-C, backward pass).
+    pub fn compress_grad(&mut self, dense_scaled_grad: &[f32]) {
+        assert_eq!(dense_scaled_grad.len(), self.numel());
+        let ind = self.mask.indices();
+        for (g16, &i) in self.grad16.iter_mut().zip(ind.iter()) {
+            *g16 = F16::from_f32(dense_scaled_grad[i as usize]);
+        }
+    }
+
+    /// Accumulate a *compressed* fp32 gradient directly (used by the
+    /// data-parallel all-reduce path, which sums compressed tensors).
+    pub fn set_compressed_grad16(&mut self, compressed: &[F16]) {
+        assert_eq!(compressed.len(), self.nnz());
+        self.grad16.copy_from_slice(compressed);
+    }
+
+    /// True if any stored fp16 gradient is non-finite (loss-scaler check).
+    pub fn grads_non_finite(&self) -> bool {
+        self.grad16.iter().any(|g| !g.is_finite())
+    }
+
+    /// The three-phase SAMO optimizer step (Sec. III-C):
+    ///
+    /// 1. upscale `∇θ16 → ∇θ32` directly on compressed tensors,
+    /// 2. run the optimizer on compressed `θ32` with dense elementwise
+    ///    kernels,
+    /// 3. downcast: make a compressed fp16 copy of `θ32`, then *expand*
+    ///    it through `ind` into the dense `θ16`.
+    pub fn optimizer_step(&mut self, opt: &Optimizer, inv_loss_scale: f32) {
+        // Phase 1: upscale on compressed data.
+        for (g32, g16) in self.grad32.iter_mut().zip(&self.grad16) {
+            *g32 = g16.to_f32() * inv_loss_scale;
+        }
+        // Phase 2: optimizer on compressed data.
+        let SamoLayerState { theta32, grad32, os, .. } = self;
+        os.step(opt, theta32, grad32);
+        // Phase 3: downcast + expand. The transient compressed copy is
+        // the `2fφ` term in the memory model.
+        let temp16: Vec<F16> = self.theta32.iter().map(|&v| F16::from_f32(v)).collect();
+        expand_f16_into(&temp16, &self.mask, &mut self.theta16);
+    }
+
+    /// Byte-exact measurement of this layer's model-state storage,
+    /// matching [`SamoBreakdown`]. `include_temp` adds the transient
+    /// downcast copy (peak vs steady usage).
+    pub fn measured_bytes(&self, include_temp: bool) -> u64 {
+        let b = self.breakdown();
+        if include_temp {
+            b.peak_bytes()
+        } else {
+            b.steady_bytes()
+        }
+    }
+
+    /// Component breakdown from the live data structures.
+    pub fn breakdown(&self) -> SamoBreakdown {
+        SamoBreakdown {
+            theta16: (self.theta16.len() * 2) as u64,
+            index: self.mask.index_bytes() as u64,
+            theta32: (self.theta32.len() * 4) as u64,
+            grad16: (self.grad16.len() * 2) as u64,
+            grad32: (self.grad32.len() * 4) as u64,
+            optimizer: self.os.bytes() as u64,
+            downcast_temp: (self.theta32.len() * 2) as u64,
+        }
+    }
+
+    /// Dense fp32 view of the current parameters (for loading into a
+    /// compute layer): widened θ16, zeros at pruned positions.
+    pub fn dense_f32_params(&self) -> Vec<f32> {
+        self.theta16.iter().map(|v| v.to_f32()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::optim::AdamConfig;
+
+    fn adam() -> Optimizer {
+        Optimizer::Adam(AdamConfig {
+            lr: 0.1,
+            ..Default::default()
+        })
+    }
+
+    fn mask_half() -> Mask {
+        Mask::new(&[8], vec![1, 3, 4, 6])
+    }
+
+    #[test]
+    fn construction_zeroes_pruned_theta16() {
+        let values: Vec<f32> = (1..=8).map(|i| i as f32).collect();
+        let st = SamoLayerState::from_params(&values, mask_half(), &adam());
+        assert_eq!(st.nnz(), 4);
+        assert_eq!(st.theta32, vec![2.0, 4.0, 5.0, 7.0]);
+        let dense = st.dense_f32_params();
+        assert_eq!(dense, vec![0.0, 2.0, 0.0, 4.0, 5.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn compress_grad_picks_unpruned_positions() {
+        let values = vec![1.0f32; 8];
+        let mut st = SamoLayerState::from_params(&values, mask_half(), &adam());
+        let grads: Vec<f32> = (10..18).map(|i| i as f32).collect();
+        st.compress_grad(&grads);
+        let g: Vec<f32> = st.grad16.iter().map(|v| v.to_f32()).collect();
+        assert_eq!(g, vec![11.0, 13.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn optimizer_step_keeps_pruned_params_zero() {
+        let values: Vec<f32> = (1..=8).map(|i| i as f32).collect();
+        let mut st = SamoLayerState::from_params(&values, mask_half(), &adam());
+        st.compress_grad(&[1.0f32; 8]);
+        st.optimizer_step(&adam(), 1.0);
+        let dense = st.dense_f32_params();
+        for (i, &v) in dense.iter().enumerate() {
+            if [1usize, 3, 4, 6].contains(&i) {
+                assert!(v != 0.0 && v < (i + 1) as f32, "unpruned moved down");
+            } else {
+                assert_eq!(v, 0.0, "pruned stayed zero");
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_grad_detection() {
+        let mut st = SamoLayerState::from_params(&[1.0; 8], mask_half(), &adam());
+        st.compress_grad(&[0.0; 8]);
+        assert!(!st.grads_non_finite());
+        let mut grads = vec![0.0f32; 8];
+        grads[3] = f32::INFINITY; // position 3 is unpruned
+        st.compress_grad(&grads);
+        assert!(st.grads_non_finite());
+        // Overflow at a *pruned* position is invisible — it is never stored.
+        let mut grads2 = vec![0.0f32; 8];
+        grads2[0] = f32::INFINITY; // position 0 is pruned
+        st.compress_grad(&grads2);
+        assert!(!st.grads_non_finite());
+    }
+
+    #[test]
+    fn measured_bytes_match_formula() {
+        let phi = 10_000usize;
+        let mask = prune::random_prune(&[phi], 0.9, 3);
+        let nnz = mask.nnz();
+        let st = SamoLayerState::from_params(&vec![0.5; phi], mask, &adam());
+        let b = st.breakdown();
+        assert_eq!(b, SamoBreakdown::new(phi as u64, nnz as u64));
+        assert_eq!(
+            st.measured_bytes(true),
+            crate::memory::m_samo_bytes(phi as u64, 0.9)
+        );
+    }
+
+    #[test]
+    fn loss_scale_is_divided_out() {
+        let opt = Optimizer::Sgd(nn::optim::SgdConfig {
+            lr: 1.0,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
+        let mask = Mask::dense(&[2]);
+        let mut st = SamoLayerState::from_params(&[0.0, 0.0], mask, &opt);
+        let scale = 256.0;
+        st.compress_grad(&[0.5 * scale, -0.25 * scale]);
+        st.optimizer_step(&opt, 1.0 / scale);
+        assert!((st.theta32[0] + 0.5).abs() < 1e-3);
+        assert!((st.theta32[1] - 0.25).abs() < 1e-3);
+    }
+}

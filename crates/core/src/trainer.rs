@@ -1,0 +1,544 @@
+//! End-to-end training integration: SAMO-compressed training and the
+//! dense masked baseline it must be numerically equivalent to, plus the
+//! compressed data-parallel gradient all-reduce (paper Sec. IV-A).
+
+use crate::state::SamoLayerState;
+use nn::layer::Layer;
+use nn::mixed::{DenseMixedState, LossScaler, Optimizer};
+use prune::Mask;
+use tensor::f16::F16;
+
+/// SAMO training state for a whole model: one compressed layer state per
+/// parameter tensor, plus the shared loss scaler.
+pub struct SamoTrainer {
+    pub layers: Vec<SamoLayerState>,
+    pub opt: Optimizer,
+    pub scaler: LossScaler,
+    steps_taken: u64,
+    steps_skipped: u64,
+}
+
+impl SamoTrainer {
+    /// Builds the trainer from a model's current parameters and one mask
+    /// per parameter tensor (in `model.params()` order). The model's
+    /// parameters are immediately pruned in place.
+    pub fn new(model: &mut impl Layer, masks: Vec<Mask>, opt: Optimizer) -> SamoTrainer {
+        let params = model.params_mut();
+        assert_eq!(
+            params.len(),
+            masks.len(),
+            "need exactly one mask per parameter tensor"
+        );
+        let mut layers = Vec::with_capacity(params.len());
+        for (p, mask) in params.into_iter().zip(masks) {
+            assert_eq!(p.numel(), mask.numel(), "mask shape mismatch for {}", p.name);
+            let st = SamoLayerState::from_params(p.value.as_slice(), mask, &opt);
+            // Load the (pruned, fp16-rounded) parameters back into the
+            // compute model — forward/backward run on widened θ16.
+            p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+            layers.push(st);
+        }
+        SamoTrainer {
+            layers,
+            opt,
+            scaler: LossScaler::default(),
+            steps_taken: 0,
+            steps_skipped: 0,
+        }
+    }
+
+    /// Total parameters φ across all layers.
+    pub fn numel(&self) -> usize {
+        self.layers.iter().map(|l| l.numel()).sum()
+    }
+
+    /// Unpruned parameters fφ.
+    pub fn nnz(&self) -> usize {
+        self.layers.iter().map(|l| l.nnz()).sum()
+    }
+
+    /// Measured model-state bytes (peak includes downcast temp).
+    pub fn model_state_bytes(&self, peak: bool) -> u64 {
+        self.layers.iter().map(|l| l.measured_bytes(peak)).sum()
+    }
+
+    /// Steps applied (not skipped by the loss scaler).
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Steps skipped due to gradient overflow.
+    pub fn steps_skipped(&self) -> u64 {
+        self.steps_skipped
+    }
+
+    /// Current loss scale to multiply the loss by before backward.
+    pub fn loss_scale(&self) -> f32 {
+        self.scaler.scale()
+    }
+
+    /// Serializes the compressed training state (see `crate::serialize`
+    /// for the format). The compute model is *not* included — θ16 is
+    /// reconstructible from the checkpoint via [`Self::restore`].
+    pub fn save(&self) -> bytes::Bytes {
+        crate::serialize::save_layers(&self.layers)
+    }
+
+    /// Restores a checkpoint produced by [`Self::save`] into this
+    /// trainer and writes the reconstructed parameters into `model`.
+    /// The model/mask structure must match what was saved.
+    pub fn restore(&mut self, checkpoint: &[u8], model: &mut impl Layer) -> Result<(), String> {
+        let layers = crate::serialize::load_layers(checkpoint, &self.opt)?;
+        if layers.len() != self.layers.len() {
+            return Err(format!(
+                "checkpoint has {} layers, trainer has {}",
+                layers.len(),
+                self.layers.len()
+            ));
+        }
+        for (new, old) in layers.iter().zip(&self.layers) {
+            if new.mask().shape() != old.mask().shape() {
+                return Err("checkpoint mask shape mismatch".into());
+            }
+        }
+        self.layers = layers;
+        for (p, st) in model.params_mut().into_iter().zip(&self.layers) {
+            if p.numel() != st.numel() {
+                return Err(format!("parameter {} size mismatch", p.name));
+            }
+            p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+            p.zero_grad();
+        }
+        Ok(())
+    }
+
+    /// Completes a training step after `model` has run forward/backward
+    /// with the loss multiplied by [`Self::loss_scale`]: compresses each
+    /// parameter gradient (layer granularity), checks for overflow,
+    /// applies the optimizer on compressed state, and expands the updated
+    /// θ16 back into the model. Returns `false` if the step was skipped.
+    pub fn step(&mut self, model: &mut impl Layer) -> bool {
+        let params = model.params_mut();
+        assert_eq!(params.len(), self.layers.len());
+        // Backward pass hook: compress gradients layer by layer.
+        for (p, st) in params.iter().zip(&mut self.layers) {
+            st.compress_grad(p.grad.as_slice());
+        }
+        let finite = !self.layers.iter().any(|l| l.grads_non_finite());
+        let scale = self.scaler.scale();
+        let proceed = self.scaler.check_and_update(finite);
+        if proceed {
+            for (p, st) in params.into_iter().zip(&mut self.layers) {
+                st.optimizer_step(&self.opt, 1.0 / scale);
+                p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+                p.zero_grad();
+            }
+            self.steps_taken += 1;
+        } else {
+            for p in params {
+                p.zero_grad();
+            }
+            self.steps_skipped += 1;
+        }
+        proceed
+    }
+}
+
+/// Dense mixed-precision baseline with gradient masking: trains exactly
+/// the same subnetwork as SAMO but stores everything dense (`M_default`).
+/// SAMO must reproduce this trainer's trajectory bit-for-bit on θ32 —
+/// that equivalence is the reproduction's core correctness theorem.
+pub struct DenseMaskedTrainer {
+    pub layers: Vec<(DenseMixedState, Mask)>,
+    pub opt: Optimizer,
+    pub scaler: LossScaler,
+}
+
+impl DenseMaskedTrainer {
+    /// Mirrors [`SamoTrainer::new`] with dense storage.
+    pub fn new(model: &mut impl Layer, masks: Vec<Mask>, opt: Optimizer) -> DenseMaskedTrainer {
+        let params = model.params_mut();
+        assert_eq!(params.len(), masks.len());
+        let mut layers = Vec::with_capacity(params.len());
+        for (p, mask) in params.into_iter().zip(masks) {
+            let mut masked = p.value.as_slice().to_vec();
+            mask.apply(&mut masked);
+            let st = DenseMixedState::from_params(&masked, &opt);
+            // Load fp16-rounded pruned params into the compute model.
+            let dense: Vec<f32> = st.theta16.iter().map(|v| v.to_f32()).collect();
+            p.value.as_mut_slice().copy_from_slice(&dense);
+            layers.push((st, mask));
+        }
+        DenseMaskedTrainer {
+            layers,
+            opt,
+            scaler: LossScaler::default(),
+        }
+    }
+
+    /// Current loss scale.
+    pub fn loss_scale(&self) -> f32 {
+        self.scaler.scale()
+    }
+
+    /// Measured model-state bytes (20φ for Adam).
+    pub fn model_state_bytes(&self) -> u64 {
+        self.layers.iter().map(|(st, _)| st.bytes() as u64).sum()
+    }
+
+    /// Dense counterpart of [`SamoTrainer::step`]: masks gradients (the
+    /// subnetwork constraint), runs the dense optimizer, re-masks
+    /// parameters, writes back.
+    pub fn step(&mut self, model: &mut impl Layer) -> bool {
+        let params = model.params_mut();
+        assert_eq!(params.len(), self.layers.len());
+        for (p, (st, mask)) in params.iter().zip(&mut self.layers) {
+            let mut g = p.grad.as_slice().to_vec();
+            mask.apply(&mut g);
+            st.set_grad_from_f32(&g);
+        }
+        let finite = !self
+            .layers
+            .iter()
+            .any(|(st, _)| st.grad16.iter().any(|g| !g.is_finite()));
+        let scale = self.scaler.scale();
+        let proceed = self.scaler.check_and_update(finite);
+        if proceed {
+            for (p, (st, mask)) in params.into_iter().zip(&mut self.layers) {
+                st.optimizer_step(&self.opt, 1.0 / scale);
+                // Keep pruned positions exactly zero (masked subnetwork
+                // training; weight decay would otherwise leave them 0
+                // anyway since they start at 0 with 0 grad, but we pin
+                // them for exactness).
+                let mut t32 = st.theta32.clone();
+                mask.apply(&mut t32);
+                st.theta32.copy_from_slice(&t32);
+                tensor::ops::narrow_into(&st.theta32, &mut st.theta16);
+                let dense: Vec<f32> = st.theta16.iter().map(|v| v.to_f32()).collect();
+                p.value.as_mut_slice().copy_from_slice(&dense);
+                p.zero_grad();
+            }
+        } else {
+            for p in params {
+                p.zero_grad();
+            }
+        }
+        proceed
+    }
+}
+
+/// In-place mean all-reduce over per-replica compressed fp16 gradient
+/// buffers (one buffer per data-parallel rank), with fp32 accumulation —
+/// the collective SAMO issues instead of a dense `φ`-sized all-reduce
+/// (paper Sec. IV-A). All buffers end up holding the mean.
+pub fn allreduce_mean_f16(replicas: &mut [&mut [F16]]) {
+    if replicas.is_empty() {
+        return;
+    }
+    let n = replicas[0].len();
+    assert!(replicas.iter().all(|r| r.len() == n), "replica length mismatch");
+    let count = replicas.len() as f32;
+    let mut acc = vec![0.0f32; n];
+    for r in replicas.iter() {
+        for (a, g) in acc.iter_mut().zip(r.iter()) {
+            *a += g.to_f32();
+        }
+    }
+    for a in &mut acc {
+        *a /= count;
+    }
+    for r in replicas.iter_mut() {
+        for (g, &a) in r.iter_mut().zip(&acc) {
+            *g = F16::from_f32(a);
+        }
+    }
+}
+
+/// Message bytes of a dense fp16 gradient all-reduce for `phi` params.
+pub fn dense_allreduce_bytes(phi: u64) -> u64 {
+    2 * phi
+}
+
+/// Message bytes of SAMO's compressed all-reduce: only `fφ` values move.
+pub fn samo_allreduce_bytes(nnz: u64) -> u64 {
+    2 * nnz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::linear::Linear;
+    use nn::loss::mse;
+    use nn::optim::AdamConfig;
+    use tensor::Tensor;
+
+    fn adam() -> Optimizer {
+        Optimizer::Adam(AdamConfig {
+            lr: 0.05,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn trainer_prunes_model_at_init() {
+        let mut model = Linear::new(8, 8, false, 1);
+        let mask = prune::random_prune(&[8, 8], 0.75, 2);
+        let trainer = SamoTrainer::new(&mut model, vec![mask.clone()], adam());
+        assert_eq!(trainer.nnz(), 16);
+        let w = model.params()[0].value.as_slice();
+        let zeros = w.iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 48);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_regression() {
+        // y = x * 0.5 target; a pruned linear layer must still fit it on
+        // its unpruned coordinates.
+        let mut model = Linear::new(4, 4, true, 3);
+        let masks = vec![
+            prune::random_prune(&[4, 4], 0.5, 4),
+            Mask::dense(&[4]), // keep bias dense
+        ];
+        let mut trainer = SamoTrainer::new(&mut model, masks, adam());
+        let x = Tensor::randn(&[16, 4], 1.0, 5);
+        let target = Tensor::from_vec(&[16, 4], x.as_slice().iter().map(|v| v * 0.5).collect());
+
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..150 {
+            let y = model.forward(&x);
+            let (loss, mut dy) = mse(&y, &target);
+            tensor::ops::scale(trainer.loss_scale(), dy.as_mut_slice());
+            model.backward(&dy);
+            trainer.step(&mut model);
+            first_loss.get_or_insert(loss);
+            last_loss = loss;
+        }
+        assert!(
+            last_loss < first_loss.unwrap() * 0.3,
+            "loss {} -> {last_loss}",
+            first_loss.unwrap()
+        );
+        assert!(trainer.steps_taken() > 100);
+    }
+
+    #[test]
+    fn pruned_positions_never_move() {
+        let mut model = Linear::new(6, 6, false, 7);
+        let mask = prune::random_prune(&[6, 6], 0.8, 8);
+        let pruned_positions: Vec<usize> = {
+            let keep = mask.to_bools();
+            (0..36).filter(|&i| !keep[i]).collect()
+        };
+        let mut trainer = SamoTrainer::new(&mut model, vec![mask], adam());
+        let x = Tensor::randn(&[8, 6], 1.0, 9);
+        let target = Tensor::randn(&[8, 6], 1.0, 10);
+        for _ in 0..20 {
+            let y = model.forward(&x);
+            let (_, mut dy) = mse(&y, &target);
+            tensor::ops::scale(trainer.loss_scale(), dy.as_mut_slice());
+            model.backward(&dy);
+            trainer.step(&mut model);
+        }
+        let w = model.params()[0].value.as_slice();
+        for &i in &pruned_positions {
+            assert_eq!(w[i], 0.0, "pruned weight {i} moved");
+        }
+    }
+
+    #[test]
+    fn overflow_skips_step_and_backs_off_scale() {
+        let mut model = Linear::new(2, 2, false, 11);
+        let mut trainer = SamoTrainer::new(&mut model, vec![Mask::dense(&[2, 2])], adam());
+        let before = model.params()[0].value.as_slice().to_vec();
+        let scale_before = trainer.loss_scale();
+        // Poison the gradient.
+        model.params_mut()[0]
+            .grad
+            .as_mut_slice()
+            .copy_from_slice(&[f32::INFINITY, 0.0, 0.0, 0.0]);
+        let applied = trainer.step(&mut model);
+        assert!(!applied);
+        assert_eq!(model.params()[0].value.as_slice(), &before[..]);
+        assert!(trainer.loss_scale() < scale_before);
+        assert_eq!(trainer.steps_skipped(), 1);
+    }
+
+    #[test]
+    fn memory_vs_dense_baseline() {
+        let phi = 50_000usize;
+        let p = 0.9;
+        let mask = prune::random_prune(&[phi], p, 12);
+
+        let mut m1 = Linear::from_weights(Tensor::zeros(&[phi / 100, 100]), None);
+        let samo = SamoTrainer::new(&mut m1, vec![mask.clone()], adam());
+        let mut m2 = Linear::from_weights(Tensor::zeros(&[phi / 100, 100]), None);
+        let dense = DenseMaskedTrainer::new(&mut m2, vec![mask], adam());
+
+        assert_eq!(dense.model_state_bytes(), 20 * phi as u64);
+        assert_eq!(
+            samo.model_state_bytes(true),
+            crate::memory::m_samo_bytes(phi as u64, p)
+        );
+        let saving = 1.0 - samo.model_state_bytes(true) as f64 / dense.model_state_bytes() as f64;
+        assert!((saving - 0.78).abs() < 0.01, "saving {saving}");
+    }
+
+    #[test]
+    fn microbatch_accumulation_equals_full_batch() {
+        // AxoNN processes a batch as pipelined microbatches whose
+        // gradients accumulate before the optimizer step (Sec. II-E);
+        // SAMO compresses only at step time, so accumulating two
+        // half-batches must equal one full-batch step exactly.
+        let make = || {
+            let mut m = Linear::new(6, 6, false, 41);
+            let masks = vec![prune::random_prune(&[6, 6], 0.5, 42)];
+            let t = SamoTrainer::new(&mut m, masks, adam());
+            (m, t)
+        };
+        let x1 = Tensor::randn(&[3, 6], 1.0, 43);
+        let x2 = Tensor::randn(&[3, 6], 1.0, 44);
+        let t1 = Tensor::randn(&[3, 6], 1.0, 45);
+        let t2 = Tensor::randn(&[3, 6], 1.0, 46);
+
+        // Microbatched: two forward/backward passes, one step. Use sum
+        // (not mean) losses so accumulation is the exact full-batch
+        // gradient.
+        let (mut m_micro, mut tr_micro) = make();
+        for (x, t) in [(&x1, &t1), (&x2, &t2)] {
+            let y = m_micro.forward(x);
+            let (_, mut dy) = mse(&y, t);
+            // Undo mse's 1/N and apply the loss scale: dy · N · scale.
+            tensor::ops::scale(tr_micro.loss_scale() * y.numel() as f32, dy.as_mut_slice());
+            m_micro.backward(&dy);
+        }
+        tr_micro.step(&mut m_micro);
+
+        // Full batch: concatenated inputs, one forward/backward.
+        let (mut m_full, mut tr_full) = make();
+        let xall = Tensor::from_vec(
+            &[6, 6],
+            x1.as_slice().iter().chain(x2.as_slice()).copied().collect(),
+        );
+        let tall = Tensor::from_vec(
+            &[6, 6],
+            t1.as_slice().iter().chain(t2.as_slice()).copied().collect(),
+        );
+        let y = m_full.forward(&xall);
+        let (_, mut dy) = mse(&y, &tall);
+        tensor::ops::scale(tr_full.loss_scale() * y.numel() as f32, dy.as_mut_slice());
+        m_full.backward(&dy);
+        tr_full.step(&mut m_full);
+
+        for (a, b) in tr_micro.layers.iter().zip(&tr_full.layers) {
+            for (x, y) in a.theta32.iter().zip(&b.theta32) {
+                assert!(
+                    (x - y).abs() < 2e-2 * (1.0 + x.abs()),
+                    "accumulated {x} vs full-batch {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trainer_save_restore_resumes_identically() {
+        let make = || {
+            let mut model = Linear::new(8, 8, true, 21);
+            let masks = vec![
+                prune::random_prune(&[8, 8], 0.75, 22),
+                Mask::dense(&[8]),
+            ];
+            let tr = SamoTrainer::new(&mut model, masks, adam());
+            (model, tr)
+        };
+        let (mut model, mut tr) = make();
+        let x = Tensor::randn(&[4, 8], 1.0, 23);
+        let target = Tensor::randn(&[4, 8], 1.0, 24);
+        let train_step = |m: &mut Linear, t: &mut SamoTrainer| {
+            let y = m.forward(&x);
+            let (_, mut dy) = mse(&y, &target);
+            tensor::ops::scale(t.loss_scale(), dy.as_mut_slice());
+            m.backward(&dy);
+            t.step(m);
+        };
+        for _ in 0..4 {
+            train_step(&mut model, &mut tr);
+        }
+        let checkpoint = tr.save();
+
+        // Continue live.
+        for _ in 0..3 {
+            train_step(&mut model, &mut tr);
+        }
+
+        // Restore into a fresh trainer/model and replay.
+        let (mut model2, mut tr2) = make();
+        tr2.restore(&checkpoint, &mut model2).unwrap();
+        assert_eq!(model.params().len(), model2.params().len());
+        for _ in 0..3 {
+            train_step(&mut model2, &mut tr2);
+        }
+        for (a, b) in model.params().iter().zip(model2.params()) {
+            assert_eq!(a.value.as_slice(), b.value.as_slice(), "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_structural_mismatch() {
+        let mut m1 = Linear::new(4, 4, false, 31);
+        let tr1 = SamoTrainer::new(&mut m1, vec![Mask::dense(&[4, 4])], adam());
+        let ckpt = tr1.save();
+
+        let mut m2 = Linear::new(6, 6, false, 32);
+        let mut tr2 = SamoTrainer::new(&mut m2, vec![Mask::dense(&[6, 6])], adam());
+        assert!(tr2.restore(&ckpt, &mut m2).is_err());
+    }
+
+    #[test]
+    fn allreduce_mean_is_elementwise_mean() {
+        let mut a = vec![F16::from_f32(1.0), F16::from_f32(4.0)];
+        let mut b = vec![F16::from_f32(3.0), F16::from_f32(0.0)];
+        {
+            let mut bufs: Vec<&mut [F16]> = vec![&mut a, &mut b];
+            allreduce_mean_f16(&mut bufs);
+        }
+        assert_eq!(a[0].to_f32(), 2.0);
+        assert_eq!(a[1].to_f32(), 2.0);
+        assert_eq!(b[0].to_f32(), 2.0);
+        assert_eq!(b[1].to_f32(), 2.0);
+    }
+
+    #[test]
+    fn allreduce_on_compressed_equals_compress_of_allreduce() {
+        use crate::compressed::{compress_f16, expand_f16};
+        let mask = prune::random_prune(&[64], 0.8, 13);
+        let d1: Vec<F16> = (0..64).map(|i| F16::from_f32(i as f32 * 0.5)).collect();
+        let d2: Vec<F16> = (0..64).map(|i| F16::from_f32(32.0 - i as f32)).collect();
+
+        // Path A: compress then all-reduce.
+        let mut c1 = compress_f16(&d1, &mask);
+        let mut c2 = compress_f16(&d2, &mask);
+        {
+            let mut bufs: Vec<&mut [F16]> = vec![&mut c1, &mut c2];
+            allreduce_mean_f16(&mut bufs);
+        }
+
+        // Path B: all-reduce dense then compress.
+        let mut e1 = expand_f16(&compress_f16(&d1, &mask), &mask);
+        let mut e2 = expand_f16(&compress_f16(&d2, &mask), &mask);
+        {
+            let mut bufs: Vec<&mut [F16]> = vec![&mut e1, &mut e2];
+            allreduce_mean_f16(&mut bufs);
+        }
+        let cref = compress_f16(&e1, &mask);
+        assert_eq!(c1, cref);
+    }
+
+    #[test]
+    fn allreduce_message_sizes() {
+        assert_eq!(dense_allreduce_bytes(1000), 2000);
+        assert_eq!(samo_allreduce_bytes(100), 200);
+        // 10x reduction at 90% sparsity.
+        assert_eq!(dense_allreduce_bytes(1000) / samo_allreduce_bytes(100), 10);
+    }
+}

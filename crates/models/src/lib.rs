@@ -1,0 +1,19 @@
+//! Model zoo for the SAMO reproduction: the six networks of the paper's
+//! Table I described at layer granularity (parameters, flops, activation
+//! sizes — the inputs to the cluster simulator), plus [`tiny::TinyGpt`],
+//! a real trainable GPT used for the Fig. 4 statistical-efficiency
+//! experiment.
+
+pub mod gpt;
+pub mod tiny;
+pub mod tiny_cnn;
+pub mod vision;
+pub mod vision_exec;
+pub mod zoo;
+
+pub use gpt::{GptConfig, ALL_GPT, GPT3_13B, GPT3_2_7B, GPT3_6_7B, GPT3_XL};
+pub use tiny::{TinyGpt, TinyGptConfig, TransformerBlock};
+pub use tiny_cnn::{ShapeDataset, TinyCnn, CNN_CLASSES};
+pub use vision::{vgg19, wideresnet101, VisionModel};
+pub use vision_exec::{build_resnet_nano, build_vgg_nano};
+pub use zoo::{table_i, ModelKind, ZooEntry};

@@ -1,0 +1,94 @@
+//! The paper's Table I: all six evaluated networks with their batch sizes
+//! and strong-scaling GPU ranges.
+
+use crate::gpt::{GptConfig, GPT3_13B, GPT3_2_7B, GPT3_6_7B, GPT3_XL};
+use crate::vision::{vgg19, wideresnet101, VisionModel};
+
+/// A row of Table I.
+#[derive(Debug, Clone)]
+pub struct ZooEntry {
+    pub name: &'static str,
+    pub params: u64,
+    pub batch: usize,
+    pub min_gpus: usize,
+    pub max_gpus: usize,
+    pub kind: ModelKind,
+}
+
+/// Which family a zoo entry belongs to.
+#[derive(Debug, Clone)]
+pub enum ModelKind {
+    Vision(VisionModel),
+    Gpt(GptConfig),
+}
+
+/// Builds the full Table I. GPU ranges follow the paper's rule: chosen so
+/// the ratio of batch size to GPU count spans 4 down to 1... except the
+/// vision models, which the paper runs on 16–128 GPUs with batch 128.
+pub fn table_i() -> Vec<ZooEntry> {
+    let mut rows = Vec::new();
+    for vm in [wideresnet101(), vgg19()] {
+        rows.push(ZooEntry {
+            name: vm.name,
+            params: vm.params(),
+            batch: vm.batch,
+            min_gpus: 16,
+            max_gpus: 128,
+            kind: ModelKind::Vision(vm),
+        });
+    }
+    for cfg in [GPT3_XL, GPT3_2_7B, GPT3_6_7B, GPT3_13B] {
+        rows.push(ZooEntry {
+            name: cfg.name,
+            params: cfg.params(),
+            batch: cfg.batch,
+            min_gpus: cfg.batch / 8,
+            max_gpus: cfg.batch,
+            kind: ModelKind::Gpt(cfg),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_six_rows_in_paper_order() {
+        let t = table_i();
+        let names: Vec<&str> = t.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec!["WideResnet-101", "VGG-19", "GPT-3 XL", "GPT-3 2.7B", "GPT-3 6.7B", "GPT-3 13B"]
+        );
+    }
+
+    #[test]
+    fn gpu_ranges_match_table_i() {
+        let t = table_i();
+        let ranges: Vec<(usize, usize)> = t.iter().map(|r| (r.min_gpus, r.max_gpus)).collect();
+        assert_eq!(
+            ranges,
+            vec![
+                (16, 128),
+                (16, 128),
+                (64, 512),
+                (64, 512),
+                (128, 1024),
+                (256, 2048)
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_to_gpu_ratio_rule_for_gpt() {
+        // "the ratio of batch size to number of GPUs is 4 and 1" at the
+        // min and max GPU counts — for the GPT models... the paper's
+        // table actually shows min = batch/8; we follow the table.
+        for row in table_i().iter().skip(2) {
+            assert_eq!(row.max_gpus, row.batch);
+            assert_eq!(row.min_gpus * 8, row.batch);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Multi-head causal self-attention (Vaswani et al.), the core block of
+//! the GPT-3-style models in the paper's Table I.
+
+use crate::layer::Layer;
+use crate::linear::Linear;
+use crate::param::Parameter;
+use tensor::gemm::{matmul, matmul_nt, matmul_tn};
+use tensor::ops::softmax_rows;
+use tensor::Tensor;
+
+/// Multi-head self-attention with a causal (lower-triangular) mask.
+///
+/// Input/output shape is `[B, T, C]`. Internally: fused QKV projection
+/// `C → 3C`, per-head scaled dot-product attention, and an output
+/// projection `C → C`.
+pub struct CausalSelfAttention {
+    qkv: Linear,
+    proj: Linear,
+    heads: usize,
+    dim: usize,
+    cache: Option<AttnCache>,
+}
+
+struct AttnCache {
+    batch: usize,
+    seq: usize,
+    /// `[B*T, 3C]` output of the QKV projection.
+    qkv_out: Vec<f32>,
+    /// Per-(batch, head) attention probabilities, each `[T, T]`.
+    probs: Vec<Vec<f32>>,
+}
+
+impl CausalSelfAttention {
+    /// Creates an attention block with `heads` heads over model dim `dim`.
+    pub fn new(dim: usize, heads: usize, seed: u64) -> CausalSelfAttention {
+        assert!(dim.is_multiple_of(heads), "dim must be divisible by heads");
+        CausalSelfAttention {
+            qkv: Linear::new(dim, 3 * dim, true, seed),
+            proj: Linear::new(dim, dim, true, seed.wrapping_add(1)),
+            heads,
+            dim,
+            cache: None,
+        }
+    }
+
+    /// Head count.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Copies head `h` of q/k/v for batch `b` out of the fused buffer
+    /// into a `[T, hd]` matrix. `which` is 0 for q, 1 for k, 2 for v.
+    fn extract(
+        &self,
+        qkv_out: &[f32],
+        batch_idx: usize,
+        seq: usize,
+        h: usize,
+        which: usize,
+    ) -> Vec<f32> {
+        let hd = self.dim / self.heads;
+        let row_w = 3 * self.dim;
+        let mut out = vec![0.0f32; seq * hd];
+        for t in 0..seq {
+            let base = (batch_idx * seq + t) * row_w + which * self.dim + h * hd;
+            out[t * hd..(t + 1) * hd].copy_from_slice(&qkv_out[base..base + hd]);
+        }
+        out
+    }
+
+    /// Scatters a `[T, hd]` gradient back into the fused dqkv buffer.
+    fn scatter(
+        &self,
+        dqkv: &mut [f32],
+        src: &[f32],
+        batch_idx: usize,
+        seq: usize,
+        h: usize,
+        which: usize,
+    ) {
+        let hd = self.dim / self.heads;
+        let row_w = 3 * self.dim;
+        for t in 0..seq {
+            let base = (batch_idx * seq + t) * row_w + which * self.dim + h * hd;
+            for j in 0..hd {
+                dqkv[base + j] += src[t * hd + j];
+            }
+        }
+    }
+}
+
+impl Layer for CausalSelfAttention {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "attention expects [B, T, C]");
+        let (batch, seq, c) = (shape[0], shape[1], shape[2]);
+        assert_eq!(c, self.dim);
+        let hd = self.dim / self.heads;
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        let flat = x.clone().reshape(&[batch * seq, c]);
+        let qkv_out_t = self.qkv.forward(&flat);
+        let qkv_out = qkv_out_t.as_slice().to_vec();
+
+        let mut att_out = vec![0.0f32; batch * seq * c];
+        let mut probs_cache = Vec::with_capacity(batch * self.heads);
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let q = self.extract(&qkv_out, b, seq, h, 0);
+                let k = self.extract(&qkv_out, b, seq, h, 1);
+                let v = self.extract(&qkv_out, b, seq, h, 2);
+                // scores = q · kᵀ, scaled.
+                let mut scores = vec![0.0f32; seq * seq];
+                matmul_nt(seq, seq, hd, &q, &k, &mut scores);
+                for s in scores.iter_mut() {
+                    *s *= scale;
+                }
+                // Causal mask: position i may not attend to j > i.
+                for i in 0..seq {
+                    for j in (i + 1)..seq {
+                        scores[i * seq + j] = f32::NEG_INFINITY;
+                    }
+                }
+                softmax_rows(&mut scores, seq, seq);
+                // out = probs · v  [T, hd]
+                let mut out = vec![0.0f32; seq * hd];
+                matmul(seq, hd, seq, &scores, &v, &mut out);
+                for t in 0..seq {
+                    let dst = (b * seq + t) * c + h * hd;
+                    att_out[dst..dst + hd].copy_from_slice(&out[t * hd..(t + 1) * hd]);
+                }
+                probs_cache.push(scores);
+            }
+        }
+
+        let y = self
+            .proj
+            .forward(&Tensor::from_vec(&[batch * seq, c], att_out));
+        self.cache = Some(AttnCache {
+            batch,
+            seq,
+            qkv_out,
+            probs: probs_cache,
+        });
+        y.reshape(&[batch, seq, c])
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward before forward");
+        let (batch, seq) = (cache.batch, cache.seq);
+        let c = self.dim;
+        let hd = c / self.heads;
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        let dflat = dy.clone().reshape(&[batch * seq, c]);
+        let d_att_out = self.proj.backward(&dflat);
+
+        let mut dqkv = vec![0.0f32; batch * seq * 3 * c];
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let probs = &cache.probs[b * self.heads + h];
+                let k = self.extract(&cache.qkv_out, b, seq, h, 1);
+                let v = self.extract(&cache.qkv_out, b, seq, h, 2);
+                let q = self.extract(&cache.qkv_out, b, seq, h, 0);
+
+                // Gather dOut [T, hd] for this head.
+                let mut dout = vec![0.0f32; seq * hd];
+                for t in 0..seq {
+                    let src = (b * seq + t) * c + h * hd;
+                    dout[t * hd..(t + 1) * hd]
+                        .copy_from_slice(&d_att_out.as_slice()[src..src + hd]);
+                }
+
+                // dV = probsᵀ · dOut  [T, hd]
+                let mut dv = vec![0.0f32; seq * hd];
+                matmul_tn(seq, hd, seq, probs, &dout, &mut dv);
+
+                // dProbs = dOut · vᵀ  [T, T]
+                let mut dprobs = vec![0.0f32; seq * seq];
+                matmul_nt(seq, seq, hd, &dout, &v, &mut dprobs);
+
+                // Softmax backward per row: ds = p ⊙ (dp − Σ dp⊙p).
+                let mut dscores = vec![0.0f32; seq * seq];
+                for i in 0..seq {
+                    let prow = &probs[i * seq..(i + 1) * seq];
+                    let dprow = &dprobs[i * seq..(i + 1) * seq];
+                    let dot: f32 = prow.iter().zip(dprow).map(|(p, d)| p * d).sum();
+                    for j in 0..seq {
+                        dscores[i * seq + j] = prow[j] * (dprow[j] - dot) * scale;
+                    }
+                }
+
+                // dq = dScores · k; dk = dScoresᵀ · q.
+                let mut dq = vec![0.0f32; seq * hd];
+                matmul(seq, hd, seq, &dscores, &k, &mut dq);
+                let mut dk = vec![0.0f32; seq * hd];
+                matmul_tn(seq, hd, seq, &dscores, &q, &mut dk);
+
+                self.scatter(&mut dqkv, &dq, b, seq, h, 0);
+                self.scatter(&mut dqkv, &dk, b, seq, h, 1);
+                self.scatter(&mut dqkv, &dv, b, seq, h, 2);
+            }
+        }
+
+        let dx = self
+            .qkv
+            .backward(&Tensor::from_vec(&[batch * seq, 3 * c], dqkv));
+        dx.reshape(&[batch, seq, c])
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        let mut v = self.qkv.params();
+        v.extend(self.proj.params());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut v = self.qkv.params_mut();
+        v.extend(self.proj.params_mut());
+        v
+    }
+
+    fn clear_caches(&mut self) {
+        self.cache = None;
+        self.qkv.clear_caches();
+        self.proj.clear_caches();
+    }
+
+    fn cached_bytes(&self) -> usize {
+        let own = self.cache.as_ref().map_or(0, |c| {
+            (c.qkv_out.len() + c.probs.iter().map(|p| p.len()).sum::<usize>()) * 4
+        });
+        own + self.qkv.cached_bytes() + self.proj.cached_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut attn = CausalSelfAttention::new(8, 2, 0);
+        let x = Tensor::randn(&[2, 5, 8], 1.0, 1);
+        let y = attn.forward(&x);
+        assert_eq!(y.shape(), &[2, 5, 8]);
+    }
+
+    #[test]
+    fn causality_first_token_ignores_future() {
+        // Changing tokens t >= 1 must not change output at t = 0.
+        let mut attn = CausalSelfAttention::new(8, 2, 3);
+        let x1 = Tensor::randn(&[1, 4, 8], 1.0, 10);
+        let mut x2 = x1.clone();
+        for v in &mut x2.as_mut_slice()[8..] {
+            *v += 1.0; // perturb tokens 1..3
+        }
+        let y1 = attn.forward(&x1);
+        let y2 = attn.forward(&x2);
+        for j in 0..8 {
+            assert!(
+                (y1.as_slice()[j] - y2.as_slice()[j]).abs() < 1e-5,
+                "token 0 output changed: future leaked"
+            );
+        }
+    }
+
+    #[test]
+    fn probs_rows_are_causal_distributions() {
+        let mut attn = CausalSelfAttention::new(4, 1, 5);
+        let x = Tensor::randn(&[1, 3, 4], 1.0, 6);
+        attn.forward(&x);
+        let cache = attn.cache.as_ref().unwrap();
+        let probs = &cache.probs[0];
+        // Row i: entries j > i are exactly zero, row sums to 1.
+        for i in 0..3 {
+            let row = &probs[i * 3..(i + 1) * 3];
+            for (j, &p) in row.iter().enumerate() {
+                if j > i {
+                    assert_eq!(p, 0.0, "future prob nonzero at ({i},{j})");
+                }
+            }
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_produces_input_grad_of_right_shape() {
+        let mut attn = CausalSelfAttention::new(8, 2, 7);
+        let x = Tensor::randn(&[2, 3, 8], 0.5, 8);
+        let _y = attn.forward(&x);
+        let dy = Tensor::randn(&[2, 3, 8], 1.0, 9);
+        let dx = attn.backward(&dy);
+        assert_eq!(dx.shape(), &[2, 3, 8]);
+        assert!(dx.as_slice().iter().any(|&v| v != 0.0));
+        // All parameters received gradients.
+        for p in attn.params() {
+            assert!(p.grad.as_slice().iter().any(|&v| v != 0.0), "{} grad empty", p.name);
+        }
+    }
+
+    #[test]
+    fn single_token_attends_to_itself() {
+        let mut attn = CausalSelfAttention::new(4, 1, 11);
+        let x = Tensor::randn(&[1, 1, 4], 1.0, 12);
+        let y = attn.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 4]);
+        let cache = attn.cache.as_ref().unwrap();
+        assert_eq!(cache.probs[0], vec![1.0]);
+    }
+}

@@ -1,0 +1,309 @@
+//! 2-D convolution via im2col + GEMM — the cuDNN stand-in used by the
+//! VGG-19 / WideResnet-101 substrate models.
+
+use crate::layer::Layer;
+use crate::param::Parameter;
+use tensor::gemm::{matmul, matmul_nt, matmul_tn};
+use tensor::Tensor;
+
+/// 2-D convolution with square kernels, stride and zero padding.
+///
+/// Input `[B, C_in, H, W]`, output `[B, C_out, H', W']` with
+/// `H' = (H + 2·pad − K)/stride + 1`.
+pub struct Conv2d {
+    weight: Parameter, // [C_out, C_in * K * K]
+    bias: Option<Parameter>,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cache: Option<ConvCache>,
+}
+
+struct ConvCache {
+    batch: usize,
+    in_h: usize,
+    in_w: usize,
+    out_h: usize,
+    out_w: usize,
+    /// im2col matrix per batch element: `[C_in·K·K, H'·W']` stacked.
+    cols: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-uniform init.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        seed: u64,
+    ) -> Conv2d {
+        let weight = Parameter::new(
+            "conv.weight",
+            Tensor::kaiming_uniform(&[out_channels, in_channels * kernel * kernel], seed),
+        );
+        let bias = bias.then(|| Parameter::new("conv.bias", Tensor::zeros(&[out_channels])));
+        Conv2d {
+            weight,
+            bias,
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            cache: None,
+        }
+    }
+
+    /// Output spatial size for a given input size.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Unfolds one image `[C, H, W]` into columns `[C·K·K, H'·W']`.
+    fn im2col(&self, img: &[f32], h: usize, w: usize, out: &mut [f32]) {
+        let (oh, ow) = self.out_size(h, w);
+        let k = self.kernel;
+        let cols = oh * ow;
+        for c in 0..self.in_channels {
+            for ki in 0..k {
+                for kj in 0..k {
+                    let row = (c * k + ki) * k + kj;
+                    for oi in 0..oh {
+                        let src_i = (oi * self.stride + ki) as isize - self.pad as isize;
+                        for oj in 0..ow {
+                            let src_j = (oj * self.stride + kj) as isize - self.pad as isize;
+                            let v = if src_i >= 0
+                                && (src_i as usize) < h
+                                && src_j >= 0
+                                && (src_j as usize) < w
+                            {
+                                img[c * h * w + src_i as usize * w + src_j as usize]
+                            } else {
+                                0.0
+                            };
+                            out[row * cols + oi * ow + oj] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Folds columns `[C·K·K, H'·W']` back into an image `[C, H, W]`,
+    /// accumulating overlapping contributions (the adjoint of im2col).
+    fn col2im(&self, cols_mat: &[f32], h: usize, w: usize, img: &mut [f32]) {
+        let (oh, ow) = self.out_size(h, w);
+        let k = self.kernel;
+        let cols = oh * ow;
+        for c in 0..self.in_channels {
+            for ki in 0..k {
+                for kj in 0..k {
+                    let row = (c * k + ki) * k + kj;
+                    for oi in 0..oh {
+                        let src_i = (oi * self.stride + ki) as isize - self.pad as isize;
+                        if src_i < 0 || src_i as usize >= h {
+                            continue;
+                        }
+                        for oj in 0..ow {
+                            let src_j = (oj * self.stride + kj) as isize - self.pad as isize;
+                            if src_j < 0 || src_j as usize >= w {
+                                continue;
+                            }
+                            img[c * h * w + src_i as usize * w + src_j as usize] +=
+                                cols_mat[row * cols + oi * ow + oj];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "conv expects [B, C, H, W]");
+        let (batch, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(c, self.in_channels);
+        let (oh, ow) = self.out_size(h, w);
+        let krows = self.in_channels * self.kernel * self.kernel;
+        let cols = oh * ow;
+
+        let mut all_cols = vec![0.0f32; batch * krows * cols];
+        let mut y = Tensor::zeros(&[batch, self.out_channels, oh, ow]);
+        for b in 0..batch {
+            let img = &x.as_slice()[b * c * h * w..(b + 1) * c * h * w];
+            let col_mat = &mut all_cols[b * krows * cols..(b + 1) * krows * cols];
+            self.im2col(img, h, w, col_mat);
+            // y_b = W [C_out × krows] · cols [krows × cols]
+            let out = &mut y.as_mut_slice()
+                [b * self.out_channels * cols..(b + 1) * self.out_channels * cols];
+            matmul(self.out_channels, cols, krows, self.weight.value.as_slice(), col_mat, out);
+            if let Some(bias) = &self.bias {
+                for (oc, &bv) in bias.value.as_slice().iter().enumerate() {
+                    for v in &mut out[oc * cols..(oc + 1) * cols] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        self.cache = Some(ConvCache {
+            batch,
+            in_h: h,
+            in_w: w,
+            out_h: oh,
+            out_w: ow,
+            cols: all_cols,
+        });
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward before forward");
+        let (batch, h, w) = (cache.batch, cache.in_h, cache.in_w);
+        let (oh, ow) = (cache.out_h, cache.out_w);
+        let krows = self.in_channels * self.kernel * self.kernel;
+        let cols = oh * ow;
+        assert_eq!(dy.shape(), &[batch, self.out_channels, oh, ow]);
+
+        let mut dx = Tensor::zeros(&[batch, self.in_channels, h, w]);
+        let mut dw = vec![0.0f32; self.out_channels * krows];
+        for b in 0..batch {
+            let dyb = &dy.as_slice()[b * self.out_channels * cols..(b + 1) * self.out_channels * cols];
+            let col_mat = &cache.cols[b * krows * cols..(b + 1) * krows * cols];
+            // dW += dy_b [C_out × cols] · colsᵀ [cols × krows]
+            let mut dwb = vec![0.0f32; self.out_channels * krows];
+            matmul_nt(self.out_channels, krows, cols, dyb, col_mat, &mut dwb);
+            for (acc, &v) in dw.iter_mut().zip(&dwb) {
+                *acc += v;
+            }
+            if let Some(bias) = &mut self.bias {
+                let gb = bias.grad.as_mut_slice();
+                for oc in 0..self.out_channels {
+                    gb[oc] += dyb[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+                }
+            }
+            // dcols = Wᵀ [krows × C_out] · dy_b
+            let mut dcols = vec![0.0f32; krows * cols];
+            matmul_tn(krows, cols, self.out_channels, self.weight.value.as_slice(), dyb, &mut dcols);
+            let img =
+                &mut dx.as_mut_slice()[b * self.in_channels * h * w..(b + 1) * self.in_channels * h * w];
+            self.col2im(&dcols, h, w, img);
+        }
+        self.weight.accumulate_grad(&dw);
+        dx
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        let mut v = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut v = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn clear_caches(&mut self) {
+        self.cache = None;
+    }
+
+    fn cached_bytes(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.cols.len() * 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1x1 convolution is a per-pixel linear map.
+    #[test]
+    fn one_by_one_conv_is_channel_mix() {
+        let mut conv = Conv2d::new(2, 1, 1, 1, 0, false, 0);
+        conv.weight.value.as_mut_slice().copy_from_slice(&[2.0, 3.0]);
+        // x: 1 batch, 2 channels, 2x2; channel0 = 1s, channel1 = 2s.
+        let x = Tensor::from_vec(&[1, 2, 2, 2], vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert!(y.as_slice().iter().all(|&v| v == 8.0)); // 2*1 + 3*2
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // Single channel, 3x3 input, 3x3 all-ones kernel, pad 1.
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, false, 0);
+        conv.weight.value.as_mut_slice().fill(1.0);
+        let x = Tensor::from_vec(&[1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        // Center output = sum of all = 45; corner (0,0) = 1+2+4+5 = 12.
+        assert_eq!(y.as_slice()[4], 45.0);
+        assert_eq!(y.as_slice()[0], 12.0);
+    }
+
+    #[test]
+    fn stride_reduces_output_size() {
+        let conv = Conv2d::new(3, 8, 3, 2, 1, true, 0);
+        assert_eq!(conv.out_size(32, 32), (16, 16));
+        assert_eq!(conv.out_size(7, 7), (4, 4));
+    }
+
+    #[test]
+    fn backward_bias_grad_sums_spatial() {
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, true, 0);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0; 4]);
+        conv.forward(&x);
+        let dy = Tensor::from_vec(&[1, 2, 2, 2], vec![1.0; 8]);
+        conv.backward(&dy);
+        assert_eq!(conv.params()[1].grad.as_slice(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint identity,
+        // which is exactly what makes the backward pass correct.
+        let conv = Conv2d::new(2, 1, 3, 2, 1, false, 1);
+        let (h, w) = (5, 4);
+        let (oh, ow) = conv.out_size(h, w);
+        let krows = 2 * 9;
+        let x = Tensor::randn(&[2 * h * w], 1.0, 2);
+        let y = Tensor::randn(&[krows * oh * ow], 1.0, 3);
+
+        let mut cols = vec![0.0f32; krows * oh * ow];
+        conv.im2col(x.as_slice(), h, w, &mut cols);
+        let lhs: f32 = cols.iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+
+        let mut back = vec![0.0f32; 2 * h * w];
+        conv.col2im(y.as_slice(), h, w, &mut back);
+        let rhs: f32 = back.iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn batch_elements_are_independent() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, true, 4);
+        let x1 = Tensor::randn(&[1, 1, 4, 4], 1.0, 5);
+        let y1 = conv.forward(&x1);
+        // Duplicate the image into a batch of 2: both outputs equal y1.
+        let mut both = x1.as_slice().to_vec();
+        both.extend_from_slice(x1.as_slice());
+        let y2 = conv.forward(&Tensor::from_vec(&[2, 1, 4, 4], both));
+        let half = y2.numel() / 2;
+        assert_eq!(&y2.as_slice()[..half], y1.as_slice());
+        assert_eq!(&y2.as_slice()[half..], y1.as_slice());
+    }
+}

@@ -1,0 +1,128 @@
+//! Inverted dropout (Srivastava et al.) — used by VGG's classifier and
+//! GPT's residual streams.
+
+use crate::layer::Layer;
+use crate::param::Parameter;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Tensor;
+
+/// Inverted dropout: during training, zeroes each element with
+/// probability `p` and scales survivors by `1/(1-p)` so the expected
+/// activation is unchanged; at inference it is the identity.
+pub struct Dropout {
+    p: f32,
+    training: bool,
+    rng: StdRng,
+    cache_mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a seeded
+    /// RNG (deterministic training runs).
+    pub fn new(p: f32, seed: u64) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+        Dropout {
+            p,
+            training: true,
+            rng: StdRng::seed_from_u64(seed),
+            cache_mask: None,
+        }
+    }
+
+    /// Switches training/inference mode.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        if !self.training || self.p == 0.0 {
+            self.cache_mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let inv_keep = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.numel())
+            .map(|_| if self.rng.gen::<f32>() < keep { inv_keep } else { 0.0 })
+            .collect();
+        let mut y = x.clone();
+        for (v, &m) in y.as_mut_slice().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.cache_mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        match self.cache_mask.take() {
+            None => dy.clone(),
+            Some(mask) => {
+                let mut dx = dy.clone();
+                for (v, &m) in dx.as_mut_slice().iter_mut().zip(&mask) {
+                    *v *= m;
+                }
+                dx
+            }
+        }
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        vec![]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        d.set_training(false);
+        let x = Tensor::randn(&[10], 1.0, 2);
+        let y = d.forward(&x);
+        assert_eq!(y, x);
+        let dy = Tensor::randn(&[10], 1.0, 3);
+        assert_eq!(d.backward(&dy), dy);
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 4);
+        let n = 100_000;
+        let x = Tensor::full(&[n], 1.0);
+        let y = d.forward(&x);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        // Survivors are exactly 1/(1-p), dropped are 0.
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::full(&[1000], 1.0);
+        let y = d.forward(&x);
+        let dy = Tensor::full(&[1000], 1.0);
+        let dx = d.backward(&dy);
+        // Gradient flows exactly where activations survived.
+        for (a, b) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(a == &0.0, b == &0.0);
+        }
+    }
+
+    #[test]
+    fn zero_p_is_identity_even_in_training() {
+        let mut d = Dropout::new(0.0, 5);
+        let x = Tensor::randn(&[16], 1.0, 6);
+        assert_eq!(d.forward(&x), x);
+    }
+}

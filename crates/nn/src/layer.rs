@@ -1,0 +1,122 @@
+//! The layer abstraction: modules with hand-written backward passes.
+
+use crate::param::Parameter;
+use tensor::Tensor;
+
+/// A differentiable module.
+///
+/// `forward` caches whatever it needs; `backward` consumes that cache,
+/// accumulates parameter gradients, and returns the gradient w.r.t. the
+/// layer input. Layers are stateful between one forward and the matching
+/// backward (standard define-by-run training-step usage).
+pub trait Layer {
+    /// Computes the layer output and caches activations for backward.
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+
+    /// Given `d(loss)/d(output)`, accumulates parameter gradients and
+    /// returns `d(loss)/d(input)`.
+    fn backward(&mut self, dy: &Tensor) -> Tensor;
+
+    /// Immutable views of the layer's parameters (possibly empty).
+    fn params(&self) -> Vec<&Parameter>;
+
+    /// Mutable views of the layer's parameters.
+    fn params_mut(&mut self) -> Vec<&mut Parameter>;
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total scalar parameter count.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Drops any activations cached by `forward` (after this, `backward`
+    /// requires a fresh forward). Used by activation checkpointing.
+    fn clear_caches(&mut self) {}
+
+    /// Bytes of activation cache currently held for backward — the
+    /// memory that activation checkpointing trades for recomputation.
+    fn cached_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// A straight-through composition of layers.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Sequential {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Sequential {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Access to the contained layers.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut cur = dy.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn clear_caches(&mut self) {
+        for l in &mut self.layers {
+            l.clear_caches();
+        }
+    }
+
+    fn cached_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.cached_bytes()).sum()
+    }
+}

@@ -1,0 +1,234 @@
+//! Fully-connected layer — the workload of the paper's Fig. 1.
+
+use crate::layer::Layer;
+use crate::param::Parameter;
+use tensor::gemm::{matmul_nt, matmul_tn, sgemm};
+use tensor::Tensor;
+
+/// Affine map `y = x · Wᵀ + b`, weights stored `[out_features, in_features]`
+/// (the PyTorch convention the paper's FC benchmark uses).
+pub struct Linear {
+    weight: Parameter,
+    bias: Option<Parameter>,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Kaiming-uniform initialized layer.
+    pub fn new(in_features: usize, out_features: usize, bias: bool, seed: u64) -> Linear {
+        let weight = Parameter::new(
+            "linear.weight",
+            Tensor::kaiming_uniform(&[out_features, in_features], seed),
+        );
+        let bias = bias.then(|| Parameter::new("linear.bias", Tensor::zeros(&[out_features])));
+        Linear {
+            weight,
+            bias,
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Builds a layer from explicit weights (tests, pruning experiments).
+    pub fn from_weights(weight: Tensor, bias: Option<Tensor>) -> Linear {
+        assert_eq!(weight.shape().len(), 2);
+        let out_features = weight.shape()[0];
+        let in_features = weight.shape()[1];
+        if let Some(b) = &bias {
+            assert_eq!(b.numel(), out_features);
+        }
+        Linear {
+            weight: Parameter::new("linear.weight", weight),
+            bias: bias.map(|b| Parameter::new("linear.bias", b)),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output dimensionality.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Direct access to the weight parameter (pruning hooks).
+    pub fn weight_mut(&mut self) -> &mut Parameter {
+        &mut self.weight
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let batch = x.rows();
+        assert_eq!(
+            x.cols(),
+            self.in_features,
+            "linear expected {} input features, got {}",
+            self.in_features,
+            x.cols()
+        );
+        let mut y = Tensor::zeros(&[batch, self.out_features]);
+        // y = x (batch×in) · Wᵀ (in×out)
+        matmul_nt(
+            batch,
+            self.out_features,
+            self.in_features,
+            x.as_slice(),
+            self.weight.value.as_slice(),
+            y.as_mut_slice(),
+        );
+        if let Some(b) = &self.bias {
+            let bs = b.value.as_slice();
+            for row in y.as_mut_slice().chunks_mut(self.out_features) {
+                for (v, &bv) in row.iter_mut().zip(bs) {
+                    *v += bv;
+                }
+            }
+        }
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward called before forward");
+        let batch = x.rows();
+        assert_eq!(dy.rows(), batch);
+        assert_eq!(dy.cols(), self.out_features);
+
+        // dW += dyᵀ · x  (out×batch · batch×in = out×in)
+        let mut dw = vec![0.0f32; self.out_features * self.in_features];
+        matmul_tn(
+            self.out_features,
+            self.in_features,
+            batch,
+            dy.as_slice(),
+            x.as_slice(),
+            &mut dw,
+        );
+        self.weight.accumulate_grad(&dw);
+
+        if let Some(b) = &mut self.bias {
+            let gb = b.grad.as_mut_slice();
+            for row in dy.as_slice().chunks(self.out_features) {
+                for (g, &d) in gb.iter_mut().zip(row) {
+                    *g += d;
+                }
+            }
+        }
+
+        // dx = dy · W  (batch×out · out×in)
+        let mut dx = Tensor::zeros(&[batch, self.in_features]);
+        sgemm(
+            false,
+            false,
+            batch,
+            self.in_features,
+            self.out_features,
+            1.0,
+            dy.as_slice(),
+            self.out_features,
+            self.weight.value.as_slice(),
+            self.in_features,
+            0.0,
+            dx.as_mut_slice(),
+            self.in_features,
+        );
+        dx
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        let mut v = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut v = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn clear_caches(&mut self) {
+        self.cached_input = None;
+    }
+
+    fn cached_bytes(&self) -> usize {
+        self.cached_input.as_ref().map_or(0, |t| t.numel() * 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        // W = [[1, 2], [3, 4]], b = [10, 20], x = [1, 1]
+        let w = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[2], vec![10.0, 20.0]);
+        let mut l = Linear::from_weights(w, Some(b));
+        let y = l.forward(&Tensor::from_vec(&[1, 2], vec![1.0, 1.0]));
+        assert_eq!(y.as_slice(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn backward_shapes_and_grads() {
+        let w = Tensor::from_vec(&[2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        let mut l = Linear::from_weights(w, Some(Tensor::zeros(&[2])));
+        let x = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let _y = l.forward(&x);
+        let dy = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let dx = l.backward(&dy);
+        assert_eq!(dx.shape(), &[2, 3]);
+        // dx = dy · W: row0 = W row0 = [1,0,0]; row1 = W row1 = [0,1,0]
+        assert_eq!(dx.as_slice(), &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        // dW = dyᵀ x = [[1,2,3],[4,5,6]]
+        assert_eq!(l.weight.grad.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // db = column sums of dy = [1, 1]
+        assert_eq!(l.params()[1].grad.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_across_steps() {
+        let w = Tensor::from_vec(&[1, 1], vec![2.0]);
+        let mut l = Linear::from_weights(w, None);
+        for _ in 0..3 {
+            let x = Tensor::from_vec(&[1, 1], vec![1.0]);
+            l.forward(&x);
+            l.backward(&Tensor::from_vec(&[1, 1], vec![1.0]));
+        }
+        assert_eq!(l.weight.grad.as_slice(), &[3.0]);
+        l.zero_grad();
+        assert_eq!(l.weight.grad.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut l = Linear::new(2, 2, false, 0);
+        l.backward(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn param_count() {
+        let l = Linear::new(10, 5, true, 0);
+        assert_eq!(l.num_params(), 55);
+        let l2 = Linear::new(10, 5, false, 0);
+        assert_eq!(l2.num_params(), 50);
+    }
+}

@@ -1,0 +1,170 @@
+//! Layer normalization (Ba et al.) — used by every transformer block.
+
+use crate::layer::Layer;
+use crate::param::Parameter;
+use tensor::Tensor;
+
+/// Normalizes each row (last dimension) to zero mean / unit variance,
+/// then applies a learned affine transform `γ ⊙ x̂ + β`.
+pub struct LayerNorm {
+    gamma: Parameter,
+    beta: Parameter,
+    dim: usize,
+    eps: f32,
+    /// Cached normalized input and per-row inverse std from forward.
+    cache: Option<(Tensor, Vec<f32>)>,
+}
+
+impl LayerNorm {
+    /// Creates a LayerNorm over the trailing dimension of size `dim`.
+    pub fn new(dim: usize) -> LayerNorm {
+        LayerNorm {
+            gamma: Parameter::new("ln.gamma", Tensor::full(&[dim], 1.0)),
+            beta: Parameter::new("ln.beta", Tensor::zeros(&[dim])),
+            dim,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// The normalized dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols(), self.dim, "layernorm dim mismatch");
+        let rows = x.rows();
+        let d = self.dim;
+        let mut xhat = Tensor::zeros(&[rows, d]);
+        let mut inv_std = vec![0.0f32; rows];
+        let gs = self.gamma.value.as_slice();
+        let bs = self.beta.value.as_slice();
+        let mut y = Tensor::zeros(x.shape());
+        for r in 0..rows {
+            let xr = &x.as_slice()[r * d..(r + 1) * d];
+            let mean = xr.iter().sum::<f32>() / d as f32;
+            let var = xr.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std[r] = istd;
+            let xh = &mut xhat.as_mut_slice()[r * d..(r + 1) * d];
+            let yr = &mut y.as_mut_slice()[r * d..(r + 1) * d];
+            for j in 0..d {
+                xh[j] = (xr[j] - mean) * istd;
+                yr[j] = gs[j] * xh[j] + bs[j];
+            }
+        }
+        self.cache = Some((xhat, inv_std));
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (xhat, inv_std) = self.cache.take().expect("backward before forward");
+        let rows = dy.rows();
+        let d = self.dim;
+        assert_eq!(dy.cols(), d);
+        let gs = self.gamma.value.as_slice();
+        let dgamma = self.gamma.grad.as_mut_slice();
+        let dbeta = self.beta.grad.as_mut_slice();
+        let mut dx = Tensor::zeros(dy.shape());
+        for r in 0..rows {
+            let dyr = &dy.as_slice()[r * d..(r + 1) * d];
+            let xh = &xhat.as_slice()[r * d..(r + 1) * d];
+            // Parameter grads.
+            for j in 0..d {
+                dgamma[j] += dyr[j] * xh[j];
+                dbeta[j] += dyr[j];
+            }
+            // dxhat = dy * gamma; then the standard layernorm input grad:
+            // dx = (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat)) * inv_std
+            let mut sum_dxh = 0.0f32;
+            let mut sum_dxh_xh = 0.0f32;
+            for j in 0..d {
+                let dxh = dyr[j] * gs[j];
+                sum_dxh += dxh;
+                sum_dxh_xh += dxh * xh[j];
+            }
+            let m1 = sum_dxh / d as f32;
+            let m2 = sum_dxh_xh / d as f32;
+            let dxr = &mut dx.as_mut_slice()[r * d..(r + 1) * d];
+            for j in 0..d {
+                let dxh = dyr[j] * gs[j];
+                dxr[j] = (dxh - m1 - xh[j] * m2) * inv_std[r];
+            }
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn clear_caches(&mut self) {
+        self.cache = None;
+    }
+
+    fn cached_bytes(&self) -> usize {
+        self.cache
+            .as_ref()
+            .map_or(0, |(xhat, istd)| xhat.numel() * 4 + istd.len() * 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_normalized() {
+        let mut ln = LayerNorm::new(8);
+        let x = Tensor::from_vec(&[2, 8], (0..16).map(|i| i as f32).collect());
+        let y = ln.forward(&x);
+        for row in y.as_slice().chunks(8) {
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn affine_params_apply() {
+        let mut ln = LayerNorm::new(2);
+        ln.gamma.value.as_mut_slice().copy_from_slice(&[2.0, 2.0]);
+        ln.beta.value.as_mut_slice().copy_from_slice(&[1.0, 1.0]);
+        let x = Tensor::from_vec(&[1, 2], vec![-1.0, 1.0]);
+        let y = ln.forward(&x);
+        // xhat = [-1, 1] (for eps≈0) -> y = [-1*2+1, 1*2+1] = [-1, 3]
+        assert!((y.as_slice()[0] + 1.0).abs() < 1e-2);
+        assert!((y.as_slice()[1] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn constant_row_is_stable() {
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::full(&[1, 4], 5.0);
+        let y = ln.forward(&x);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        assert!(y.as_slice().iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn grads_flow() {
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(&[1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        ln.forward(&x);
+        let dx = ln.backward(&Tensor::full(&[1, 4], 1.0));
+        assert_eq!(dx.shape(), &[1, 4]);
+        // dbeta = sum dy = 1 each.
+        assert_eq!(ln.beta.grad.as_slice(), &[1.0; 4]);
+        // Input grad of a row-wise normalizer sums to ~0.
+        let s: f32 = dx.as_slice().iter().sum();
+        assert!(s.abs() < 1e-5);
+    }
+}

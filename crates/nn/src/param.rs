@@ -1,0 +1,64 @@
+//! Trainable parameters.
+
+use tensor::Tensor;
+
+/// A trainable tensor together with its gradient accumulator.
+#[derive(Clone, Debug)]
+pub struct Parameter {
+    /// Human-readable identifier (e.g. `"blocks.0.attn.qkv.weight"`).
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient of the loss w.r.t. `value`; accumulated by `backward`.
+    pub grad: Tensor,
+}
+
+impl Parameter {
+    /// Creates a parameter with a zeroed gradient of the same shape.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Parameter {
+        let grad = Tensor::zeros(value.shape());
+        Parameter {
+            name: name.into(),
+            value,
+            grad,
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Accumulates `delta` into the gradient.
+    pub fn accumulate_grad(&mut self, delta: &[f32]) {
+        tensor::ops::axpy(1.0, delta, self.grad.as_mut_slice());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_parameter_has_zero_grad() {
+        let p = Parameter::new("w", Tensor::full(&[2, 3], 1.5));
+        assert_eq!(p.numel(), 6);
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert_eq!(p.grad.shape(), p.value.shape());
+    }
+
+    #[test]
+    fn grad_accumulates_and_clears() {
+        let mut p = Parameter::new("w", Tensor::zeros(&[4]));
+        p.accumulate_grad(&[1.0, 2.0, 3.0, 4.0]);
+        p.accumulate_grad(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(p.grad.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,220 @@
+//! Spatial pooling layers for the CNN substrate.
+
+use crate::layer::Layer;
+use crate::param::Parameter;
+use tensor::Tensor;
+
+/// Max pooling over `[B, C, H, W]` with square windows and stride equal
+/// to the window size (the VGG configuration).
+pub struct MaxPool2d {
+    window: usize,
+    /// Flat index (into the input) of the argmax for each output cell.
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
+}
+
+impl MaxPool2d {
+    /// Creates a pool with `window × window` non-overlapping windows.
+    pub fn new(window: usize) -> MaxPool2d {
+        assert!(window >= 1);
+        MaxPool2d {
+            window,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "pool expects [B, C, H, W]");
+        let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let k = self.window;
+        assert!(h % k == 0 && w % k == 0, "input not divisible by window");
+        let (oh, ow) = (h / k, w / k);
+
+        let mut y = Tensor::zeros(&[b, c, oh, ow]);
+        let mut argmax = vec![0usize; b * c * oh * ow];
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        for bi in 0..b {
+            for ch in 0..c {
+                let in_base = (bi * c + ch) * h * w;
+                let out_base = (bi * c + ch) * oh * ow;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for di in 0..k {
+                            for dj in 0..k {
+                                let idx = in_base + (oi * k + di) * w + (oj * k + dj);
+                                if xs[idx] > best {
+                                    best = xs[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        ys[out_base + oi * ow + oj] = best;
+                        argmax[out_base + oi * ow + oj] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cache = Some((argmax, shape.to_vec()));
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (argmax, in_shape) = self.cache.take().expect("backward before forward");
+        assert_eq!(dy.numel(), argmax.len());
+        let mut dx = Tensor::zeros(&in_shape);
+        let dxs = dx.as_mut_slice();
+        for (out_idx, &in_idx) in argmax.iter().enumerate() {
+            dxs[in_idx] += dy.as_slice()[out_idx];
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        vec![]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![]
+    }
+
+    fn clear_caches(&mut self) {
+        self.cache = None;
+    }
+
+    fn cached_bytes(&self) -> usize {
+        self.cache
+            .as_ref()
+            .map_or(0, |(argmax, _)| argmax.len() * std::mem::size_of::<usize>())
+    }
+}
+
+/// Global average pooling `[B, C, H, W] → [B, C]` (classifier heads of
+/// ResNet-style models).
+pub struct GlobalAvgPool {
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates the pooling layer.
+    pub fn new() -> GlobalAvgPool {
+        GlobalAvgPool { cache_shape: None }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4);
+        let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let spatial = (h * w) as f32;
+        let mut y = Tensor::zeros(&[b, c]);
+        for bi in 0..b {
+            for ch in 0..c {
+                let base = (bi * c + ch) * h * w;
+                let sum: f32 = x.as_slice()[base..base + h * w].iter().sum();
+                y.as_mut_slice()[bi * c + ch] = sum / spatial;
+            }
+        }
+        self.cache_shape = Some(shape.to_vec());
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let shape = self.cache_shape.take().expect("backward before forward");
+        let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let inv = 1.0 / (h * w) as f32;
+        let mut dx = Tensor::zeros(&shape);
+        for bi in 0..b {
+            for ch in 0..c {
+                let g = dy.as_slice()[bi * c + ch] * inv;
+                let base = (bi * c + ch) * h * w;
+                for v in &mut dx.as_mut_slice()[base..base + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        vec![]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_max() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        );
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 9.0, 3.0, 2.0]);
+        pool.forward(&x);
+        let dx = pool.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![5.0]));
+        assert_eq!(dx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn maxpool_rejects_ragged_input() {
+        let mut pool = MaxPool2d::new(2);
+        pool.forward(&Tensor::zeros(&[1, 1, 3, 4]));
+    }
+
+    #[test]
+    fn avgpool_forward_backward() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::from_vec(&[1, 2, 1, 2], vec![2.0, 4.0, 10.0, 20.0]);
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[3.0, 15.0]);
+        let dx = pool.backward(&Tensor::from_vec(&[1, 2], vec![2.0, 4.0]));
+        assert_eq!(dx.as_slice(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn maxpool_gradcheck_away_from_ties() {
+        // Gradcheck only valid where the argmax is stable; use distinct
+        // values.
+        let mut pool = MaxPool2d::new(2);
+        let mut x = Tensor::randn(&[2, 2, 4, 4], 1.0, 9);
+        // De-tie by adding a unique ramp.
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            *v += i as f32 * 1e-3;
+        }
+        let report = crate::gradcheck::check_layer(&mut pool, &x, 1e-4, 32);
+        assert!(report.passes(2e-2), "{report:?}");
+    }
+}

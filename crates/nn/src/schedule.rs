@@ -1,0 +1,179 @@
+//! Learning-rate schedules and gradient clipping — the paper trains with
+//! "the same hyperparameters (batch size, sequence length, learning rate
+//! schedules, gradient clipping, l2 regularization and optimizer
+//! hyperparameters) as used by the authors" (Sec. V-A), i.e. GPT-style
+//! linear warmup + cosine decay, and global-norm clipping.
+
+/// A learning-rate schedule: maps a step index to a multiplier of the
+/// base learning rate.
+pub trait LrSchedule {
+    /// Learning rate at `step` given `base_lr`.
+    fn lr(&self, step: u64, base_lr: f32) -> f32;
+}
+
+/// Constant learning rate.
+pub struct Constant;
+
+impl LrSchedule for Constant {
+    fn lr(&self, _step: u64, base_lr: f32) -> f32 {
+        base_lr
+    }
+}
+
+/// Linear warmup to `base_lr` over `warmup` steps, then cosine decay to
+/// `min_ratio · base_lr` at `total` steps (GPT-3's schedule).
+pub struct WarmupCosine {
+    pub warmup: u64,
+    pub total: u64,
+    pub min_ratio: f32,
+}
+
+impl WarmupCosine {
+    /// Standard GPT-style schedule decaying to 10% of base.
+    pub fn new(warmup: u64, total: u64) -> WarmupCosine {
+        assert!(warmup < total, "warmup must precede decay");
+        WarmupCosine {
+            warmup,
+            total,
+            min_ratio: 0.1,
+        }
+    }
+}
+
+impl LrSchedule for WarmupCosine {
+    fn lr(&self, step: u64, base_lr: f32) -> f32 {
+        if step < self.warmup {
+            // Linear ramp, starting at 1/warmup (never exactly zero).
+            return base_lr * (step + 1) as f32 / self.warmup as f32;
+        }
+        if step >= self.total {
+            return base_lr * self.min_ratio;
+        }
+        let progress = (step - self.warmup) as f32 / (self.total - self.warmup) as f32;
+        let cosine = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+        base_lr * (self.min_ratio + (1.0 - self.min_ratio) * cosine)
+    }
+}
+
+/// Step decay: multiply by `gamma` every `every` steps (the classic CNN
+/// schedule used for VGG-style training).
+pub struct StepDecay {
+    pub every: u64,
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepDecay {
+    fn lr(&self, step: u64, base_lr: f32) -> f32 {
+        base_lr * self.gamma.powi((step / self.every) as i32)
+    }
+}
+
+/// Clips a set of gradient slices to a maximum *global* L2 norm,
+/// returning the pre-clip norm. This is the `clip_grad_norm` used by
+/// GPT-3 training (max norm 1.0).
+pub fn clip_grad_norm(grads: &mut [&mut [f32]], max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    for g in grads.iter() {
+        for &v in g.iter() {
+            sq += (v as f64) * (v as f64);
+        }
+    }
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            for v in g.iter_mut() {
+                *v *= scale;
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = WarmupCosine::new(10, 100);
+        assert!((s.lr(0, 1.0) - 0.1).abs() < 1e-6);
+        assert!((s.lr(4, 1.0) - 0.5).abs() < 1e-6);
+        assert!((s.lr(9, 1.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_decays_to_min() {
+        let s = WarmupCosine::new(10, 110);
+        let peak = s.lr(10, 1.0);
+        assert!((peak - 1.0).abs() < 1e-6);
+        // Midpoint of decay: (0.1 + 0.9*0.5) = 0.55.
+        let mid = s.lr(60, 1.0);
+        assert!((mid - 0.55).abs() < 1e-3, "mid {mid}");
+        let end = s.lr(110, 1.0);
+        assert!((end - 0.1).abs() < 1e-6);
+        // Beyond total: stays at floor.
+        assert_eq!(s.lr(1000, 1.0), s.lr(110, 1.0));
+    }
+
+    #[test]
+    fn schedule_is_monotone_after_warmup() {
+        let s = WarmupCosine::new(5, 50);
+        let mut prev = f32::MAX;
+        for step in 5..50 {
+            let lr = s.lr(step, 1.0);
+            assert!(lr <= prev + 1e-7, "step {step}: {lr} > {prev}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn step_decay() {
+        let s = StepDecay { every: 30, gamma: 0.1 };
+        assert_eq!(s.lr(0, 1.0), 1.0);
+        assert_eq!(s.lr(29, 1.0), 1.0);
+        assert!((s.lr(30, 1.0) - 0.1).abs() < 1e-7);
+        assert!((s.lr(65, 1.0) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        assert_eq!(Constant.lr(0, 0.3), 0.3);
+        assert_eq!(Constant.lr(999, 0.3), 0.3);
+    }
+
+    #[test]
+    fn clipping_preserves_direction_and_caps_norm() {
+        let mut a = vec![3.0f32, 0.0];
+        let mut b = vec![0.0f32, 4.0];
+        let pre = {
+            let mut grads: Vec<&mut [f32]> = vec![&mut a, &mut b];
+            clip_grad_norm(&mut grads, 1.0)
+        };
+        assert!((pre - 5.0).abs() < 1e-6);
+        // Post-clip global norm is 1; direction preserved.
+        let post = (a[0] * a[0] + b[1] * b[1]).sqrt();
+        assert!((post - 1.0).abs() < 1e-6);
+        assert!((a[0] / 0.6 - 1.0).abs() < 1e-5);
+        assert!((b[1] / 0.8 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clipping_leaves_small_grads_alone() {
+        let mut a = vec![0.1f32, 0.2];
+        let before = a.clone();
+        let mut grads: Vec<&mut [f32]> = vec![&mut a];
+        let pre = clip_grad_norm(&mut grads, 1.0);
+        assert!(pre < 1.0);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn clipping_handles_zero_gradient() {
+        let mut a = vec![0.0f32; 4];
+        let mut grads: Vec<&mut [f32]> = vec![&mut a];
+        let pre = clip_grad_norm(&mut grads, 1.0);
+        assert_eq!(pre, 0.0);
+        assert!(a.iter().all(|&v| v == 0.0));
+    }
+}

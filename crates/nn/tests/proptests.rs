@@ -1,0 +1,147 @@
+//! Property-based tests across the nn crate: loss identities, optimizer
+//! invariants, and gradient checks over randomly composed networks.
+
+use nn::gradcheck::check_layer;
+use nn::layer::{Layer, Sequential};
+use nn::linear::Linear;
+use nn::loss::cross_entropy;
+use nn::optim::{adam_step, sgd_step, AdamConfig, AdamState, SgdConfig, SgdState};
+use proptest::prelude::*;
+use tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cross-entropy from logits: loss ≥ 0, each gradient row sums to 0,
+    /// the target coordinate's gradient is negative, and shifting all
+    /// logits by a constant changes nothing (softmax invariance).
+    #[test]
+    fn cross_entropy_identities(
+        rows in 1usize..6,
+        vocab in 2usize..12,
+        shift in -50.0f32..50.0,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let logits: Vec<f32> = (0..rows * vocab).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let targets: Vec<usize> = (0..rows).map(|_| rng.gen_range(0..vocab)).collect();
+        let t = Tensor::from_vec(&[rows, vocab], logits.clone());
+        let (loss, grad) = cross_entropy(&t, &targets);
+        prop_assert!(loss >= 0.0);
+        for (r, row) in grad.as_slice().chunks(vocab).enumerate() {
+            let s: f32 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} sums to {s}");
+            prop_assert!(row[targets[r]] <= 0.0, "target grad must be ≤ 0");
+        }
+        // Shift invariance.
+        let shifted: Vec<f32> = logits.iter().map(|v| v + shift).collect();
+        let (loss2, _) = cross_entropy(&Tensor::from_vec(&[rows, vocab], shifted), &targets);
+        prop_assert!((loss - loss2).abs() < 1e-3 * (1.0 + loss.abs()), "{loss} vs {loss2}");
+    }
+
+    /// Adam is scale-equivariant in a useful sense: with zero gradients
+    /// and no decay, parameters never move; and a step never produces
+    /// non-finite parameters from finite inputs.
+    #[test]
+    fn adam_stability(
+        params in proptest::collection::vec(-10.0f32..10.0, 1..64),
+        grads in proptest::collection::vec(-10.0f32..10.0, 1..64),
+        lr in 1e-5f32..0.5,
+    ) {
+        let n = params.len().min(grads.len());
+        let cfg = AdamConfig { lr, ..Default::default() };
+        let mut st = AdamState::new(n);
+        let mut p = params[..n].to_vec();
+        adam_step(&cfg, &mut st, &mut p, &grads[..n]);
+        prop_assert!(p.iter().all(|v| v.is_finite()));
+        // First-step move is bounded by ~lr per coordinate (bias-corrected
+        // Adam's signature property).
+        for (before, after) in params[..n].iter().zip(&p) {
+            prop_assert!((before - after).abs() <= lr * 1.01 + 1e-7);
+        }
+
+        // Zero gradient, zero decay: frozen.
+        let mut st2 = AdamState::new(n);
+        let mut q = params[..n].to_vec();
+        adam_step(&cfg, &mut st2, &mut q, &vec![0.0; n]);
+        prop_assert_eq!(&q, &params[..n].to_vec());
+    }
+
+    /// SGD with momentum 0 and decay 0 is exactly `p -= lr·g`.
+    #[test]
+    fn sgd_plain_step_exact(
+        params in proptest::collection::vec(-10.0f32..10.0, 1..64),
+        lr in 1e-4f32..1.0,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = params.len();
+        let grads: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let cfg = SgdConfig { lr, momentum: 0.0, weight_decay: 0.0 };
+        let mut st = SgdState::new(n);
+        let mut p = params.clone();
+        sgd_step(&cfg, &mut st, &mut p, &grads);
+        for i in 0..n {
+            prop_assert!((p[i] - (params[i] - lr * grads[i])).abs() < 1e-6);
+        }
+    }
+
+    /// Randomly composed MLPs pass the finite-difference gradient check.
+    #[test]
+    fn random_mlp_gradcheck(
+        depth in 1usize..4,
+        width in 4usize..10, // LayerNorm over <4 dims is too stiff for FD
+        use_norm in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut model = Sequential::new();
+        let mut dim = 5usize;
+        for layer_i in 0..depth {
+            let next = width;
+            model = model.push(Linear::new(dim, next, true, seed.wrapping_add(layer_i as u64)));
+            model = model.push(nn::activations::Gelu::new());
+            if use_norm {
+                model = model.push(nn::norm::LayerNorm::new(next));
+            }
+            dim = next;
+        }
+        let mut model = model;
+        let x = Tensor::randn(&[3, 5], 0.8, seed ^ 0x55);
+        let report = check_layer(&mut model, &x, 3e-3, 24);
+        prop_assert!(report.passes(5e-2), "{report:?}");
+    }
+
+    /// Gradient accumulation: two backward passes accumulate to the sum
+    /// of individual gradients.
+    #[test]
+    fn gradients_accumulate_additively(seed in any::<u64>()) {
+        let mk = || Linear::new(4, 3, true, seed);
+        let x1 = Tensor::randn(&[2, 4], 1.0, seed ^ 1);
+        let x2 = Tensor::randn(&[2, 4], 1.0, seed ^ 2);
+        let dy1 = Tensor::randn(&[2, 3], 1.0, seed ^ 3);
+        let dy2 = Tensor::randn(&[2, 3], 1.0, seed ^ 4);
+
+        let mut both = mk();
+        both.forward(&x1);
+        both.backward(&dy1);
+        both.forward(&x2);
+        both.backward(&dy2);
+
+        let mut only1 = mk();
+        only1.forward(&x1);
+        only1.backward(&dy1);
+        let mut only2 = mk();
+        only2.forward(&x2);
+        only2.backward(&dy2);
+
+        for ((pb, p1), p2) in both.params().iter().zip(only1.params()).zip(only2.params()) {
+            for i in 0..pb.numel() {
+                let want = p1.grad.as_slice()[i] + p2.grad.as_slice()[i];
+                let got = pb.grad.as_slice()[i];
+                prop_assert!((got - want).abs() < 1e-4 * (1.0 + want.abs()));
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Iterative magnitude pruning — the original lottery-ticket procedure
+//! (Frankle & Carbin, ICLR 2019): repeatedly train, prune a fraction of
+//! the *remaining* weights by magnitude, and rewind.
+//!
+//! SAMO consumes whatever mask the pruning oracle emits; this module
+//! provides the IMP schedule so the reproduction covers the LTH
+//! literature the paper builds on (its references 3 and 8).
+
+use crate::algorithms::magnitude_prune;
+use crate::mask::Mask;
+
+/// State of an iterative magnitude pruning run.
+///
+/// At each round, [`IterativePruner::prune_round`] removes
+/// `per_round_fraction` of the *currently surviving* weights, converging
+/// geometrically towards `target_sparsity`.
+pub struct IterativePruner {
+    shape: Vec<usize>,
+    target_sparsity: f64,
+    per_round_fraction: f64,
+    current: Mask,
+    rounds_done: usize,
+}
+
+impl IterativePruner {
+    /// Standard LTH schedule: prune 20% of survivors per round.
+    pub fn new(shape: &[usize], target_sparsity: f64) -> IterativePruner {
+        IterativePruner::with_rate(shape, target_sparsity, 0.2)
+    }
+
+    /// Custom per-round pruning rate in (0, 1).
+    pub fn with_rate(shape: &[usize], target_sparsity: f64, rate: f64) -> IterativePruner {
+        assert!((0.0..=1.0).contains(&target_sparsity));
+        assert!(rate > 0.0 && rate < 1.0);
+        IterativePruner {
+            shape: shape.to_vec(),
+            target_sparsity,
+            per_round_fraction: rate,
+            current: Mask::dense(shape),
+            rounds_done: 0,
+        }
+    }
+
+    /// The mask after the rounds performed so far.
+    pub fn mask(&self) -> &Mask {
+        &self.current
+    }
+
+    /// Rounds performed.
+    pub fn rounds_done(&self) -> usize {
+        self.rounds_done
+    }
+
+    /// True once the target has been reached: the kept count is down to
+    /// `round((1 − target) · numel)` (count-based, so float rounding of
+    /// the target cannot strand the schedule one weight short).
+    pub fn is_done(&self) -> bool {
+        let min_keep =
+            ((1.0 - self.target_sparsity) * self.current.numel() as f64).round() as usize;
+        self.current.nnz() <= min_keep
+    }
+
+    /// Number of rounds the geometric schedule needs from scratch.
+    pub fn rounds_needed(&self) -> usize {
+        // After k rounds, density = (1 - rate)^k; solve for density ≤
+        // 1 - target.
+        let keep_target = 1.0 - self.target_sparsity;
+        if keep_target <= 0.0 {
+            return usize::MAX;
+        }
+        (keep_target.ln() / (1.0 - self.per_round_fraction).ln()).ceil() as usize
+    }
+
+    /// Performs one pruning round given the current (trained) weights:
+    /// among the *surviving* positions, the smallest-magnitude
+    /// `per_round_fraction` are additionally pruned (never resurrecting
+    /// pruned weights). Returns the new mask.
+    pub fn prune_round(&mut self, weights: &[f32]) -> Mask {
+        let numel: usize = self.shape.iter().product();
+        assert_eq!(weights.len(), numel);
+        if self.is_done() {
+            return self.current.clone();
+        }
+        let survivors = self.current.nnz();
+        // Kill per_round_fraction of survivors, but never past target.
+        // `floor` (not `round`): rounding up every round can make the
+        // geometric decay fall short of `rounds_needed`; flooring keeps
+        // the kept count ≤ numel·(1−rate)^k, which guarantees arrival.
+        let min_keep = ((1.0 - self.target_sparsity) * numel as f64).round() as usize;
+        let keep = ((survivors as f64) * (1.0 - self.per_round_fraction)).floor() as usize;
+        let keep = keep.max(min_keep);
+
+        // Rank only surviving positions by |w|.
+        let mut surviving: Vec<u32> = self.current.indices().as_slice().to_vec();
+        surviving.sort_by(|&a, &b| {
+            weights[b as usize]
+                .abs()
+                .partial_cmp(&weights[a as usize].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut kept: Vec<u32> = surviving[..keep.min(surviving.len())].to_vec();
+        kept.sort_unstable();
+        self.current = Mask::new(&self.shape, kept);
+        self.rounds_done += 1;
+        self.current.clone()
+    }
+}
+
+/// One-shot pruning at the same final sparsity, for comparison with the
+/// iterative schedule (the LTH paper's ablation).
+pub fn one_shot_prune(weights: &[f32], shape: &[usize], sparsity: f64) -> Mask {
+    magnitude_prune(weights, shape, sparsity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i + 1) as f32).collect()
+    }
+
+    #[test]
+    fn geometric_schedule_reaches_target() {
+        let w = ramp(1000);
+        let mut p = IterativePruner::new(&[1000], 0.9);
+        let needed = p.rounds_needed();
+        assert_eq!(needed, 11, "log(0.1)/log(0.8) ≈ 10.3 → 11 rounds");
+        for _ in 0..needed {
+            p.prune_round(&w);
+        }
+        assert!(p.is_done());
+        assert_eq!(p.mask().nnz(), 100);
+    }
+
+    #[test]
+    fn each_round_prunes_twenty_percent_of_survivors() {
+        let w = ramp(1000);
+        let mut p = IterativePruner::new(&[1000], 0.99);
+        p.prune_round(&w);
+        assert_eq!(p.mask().nnz(), 800);
+        p.prune_round(&w);
+        assert_eq!(p.mask().nnz(), 640);
+        p.prune_round(&w);
+        assert_eq!(p.mask().nnz(), 512);
+    }
+
+    #[test]
+    fn never_resurrects_pruned_weights() {
+        // Weight values change between rounds (training), but pruned
+        // positions stay pruned even if their (stale) magnitude is large.
+        let mut p = IterativePruner::with_rate(&[100], 0.9, 0.5);
+        let w1 = ramp(100); // prunes indices 0..49
+        p.prune_round(&w1);
+        let first = p.mask().clone();
+        assert_eq!(first.nnz(), 50);
+        // New weights where formerly-pruned index 0 is now huge.
+        let mut w2 = ramp(100);
+        w2[0] = 1e9;
+        p.prune_round(&w2);
+        let second = p.mask();
+        assert!(second.nnz() < first.nnz());
+        // Index 0 must remain pruned.
+        assert!(!second.to_bools()[0], "pruned weight resurrected");
+        // Monotone: second mask's kept set ⊆ first's.
+        let f = first.to_bools();
+        for (i, &kept) in second.to_bools().iter().enumerate() {
+            if kept {
+                assert!(f[i], "position {i} appeared from nowhere");
+            }
+        }
+    }
+
+    #[test]
+    fn stops_exactly_at_target() {
+        let w = ramp(64);
+        let mut p = IterativePruner::with_rate(&[64], 0.5, 0.4);
+        p.prune_round(&w); // 64 -> 38 (40% off), min_keep 32
+        p.prune_round(&w); // would be 23, clamped to 32
+        assert!(p.is_done());
+        assert_eq!(p.mask().nnz(), 32);
+        // Further rounds are no-ops.
+        let before = p.mask().clone();
+        p.prune_round(&w);
+        assert_eq!(p.mask(), &before);
+    }
+
+    #[test]
+    fn iterative_equals_one_shot_on_static_weights() {
+        // When weights never change, IMP and one-shot pick the same set
+        // (both are pure magnitude ranking).
+        let w = ramp(200);
+        let mut p = IterativePruner::new(&[200], 0.9);
+        for _ in 0..p.rounds_needed() {
+            p.prune_round(&w);
+        }
+        let one_shot = one_shot_prune(&w, &[200], 0.9);
+        assert_eq!(p.mask(), &one_shot);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for masks and pruning algorithms.
+
+use proptest::prelude::*;
+use prune::{magnitude_prune, random_prune, Mask};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Magnitude pruning keeps exactly the requested count, and every
+    /// kept weight's magnitude dominates every pruned weight's.
+    #[test]
+    fn magnitude_keeps_the_largest(
+        weights in proptest::collection::vec(-100.0f32..100.0, 1..300),
+        sparsity in 0.0f64..1.0,
+    ) {
+        let n = weights.len();
+        let mask = magnitude_prune(&weights, &[n], sparsity);
+        let expect = ((1.0 - sparsity) * n as f64).round() as usize;
+        prop_assert_eq!(mask.nnz(), expect);
+
+        let keep = mask.to_bools();
+        let min_kept = (0..n)
+            .filter(|&i| keep[i])
+            .map(|i| weights[i].abs())
+            .fold(f32::INFINITY, f32::min);
+        let max_pruned = (0..n)
+            .filter(|&i| !keep[i])
+            .map(|i| weights[i].abs())
+            .fold(0.0f32, f32::max);
+        if mask.nnz() > 0 && mask.nnz() < n {
+            prop_assert!(min_kept >= max_pruned, "{min_kept} < {max_pruned}");
+        }
+    }
+
+    /// Bool-vector round trip is the identity.
+    #[test]
+    fn bools_roundtrip(keep in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mask = Mask::from_bools(&[keep.len()], &keep);
+        prop_assert_eq!(mask.to_bools(), keep.clone());
+        prop_assert_eq!(mask.nnz(), keep.iter().filter(|&&k| k).count());
+    }
+
+    /// apply() zeroes exactly the pruned positions and preserves kept
+    /// values bit-for-bit.
+    #[test]
+    fn apply_matches_semantics(
+        weights in proptest::collection::vec(-10.0f32..10.0, 1..200),
+        sparsity in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let n = weights.len();
+        let mask = random_prune(&[n], sparsity, seed);
+        let keep = mask.to_bools();
+        let mut applied = weights.clone();
+        mask.apply(&mut applied);
+        for i in 0..n {
+            if keep[i] {
+                prop_assert_eq!(applied[i], weights[i]);
+            } else {
+                prop_assert_eq!(applied[i], 0.0);
+            }
+        }
+    }
+
+    /// Hamming distance is a metric: symmetric, zero iff equal, and
+    /// satisfies the triangle inequality.
+    #[test]
+    fn hamming_is_a_metric(
+        n in 1usize..100,
+        s1 in 0.0f64..1.0,
+        s2 in 0.0f64..1.0,
+        s3 in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let a = random_prune(&[n], s1, seed);
+        let b = random_prune(&[n], s2, seed ^ 1);
+        let c = random_prune(&[n], s3, seed ^ 2);
+        prop_assert_eq!(a.hamming_distance(&b), b.hamming_distance(&a));
+        prop_assert_eq!(a.hamming_distance(&a), 0);
+        if a.hamming_distance(&b) == 0 {
+            prop_assert_eq!(a.indices().as_slice(), b.indices().as_slice());
+        }
+        prop_assert!(
+            a.hamming_distance(&c) <= a.hamming_distance(&b) + b.hamming_distance(&c)
+        );
+    }
+
+    /// Iterative pruning is monotone (kept sets shrink) and hits its
+    /// geometric schedule regardless of the weights seen per round.
+    #[test]
+    fn iterative_pruning_monotone(
+        n in 20usize..200,
+        target in 0.3f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pruner = prune::IterativePruner::new(&[n], target);
+        let mut prev = pruner.mask().clone();
+        for _ in 0..pruner.rounds_needed() {
+            let weights: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let mask = pruner.prune_round(&weights);
+            // Kept set is a subset of the previous round's.
+            let prev_keep = prev.to_bools();
+            for (i, &k) in mask.to_bools().iter().enumerate() {
+                prop_assert!(!k || prev_keep[i], "resurrected {i}");
+            }
+            prev = mask;
+        }
+        prop_assert!(pruner.is_done());
+        let min_keep = ((1.0 - target) * n as f64).round() as usize;
+        prop_assert_eq!(pruner.mask().nnz(), min_keep.max(1).max(min_keep));
+    }
+
+    /// Block pruning always produces block-coherent masks.
+    #[test]
+    fn block_masks_are_coherent(
+        brows in 1usize..8,
+        bcols in 1usize..8,
+        sparsity in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let block = 4usize;
+        let (rows, cols) = (brows * block, bcols * block);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mask = prune::block_prune(&w, rows, cols, block, sparsity);
+        let coherence = prune::structured::block_coherence(&mask, rows, cols, block);
+        prop_assert!((coherence - 1.0).abs() < 1e-12);
+        prop_assert_eq!(mask.nnz() % (block * block), 0);
+    }
+}

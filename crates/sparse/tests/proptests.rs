@@ -1,0 +1,116 @@
+//! Property-based tests for sparse formats and kernels.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use sparse::formats::{random_sparse, Coo, Csr};
+use sparse::kernels::{sddmm, spmm, spmm_reference, spmm_row_split};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dense -> COO -> dense is the identity.
+    #[test]
+    fn coo_dense_roundtrip(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        seed in any::<u64>(),
+        sparsity in 0.0f64..1.0,
+    ) {
+        let coo = random_sparse(rows, cols, sparsity, seed);
+        coo.validate().unwrap();
+        let dense = coo.to_dense();
+        let back = Coo::from_dense(&dense, rows, cols);
+        // `random_sparse` may generate explicit zeros with probability ~0;
+        // compare via dense form which is canonical.
+        prop_assert_eq!(back.to_dense(), dense);
+    }
+
+    /// COO <-> CSR conversions are mutually inverse.
+    #[test]
+    fn coo_csr_roundtrip(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        seed in any::<u64>(),
+        sparsity in 0.0f64..1.0,
+    ) {
+        let coo = random_sparse(rows, cols, sparsity, seed);
+        let csr = coo.to_csr();
+        csr.validate().unwrap();
+        prop_assert_eq!(csr.to_coo(), coo.clone());
+        prop_assert_eq!(csr.to_dense(), coo.to_dense());
+    }
+
+    /// Both spMM kernels agree with the sequential reference on random
+    /// sparsity patterns and arbitrary inner dimensions.
+    #[test]
+    fn spmm_kernels_agree(
+        m in 1usize..32,
+        k in 1usize..32,
+        n in 1usize..16,
+        sparsity in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let csr: Csr = random_sparse(m, k, sparsity, seed).to_csr();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+        let mut c_ref = vec![0.0f32; m * n];
+        spmm_reference(&csr, &b, n, &mut c_ref);
+
+        let mut c1 = vec![f32::NAN; m * n];
+        spmm(&csr, &b, n, &mut c1);
+        let mut c2 = vec![f32::NAN; m * n];
+        spmm_row_split(&csr, &b, n, &mut c2);
+
+        for i in 0..m * n {
+            prop_assert!((c1[i] - c_ref[i]).abs() < 1e-4 * (1.0 + c_ref[i].abs()));
+            prop_assert!((c2[i] - c_ref[i]).abs() < 1e-4 * (1.0 + c_ref[i].abs()));
+        }
+    }
+
+    /// sDDMM sampled at the full pattern equals the dense product A·Bᵀ.
+    #[test]
+    fn sddmm_full_pattern_is_dense_product(
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pattern = random_sparse(m, k, 0.0, seed).to_csr(); // fully dense pattern
+        let a: Vec<f32> = (0..m * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut out = vec![0.0f32; m * k];
+        sddmm(&pattern, &a, &b, n, &mut out);
+
+        let mut full = vec![0.0f32; m * k];
+        tensor::gemm::matmul_nt(m, k, n, &a, &b, &mut full);
+        for i in 0..m * k {
+            prop_assert!((out[i] - full[i]).abs() < 1e-4 * (1.0 + full[i].abs()));
+        }
+    }
+
+    /// spMM respects linearity in the sparse operand: doubling all stored
+    /// values doubles the output.
+    #[test]
+    fn spmm_linear_in_values(
+        m in 1usize..16,
+        k in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let n = 4;
+        let mut csr = random_sparse(m, k, 0.7, seed).to_csr();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1234);
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut c1 = vec![0.0f32; m * n];
+        spmm(&csr, &b, n, &mut c1);
+        for v in &mut csr.values {
+            *v *= 2.0;
+        }
+        let mut c2 = vec![0.0f32; m * n];
+        spmm(&csr, &b, n, &mut c2);
+        for i in 0..m * n {
+            prop_assert!((c2[i] - 2.0 * c1[i]).abs() < 1e-4 * (1.0 + c2[i].abs()));
+        }
+    }
+}

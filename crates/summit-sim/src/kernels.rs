@@ -1,0 +1,240 @@
+//! Calibrated V100 kernel cost models.
+//!
+//! These reproduce the *measured GPU behaviour* the paper's argument
+//! rests on — most importantly Fig. 1: at pruned-network sparsities
+//! (~90%), dense cuBLAS GEMM beats sparse spMM kernels (Sputnik,
+//! cuSPARSE) by 6–22× on a fully-connected layer, even though the sparse
+//! kernels execute 10× fewer flops. The models are first-principles
+//! rooflines with a small number of calibration constants:
+//!
+//! * dense GEMM — compute-bound with a size-dependent efficiency factor
+//!   (small matrices can't fill the GPU) and an HBM roofline floor;
+//! * sparse spMM — memory-bandwidth-bound: every nonzero gathers a row of
+//!   the dense operand with little reuse, so traffic ≈ `nnz · n · 2` B
+//!   regardless of sparsity savings in flops;
+//! * cuSPARSE — same traffic, lower effective bandwidth (its CSR kernels
+//!   are tuned for >99% scientific sparsity, paper Sec. II-C).
+
+use crate::machine::Machine;
+
+/// Saturation factor `d / (d + d0)`: how well dimension `d` fills the
+/// GPU relative to the half-saturation constant `d0`.
+fn sat(d: usize, d0: f64) -> f64 {
+    d as f64 / (d as f64 + d0)
+}
+
+/// Peak fraction a dense GEMM of this shape achieves (cuBLAS-like):
+/// 55% of peak for large square matrices, degrading for thin shapes.
+pub fn dense_gemm_efficiency(m: usize, n: usize, k: usize) -> f64 {
+    0.55 * sat(m, 110.0) * sat(n, 110.0) * sat(k, 110.0)
+}
+
+/// Time of a dense fp16 GEMM `(m×k)·(k×n)` on one GPU.
+pub fn dense_gemm_time(mach: &Machine, m: usize, n: usize, k: usize) -> f64 {
+    if m == 0 || n == 0 || k == 0 {
+        return 0.0;
+    }
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let t_compute = flops / (dense_gemm_efficiency(m, n, k) * mach.peak_fp16_flops);
+    let traffic = 2.0 * (m * k + k * n + m * n) as f64;
+    let t_mem = traffic / mach.hbm_bw;
+    mach.kernel_launch + t_compute.max(t_mem)
+}
+
+/// Bytes a row-gathering spMM moves: CSR metadata + values for `nnz`
+/// entries, one dense row of `n` fp16 values gathered per nonzero (the
+/// dominant term — pruned-network sparsity patterns give little reuse),
+/// plus the dense output.
+fn spmm_traffic_bytes(m: usize, n: usize, k: usize, sparsity: f64) -> f64 {
+    let nnz = ((1.0 - sparsity) * (m * k) as f64).max(0.0);
+    let meta = nnz * (2.0 + 4.0); // fp16 value + u32 column index
+    let gather = nnz * n as f64 * 2.0;
+    let output = (m * n) as f64 * 2.0;
+    meta + gather + output
+}
+
+/// Sputnik (Gale et al., SC 2020) spMM time: `(m×k, sparse) · (k×n)`.
+/// Row-swizzling and vector loads get it to ~45% of HBM bandwidth; the
+/// larger launch constant covers its row-offset/swizzle setup.
+pub fn sputnik_spmm_time(mach: &Machine, m: usize, n: usize, k: usize, sparsity: f64) -> f64 {
+    if m == 0 || n == 0 || k == 0 {
+        return 0.0;
+    }
+    let eff_bw = 0.45 * mach.hbm_bw;
+    let launch = 5.0 * mach.kernel_launch;
+    launch + spmm_traffic_bytes(m, n, k, sparsity) / eff_bw
+}
+
+/// cuSPARSE spMM time: same traffic at much lower achieved bandwidth for
+/// these (too-dense) matrices.
+pub fn cusparse_spmm_time(mach: &Machine, m: usize, n: usize, k: usize, sparsity: f64) -> f64 {
+    if m == 0 || n == 0 || k == 0 {
+        return 0.0;
+    }
+    let eff_bw = 0.10 * mach.hbm_bw;
+    let launch = 8.0 * mach.kernel_launch;
+    launch + spmm_traffic_bytes(m, n, k, sparsity) / eff_bw
+}
+
+/// The Fig. 1 workload: a fully-connected layer with an `n×n` weight
+/// matrix at 90% sparsity and input batch 576, in mixed precision.
+/// Returns `(cublas, sputnik, cusparse)` times in seconds.
+pub fn fig1_fc_layer(mach: &Machine, n: usize) -> (f64, f64, f64) {
+    const BATCH: usize = 576;
+    const SPARSITY: f64 = 0.9;
+    let dense = dense_gemm_time(mach, BATCH, n, n);
+    let sputnik = sputnik_spmm_time(mach, n, BATCH, n, SPARSITY);
+    let cusparse = cusparse_spmm_time(mach, n, BATCH, n, SPARSITY);
+    (dense, sputnik, cusparse)
+}
+
+/// Time for one transformer layer's forward pass on a microbatch of
+/// `mbs` sequences of length `seq` at hidden size `h`: `24·mbs·seq·h²`
+/// flops through the GEMM efficiency model (tokens × h × h shape).
+pub fn transformer_layer_forward_time(mach: &Machine, mbs: usize, seq: usize, h: usize) -> f64 {
+    let tokens = mbs * seq;
+    let flops = 24.0 * tokens as f64 * (h * h) as f64;
+    let eff = dense_gemm_efficiency(tokens, h, h);
+    // ~6 big GEMMs per layer (qkv, proj, attention pair, mlp pair).
+    6.0 * mach.kernel_launch + flops / (eff * mach.peak_fp16_flops)
+}
+
+/// Sputnik spMM in the *training* regime: large token dimensions give
+/// the kernel substantial L2 reuse of gathered operand rows (each of the
+/// `k` rows is touched `nnz/k` ≈ hundreds of times within a tile pass),
+/// unlike the cold microbenchmark regime of Fig. 1. The effective
+/// bandwidth multiplier is calibrated so the end-to-end Sputnik baseline
+/// lands ~2× AxoNN+SAMO, as the paper measures in Figs. 6–7.
+pub fn sputnik_training_spmm_time(
+    mach: &Machine,
+    m: usize,
+    n: usize,
+    k: usize,
+    sparsity: f64,
+) -> f64 {
+    if m == 0 || n == 0 || k == 0 {
+        return 0.0;
+    }
+    const L2_REUSE: f64 = 5.5;
+    let eff_bw = 0.45 * L2_REUSE * mach.hbm_bw;
+    let launch = 5.0 * mach.kernel_launch;
+    launch + spmm_traffic_bytes(m, n, k, sparsity) / eff_bw
+}
+
+/// Same layer computed with Sputnik sparse kernels at `sparsity` (the
+/// Sputnik-integrated-into-AxoNN baseline): the 4 weight GEMMs become
+/// spMMs, attention itself stays dense.
+pub fn transformer_layer_forward_time_sputnik(
+    mach: &Machine,
+    mbs: usize,
+    seq: usize,
+    h: usize,
+    sparsity: f64,
+) -> f64 {
+    let tokens = mbs * seq;
+    // Weight matmuls: qkv (h×3h), proj (h×h), mlp (h×4h and 4h×h).
+    let spmm = sputnik_training_spmm_time(mach, 3 * h, tokens, h, sparsity)
+        + sputnik_training_spmm_time(mach, h, tokens, h, sparsity)
+        + sputnik_training_spmm_time(mach, 4 * h, tokens, h, sparsity)
+        + sputnik_training_spmm_time(mach, h, tokens, 4 * h, sparsity);
+    // Attention score/value GEMMs remain dense: 2·tokens·seq·h flops.
+    let attn_flops = 2.0 * 2.0 * tokens as f64 * (seq * h) as f64;
+    let attn = attn_flops / (dense_gemm_efficiency(tokens, seq, h) * mach.peak_fp16_flops);
+    spmm + attn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SUMMIT;
+
+    #[test]
+    fn efficiency_grows_with_size_and_saturates() {
+        let small = dense_gemm_efficiency(64, 64, 64);
+        let med = dense_gemm_efficiency(512, 512, 512);
+        let large = dense_gemm_efficiency(8192, 8192, 8192);
+        assert!(small < med && med < large);
+        assert!(large < 0.55);
+        assert!(large > 0.5);
+    }
+
+    #[test]
+    fn dense_gemm_time_scales_cubically_when_large() {
+        let t1 = dense_gemm_time(&SUMMIT, 2048, 2048, 2048);
+        let t2 = dense_gemm_time(&SUMMIT, 4096, 4096, 4096);
+        let ratio = t2 / t1;
+        assert!(ratio > 6.0 && ratio < 9.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tiny_gemm_is_launch_bound() {
+        let t = dense_gemm_time(&SUMMIT, 8, 8, 8);
+        assert!(t < 2.0 * SUMMIT.kernel_launch);
+        assert!(t >= SUMMIT.kernel_launch);
+    }
+
+    /// The headline Fig. 1 calibration: dense is 6–22× faster than
+    /// Sputnik across weight sizes 128²–4096² at 90% sparsity, with the
+    /// gap growing with size; cuSPARSE is worse than Sputnik everywhere.
+    #[test]
+    fn fig1_dense_advantage_in_paper_band() {
+        let sizes = [128usize, 256, 512, 1024, 2048, 4096];
+        let mut prev_ratio = 0.0;
+        for &n in &sizes {
+            let (dense, sputnik, cusparse) = fig1_fc_layer(&SUMMIT, n);
+            let ratio = sputnik / dense;
+            assert!(
+                (4.0..=24.0).contains(&ratio),
+                "n={n}: sputnik/dense ratio {ratio:.1} outside the paper's 6-22x band"
+            );
+            assert!(cusparse > sputnik, "cuSPARSE must be slower than Sputnik at n={n}");
+            assert!(ratio >= prev_ratio * 0.8, "gap should broadly grow with n");
+            prev_ratio = ratio;
+        }
+        // End-to-end band check at the extremes, per the paper's text.
+        let (d_min, s_min, _) = fig1_fc_layer(&SUMMIT, 128);
+        let (d_max, s_max, _) = fig1_fc_layer(&SUMMIT, 4096);
+        assert!(s_min / d_min >= 4.0);
+        assert!(s_max / d_max <= 24.0 && s_max / d_max >= 10.0);
+    }
+
+    #[test]
+    fn sparse_time_roughly_flat_in_sparsity_flops() {
+        // The point of Fig. 1: sparse kernels don't convert 10x fewer
+        // flops into 10x less time — the gather traffic dominates. Going
+        // from 80% to 90% sparsity must cut sputnik time by ~2x at most.
+        let t80 = sputnik_spmm_time(&SUMMIT, 4096, 576, 4096, 0.8);
+        let t90 = sputnik_spmm_time(&SUMMIT, 4096, 576, 4096, 0.9);
+        assert!(t80 / t90 < 2.2, "ratio {}", t80 / t90);
+        assert!(t80 > t90);
+    }
+
+    #[test]
+    fn transformer_layer_time_order_of_magnitude() {
+        // GPT-3 2.7B layer (h=2560), mbs=1, seq=2048: 24·2048·2560² ≈
+        // 3.2e11 flops at ~50% of 125 Tflop/s ≈ 5 ms.
+        let t = transformer_layer_forward_time(&SUMMIT, 1, 2048, 2560);
+        assert!(t > 2e-3 && t < 15e-3, "t = {t}");
+    }
+
+    #[test]
+    fn sputnik_layer_slower_than_dense_layer() {
+        // At 90% sparsity the sparse layer must remain slower in the
+        // model, consistent with Figs. 6-7 (Sputnik ~2x slower end to
+        // end than AxoNN+SAMO).
+        let dense = transformer_layer_forward_time(&SUMMIT, 2, 2048, 2560);
+        let sparse = transformer_layer_forward_time_sputnik(&SUMMIT, 2, 2048, 2560, 0.9);
+        assert!(
+            sparse > 1.5 * dense,
+            "sparse {sparse} dense {dense}"
+        );
+        assert!(sparse < 20.0 * dense);
+    }
+
+    #[test]
+    fn zero_dims_cost_nothing() {
+        assert_eq!(dense_gemm_time(&SUMMIT, 0, 5, 5), 0.0);
+        assert_eq!(sputnik_spmm_time(&SUMMIT, 5, 0, 5, 0.9), 0.0);
+        assert_eq!(cusparse_spmm_time(&SUMMIT, 5, 5, 0, 0.9), 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Discrete-event simulation of the Summit supercomputer.
+//!
+//! The paper's evaluation ran on 16–2048 NVIDIA V100 GPUs of ORNL
+//! Summit — hardware this reproduction substitutes with a calibrated
+//! simulator (see DESIGN.md §2). The paper's performance claims decompose
+//! batch time into compute, point-to-point, pipeline-bubble and
+//! collective phases (Fig. 8), each a deterministic function of message
+//! sizes, flop counts and the schedule; this crate provides those
+//! functions:
+//!
+//! * [`machine`] — Summit's topology and link speeds (Sec. V), p2p and
+//!   ring-collective cost models,
+//! * [`event`] — a deterministic discrete-event queue,
+//! * [`kernels`] — V100 kernel cost models calibrated to reproduce
+//!   Fig. 1's dense-vs-sparse behaviour.
+
+pub mod event;
+pub mod kernels;
+pub mod machine;
+
+pub use event::EventQueue;
+pub use machine::{Machine, SUMMIT};

@@ -1,0 +1,388 @@
+//! A software implementation of the IEEE 754 binary16 ("half precision")
+//! floating point format.
+//!
+//! Mixed-precision training (Micikevicius et al., ICLR 2018) stores the
+//! compute copy of the parameters (`θ16`) and the freshly produced gradients
+//! (`∇θ16`) in half precision. The paper under reproduction keeps `θ16`
+//! dense and compresses everything else, so a faithful 16-bit storage type
+//! is load-bearing for the memory accounting: `size_of::<F16>()` must be 2.
+//!
+//! Arithmetic is performed by widening to `f32`, operating, and rounding
+//! back — the same semantics as GPU half arithmetic with `f32` accumulators.
+//! Conversion follows IEEE 754 round-to-nearest-even, including subnormals,
+//! infinities and NaN.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Half-precision (binary16) floating point number.
+///
+/// The in-memory representation is exactly the 16 IEEE bits, so a
+/// `Vec<F16>` of `n` elements occupies `2n` bytes — the property the SAMO
+/// memory model (Sec. III-D of the paper) depends on.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[repr(transparent)]
+pub struct F16(pub u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Negative one.
+    pub const NEG_ONE: F16 = F16(0xBC00);
+    /// Largest finite value, 65504.
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest finite value, -65504.
+    pub const MIN: F16 = F16(0xFBFF);
+    /// Smallest positive normal value, 2^-14.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+    /// Machine epsilon: the difference between 1.0 and the next
+    /// representable value, 2^-10.
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Creates an `F16` from raw IEEE 754 binary16 bits.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+
+    /// Returns the raw IEEE 754 binary16 bits.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to half precision with round-to-nearest-even.
+    ///
+    /// Values whose magnitude exceeds 65504 round to the infinity of the
+    /// same sign; values below the subnormal range flush to (signed) zero
+    /// through normal rounding.
+    pub fn from_f32(value: f32) -> F16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mantissa = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN. Preserve a NaN payload bit so NaN stays NaN.
+            return if mantissa == 0 {
+                F16(sign | 0x7C00)
+            } else {
+                F16(sign | 0x7E00 | ((mantissa >> 13) as u16 & 0x03FF))
+            };
+        }
+
+        // Unbiased exponent of the f32 value.
+        let unbiased = exp - 127;
+        if unbiased >= 16 {
+            // Overflows the binary16 exponent range: round to infinity.
+            return F16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal binary16 range. Keep 10 mantissa bits, round to
+            // nearest even on the 13 dropped bits.
+            let half_exp = (unbiased + 15) as u16;
+            let half_man = (mantissa >> 13) as u16;
+            let round_bit = 1u32 << 12;
+            let mut out = (sign | (half_exp << 10) | half_man) as u32;
+            let rem = mantissa & 0x1FFF;
+            if rem > round_bit || (rem == round_bit && (half_man & 1) == 1) {
+                // May carry into the exponent; that carry is exactly the
+                // correct IEEE behaviour (e.g. rounding 2047.5 ulps up).
+                out += 1;
+            }
+            return F16(out as u16);
+        }
+        if unbiased >= -25 {
+            // Subnormal binary16 range (or rounds up into it).
+            // Implicit leading one becomes explicit.
+            let man = mantissa | 0x0080_0000;
+            let shift = (-14 - unbiased) as u32 + 13;
+            let half_man = (man >> shift) as u16;
+            let rem_mask = (1u32 << shift) - 1;
+            let rem = man & rem_mask;
+            let half_way = 1u32 << (shift - 1);
+            let mut out = (sign | half_man) as u32;
+            if rem > half_way || (rem == half_way && (half_man & 1) == 1) {
+                out += 1;
+            }
+            return F16(out as u16);
+        }
+        // Too small even for subnormals: signed zero.
+        F16(sign)
+    }
+
+    /// Converts the half-precision value to `f32` exactly (the conversion
+    /// is always lossless in this direction).
+    pub fn to_f32(self) -> f32 {
+        let bits = self.0 as u32;
+        let sign = (bits & 0x8000) << 16;
+        let exp = (bits >> 10) & 0x1F;
+        let man = bits & 0x03FF;
+
+        let out = if exp == 0 {
+            if man == 0 {
+                sign
+            } else {
+                // Subnormal: normalize by shifting the mantissa up until
+                // the implicit bit appears.
+                let mut exp32 = 127 - 15 + 1; // exponent of 2^-14 scaled
+                let mut man32 = man;
+                while man32 & 0x0400 == 0 {
+                    man32 <<= 1;
+                    exp32 -= 1;
+                }
+                man32 &= 0x03FF;
+                sign | ((exp32 as u32) << 23) | (man32 << 13)
+            }
+        } else if exp == 0x1F {
+            // Inf / NaN.
+            sign | 0x7F80_0000 | (man << 13)
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (man << 13)
+        };
+        f32::from_bits(out)
+    }
+
+    /// `true` if this value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// `true` if this value is +inf or -inf.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// `true` if this value is neither infinite nor NaN.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+
+    /// `true` for zero of either sign.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        (self.0 & 0x7FFF) == 0
+    }
+
+    /// `true` if the sign bit is set (including -0.0 and NaNs with the
+    /// sign bit).
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & 0x8000) != 0
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> F16 {
+        F16(self.0 & 0x7FFF)
+    }
+}
+
+impl From<f32> for F16 {
+    #[inline]
+    fn from(v: f32) -> F16 {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    #[inline]
+    fn from(v: F16) -> f32 {
+        v.to_f32()
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &F16) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}f16", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl $trait for F16 {
+            type Output = F16;
+            #[inline]
+            fn $method(self, rhs: F16) -> F16 {
+                F16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+        impl $assign_trait for F16 {
+            #[inline]
+            fn $assign_method(&mut self, rhs: F16) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, AddAssign, add_assign, +);
+impl_binop!(Sub, sub, SubAssign, sub_assign, -);
+impl_binop!(Mul, mul, MulAssign, mul_assign, *);
+impl_binop!(Div, div, DivAssign, div_assign, /);
+
+impl Neg for F16 {
+    type Output = F16;
+    #[inline]
+    fn neg(self) -> F16 {
+        F16(self.0 ^ 0x8000)
+    }
+}
+
+/// Converts a slice of `f32` values into half precision.
+pub fn f32_slice_to_f16(src: &[f32]) -> Vec<F16> {
+    src.iter().map(|&v| F16::from_f32(v)).collect()
+}
+
+/// Converts a slice of half-precision values into `f32`.
+pub fn f16_slice_to_f32(src: &[F16]) -> Vec<f32> {
+    src.iter().map(|v| v.to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_two_bytes() {
+        assert_eq!(std::mem::size_of::<F16>(), 2);
+        assert_eq!(std::mem::size_of::<[F16; 8]>(), 16);
+    }
+
+    #[test]
+    fn known_constants() {
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(F16::from_f32(-1.0).to_bits(), 0xBC00);
+        assert_eq!(F16::from_f32(2.0).to_bits(), 0x4000);
+        assert_eq!(F16::from_f32(0.5).to_bits(), 0x3800);
+        assert_eq!(F16::from_f32(65504.0).to_bits(), 0x7BFF);
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 2.0_f32.powi(-14));
+        assert_eq!(F16::EPSILON.to_f32(), 2.0_f32.powi(-10));
+    }
+
+    #[test]
+    fn infinities_and_nan() {
+        assert_eq!(F16::from_f32(f32::INFINITY), F16::INFINITY);
+        assert_eq!(F16::from_f32(f32::NEG_INFINITY), F16::NEG_INFINITY);
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::NAN.to_f32().is_nan());
+        assert_eq!(F16::INFINITY.to_f32(), f32::INFINITY);
+        assert_eq!(F16::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
+        assert!(F16::INFINITY.is_infinite());
+        assert!(!F16::INFINITY.is_finite());
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        assert_eq!(F16::from_f32(65520.0), F16::INFINITY); // above max, rounds up
+        assert_eq!(F16::from_f32(-65520.0), F16::NEG_INFINITY);
+        assert_eq!(F16::from_f32(1e30), F16::INFINITY);
+        // 65504 + something that rounds down stays finite.
+        assert_eq!(F16::from_f32(65519.0), F16::MAX);
+    }
+
+    #[test]
+    fn subnormals() {
+        // Smallest positive subnormal is 2^-24.
+        let tiny = 2.0_f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_bits(), 0x0001);
+        assert_eq!(F16::from_bits(0x0001).to_f32(), tiny);
+        // Largest subnormal.
+        let largest_sub = 2.0_f32.powi(-14) - 2.0_f32.powi(-24);
+        assert_eq!(F16::from_f32(largest_sub).to_bits(), 0x03FF);
+        assert_eq!(F16::from_bits(0x03FF).to_f32(), largest_sub);
+        // Below half the smallest subnormal: flush to zero.
+        assert_eq!(F16::from_f32(2.0_f32.powi(-26)), F16::ZERO);
+        assert!(F16::from_f32(-2.0_f32.powi(-26)).is_sign_negative());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10;
+        // it must round to the even mantissa, i.e. 1.0.
+        let halfway = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_bits(), 0x3C00);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9;
+        // rounds up to even mantissa 2.
+        let halfway_up = 1.0 + 3.0 * 2.0_f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway_up).to_bits(), 0x3C02);
+        // Slightly above halfway rounds up.
+        assert_eq!(F16::from_f32(halfway + 1e-7).to_bits(), 0x3C01);
+    }
+
+    #[test]
+    fn roundtrip_all_finite_f16_values() {
+        // Every finite f16 bit pattern must survive f16 -> f32 -> f16.
+        for bits in 0u16..=0xFFFF {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_via_f32() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((b - a).to_f32(), 0.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((b / F16::from_f32(0.5)).to_f32(), 4.5);
+        assert_eq!((-a).to_f32(), -1.5);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.to_f32(), 3.75);
+    }
+
+    #[test]
+    fn ordering_matches_f32() {
+        let vals = [-3.0f32, -0.5, 0.0, 0.25, 1.0, 100.0];
+        for &x in &vals {
+            for &y in &vals {
+                assert_eq!(
+                    F16::from_f32(x).partial_cmp(&F16::from_f32(y)),
+                    x.partial_cmp(&y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_conversions() {
+        let src = vec![0.0f32, 1.0, -2.5, 1024.0];
+        let h = f32_slice_to_f16(&src);
+        let back = f16_slice_to_f32(&h);
+        assert_eq!(back, src);
+    }
+}

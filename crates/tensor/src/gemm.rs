@@ -1,0 +1,466 @@
+//! Cache-blocked, multi-threaded dense matrix multiplication.
+//!
+//! This is the stand-in for cuBLAS in the reproduction: the paper's key
+//! design decision is that the half-precision parameters stay *dense* so
+//! that forward/backward passes can use fast dense kernels, so a
+//! competitive dense GEMM is the baseline everything else is measured
+//! against (Fig. 1).
+//!
+//! Layout is row-major throughout. The kernel uses classic three-level
+//! cache blocking (`MC × KC` panels of A, `KC × NC` panels of B) with an
+//! `i-k-j` inner ordering whose unit-stride innermost loop over columns of
+//! C auto-vectorizes well. Parallelism is over row panels of C, so worker
+//! threads write disjoint output ranges and need no synchronization.
+
+use crate::f16::F16;
+use crate::pool::par_ranges;
+
+/// Row-panel height processed per task; also the L2 block for A.
+const MC: usize = 64;
+/// Depth (k) blocking factor — A/B panels of this depth stay in L1/L2.
+const KC: usize = 256;
+/// Column blocking factor for B panels.
+const NC: usize = 1024;
+
+/// Computes `C = alpha * op(A) * op(B) + beta * C` for row-major matrices.
+///
+/// * `a` is `m × k` after the optional transpose (`transa`), stored with
+///   leading dimension `lda` (its physical row length).
+/// * `b` is `k × n` after `transb`, leading dimension `ldb`.
+/// * `c` is `m × n`, leading dimension `ldc`.
+///
+/// # Panics
+/// Panics if any slice is too small for the described matrix.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm(
+    transa: bool,
+    transb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    check_dims(transa, transb, m, n, k, a.len(), lda, b.len(), ldb, c.len(), ldc);
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    // Scale C by beta first so the accumulation loop is a pure FMA.
+    if beta != 1.0 {
+        for row in 0..m {
+            let crow = &mut c[row * ldc..row * ldc + n];
+            if beta == 0.0 {
+                crow.fill(0.0);
+            } else {
+                for v in crow {
+                    *v *= beta;
+                }
+            }
+        }
+    }
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+
+    // Parallelize over row panels; each task owns rows [row0, row1) of C.
+    let c_addr = SendPtr(c.as_mut_ptr());
+    let c_len = c.len();
+    let c_addr = &c_addr; // capture the Sync wrapper, not the raw pointer field
+    par_ranges(m.div_ceil(MC), 1, |p0, p1| {
+        let row0 = p0 * MC;
+        let row1 = (p1 * MC).min(m);
+        // The final row of C only extends `n` elements, not `ldc`.
+        let panel_len = ((row1 - row0) * ldc).min(c_len - row0 * ldc);
+        // SAFETY: row panels [row0, row1) are disjoint across tasks, so
+        // each task has exclusive access to its slice of C.
+        let c_panel =
+            unsafe { std::slice::from_raw_parts_mut(c_addr.0.add(row0 * ldc), panel_len) };
+        gemm_panel(
+            transa, transb, row0, row1, n, k, alpha, a, lda, b, ldb, c_panel, ldc,
+        );
+    });
+}
+
+/// Raw pointer wrapper that asserts cross-thread transfer is safe; used
+/// only for the disjoint row-panel partitioning above.
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Multiplies rows [row0, row1) of op(A) into the C panel (whose row 0
+/// corresponds to global row `row0`).
+#[allow(clippy::too_many_arguments)]
+fn gemm_panel(
+    transa: bool,
+    transb: bool,
+    row0: usize,
+    row1: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c_panel: &mut [f32],
+    ldc: usize,
+) {
+    let mut packed_b = vec![0.0f32; KC * NC.min(n)];
+    let mut packed_a = vec![0.0f32; MC * KC];
+
+    let mut kk = 0;
+    while kk < k {
+        let kb = KC.min(k - kk);
+        let mut jj = 0;
+        while jj < n {
+            let nb = NC.min(n - jj);
+            // Pack the KC×NC panel of op(B) contiguously (row-major kb×nb).
+            pack_b(transb, b, ldb, kk, jj, kb, nb, &mut packed_b);
+
+            let mut ii = row0;
+            while ii < row1 {
+                let mb = MC.min(row1 - ii);
+                // Pack the MC×KC panel of op(A) (row-major mb×kb), with
+                // alpha folded in so the inner loop is multiply-add only.
+                pack_a(transa, a, lda, ii, kk, mb, kb, alpha, &mut packed_a);
+
+                for i in 0..mb {
+                    let arow = &packed_a[i * kb..(i + 1) * kb];
+                    let crow = &mut c_panel[(ii - row0 + i) * ldc + jj
+                        ..(ii - row0 + i) * ldc + jj + nb];
+                    for (p, &aval) in arow.iter().enumerate() {
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let brow = &packed_b[p * nb..(p + 1) * nb];
+                        // Unit-stride FMA loop: vectorized by LLVM.
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += aval * bv;
+                        }
+                    }
+                }
+                ii += mb;
+            }
+            jj += nb;
+        }
+        kk += kb;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    transb: bool,
+    b: &[f32],
+    ldb: usize,
+    kk: usize,
+    jj: usize,
+    kb: usize,
+    nb: usize,
+    packed: &mut [f32],
+) {
+    if !transb {
+        for p in 0..kb {
+            let src = &b[(kk + p) * ldb + jj..(kk + p) * ldb + jj + nb];
+            packed[p * nb..(p + 1) * nb].copy_from_slice(src);
+        }
+    } else {
+        // op(B)[p, j] = B[j, p]
+        for p in 0..kb {
+            for j in 0..nb {
+                packed[p * nb + j] = b[(jj + j) * ldb + (kk + p)];
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    transa: bool,
+    a: &[f32],
+    lda: usize,
+    ii: usize,
+    kk: usize,
+    mb: usize,
+    kb: usize,
+    alpha: f32,
+    packed: &mut [f32],
+) {
+    if !transa {
+        for i in 0..mb {
+            let src = &a[(ii + i) * lda + kk..(ii + i) * lda + kk + kb];
+            let dst = &mut packed[i * kb..(i + 1) * kb];
+            if alpha == 1.0 {
+                dst.copy_from_slice(src);
+            } else {
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = alpha * s;
+                }
+            }
+        }
+    } else {
+        // op(A)[i, p] = A[p, i]
+        for i in 0..mb {
+            for p in 0..kb {
+                packed[i * kb + p] = alpha * a[(kk + p) * lda + (ii + i)];
+            }
+        }
+    }
+}
+
+fn check_dims(
+    transa: bool,
+    transb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alen: usize,
+    lda: usize,
+    blen: usize,
+    ldb: usize,
+    clen: usize,
+    ldc: usize,
+) {
+    let (a_rows, a_cols) = if transa { (k, m) } else { (m, k) };
+    let (b_rows, b_cols) = if transb { (n, k) } else { (k, n) };
+    assert!(lda >= a_cols.max(1), "lda {lda} < a_cols {a_cols}");
+    assert!(ldb >= b_cols.max(1), "ldb {ldb} < b_cols {b_cols}");
+    assert!(ldc >= n.max(1), "ldc {ldc} < n {n}");
+    if a_rows > 0 && a_cols > 0 {
+        assert!(alen >= (a_rows - 1) * lda + a_cols, "A slice too small");
+    }
+    if b_rows > 0 && b_cols > 0 {
+        assert!(blen >= (b_rows - 1) * ldb + b_cols, "B slice too small");
+    }
+    if m > 0 && n > 0 {
+        assert!(clen >= (m - 1) * ldc + n, "C slice too small");
+    }
+}
+
+/// Convenience wrapper: `C = A · B` with contiguous row-major operands.
+pub fn matmul(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    sgemm(false, false, m, n, k, 1.0, a, k, b, n, 0.0, c, n);
+}
+
+/// `C = A · Bᵀ`, the shape used by the backward pass `dX = dY · Wᵀ` when
+/// weights are stored as `out × in`.
+pub fn matmul_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    sgemm(false, true, m, n, k, 1.0, a, k, b, k, 0.0, c, n);
+}
+
+/// `C = Aᵀ · B`, the shape used by the weight gradient `dW = dYᵀ · X`.
+pub fn matmul_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    sgemm(true, false, m, n, k, 1.0, a, m, b, n, 0.0, c, n);
+}
+
+/// Mixed-precision GEMM: half-precision inputs, f32 accumulation,
+/// half-precision output — the arithmetic profile of a tensor-core
+/// `hgemm`. `C = A · B` with all matrices contiguous row-major.
+pub fn hgemm(m: usize, n: usize, k: usize, a: &[F16], b: &[F16], c: &mut [F16]) {
+    // Widen once up front: the cost model of mixed precision on GPUs also
+    // performs the multiply in wider accumulators.
+    let a32: Vec<f32> = a.iter().map(|v| v.to_f32()).collect();
+    let b32: Vec<f32> = b.iter().map(|v| v.to_f32()).collect();
+    let mut c32 = vec![0.0f32; m * n];
+    matmul(m, n, k, &a32, &b32, &mut c32);
+    for (out, &v) in c.iter_mut().zip(&c32) {
+        *out = F16::from_f32(v);
+    }
+}
+
+/// Reference naive GEMM used to validate the blocked kernel in tests and
+/// property tests. `C = alpha * op(A) * op(B) + beta * C`.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_reference(
+    transa: bool,
+    transb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                let av = if transa { a[p * lda + i] } else { a[i * lda + p] };
+                let bv = if transb { b[j * ldb + p] } else { b[p * ldb + j] };
+                acc += av * bv;
+            }
+            c[i * ldc + j] = alpha * acc + beta * c[i * ldc + j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_all_transpose_combos() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (17, 9, 33), (64, 64, 64), (65, 130, 257)] {
+            for &ta in &[false, true] {
+                for &tb in &[false, true] {
+                    let (ar, ac) = if ta { (k, m) } else { (m, k) };
+                    let (br, bc) = if tb { (n, k) } else { (k, n) };
+                    let a = random_matrix(&mut rng, ar * ac);
+                    let b = random_matrix(&mut rng, br * bc);
+                    let mut c1 = random_matrix(&mut rng, m * n);
+                    let mut c2 = c1.clone();
+                    sgemm(ta, tb, m, n, k, 1.3, &a, ac, &b, bc, 0.7, &mut c1, n);
+                    sgemm_reference(ta, tb, m, n, k, 1.3, &a, ac, &b, bc, 0.7, &mut c2, n);
+                    assert_close(&c1, &c2, 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_garbage() {
+        // beta == 0 must overwrite even NaN-poisoned C.
+        let a = vec![1.0f32; 4];
+        let b = vec![1.0f32; 4];
+        let mut c = vec![f32::NAN; 4];
+        sgemm(false, false, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2);
+        assert_eq!(c, vec![2.0; 4]);
+    }
+
+    #[test]
+    fn alpha_zero_is_pure_scaling() {
+        let a = vec![f32::NAN; 4];
+        let b = vec![f32::NAN; 4];
+        let mut c = vec![2.0f32; 4];
+        sgemm(false, false, 2, 2, 2, 0.0, &a, 2, &b, 2, 0.5, &mut c, 2);
+        assert_eq!(c, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let n = 33;
+        let mut eye = vec![0.0f32; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = random_matrix(&mut rng, n * n);
+        let mut c = vec![0.0f32; n * n];
+        matmul(n, n, n, &eye, &x, &mut c);
+        assert_close(&c, &x, 1e-6);
+    }
+
+    #[test]
+    fn strided_leading_dimensions() {
+        // Operate on a 2x2 sub-block of a 4-wide buffer.
+        let a = vec![
+            1.0, 2.0, 9.0, 9.0, //
+            3.0, 4.0, 9.0, 9.0,
+        ];
+        let b = vec![
+            5.0, 6.0, 9.0, 9.0, //
+            7.0, 8.0, 9.0, 9.0,
+        ];
+        let mut c = vec![0.0f32; 8];
+        sgemm(false, false, 2, 2, 2, 1.0, &a, 4, &b, 4, 0.0, &mut c, 4);
+        assert_eq!(&c[0..2], &[19.0, 22.0]);
+        assert_eq!(&c[4..6], &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let mut c = vec![1.0f32; 4];
+        sgemm(false, false, 0, 2, 3, 1.0, &[], 3, &[0.0; 6], 2, 0.0, &mut c, 2);
+        assert_eq!(c, vec![1.0; 4]); // m == 0: untouched
+        let mut c2 = vec![1.0f32; 4];
+        // k == 0 still applies beta.
+        sgemm(false, false, 2, 2, 0, 1.0, &[], 1, &[], 2, 0.5, &mut c2, 2);
+        assert_eq!(c2, vec![0.5; 4]);
+    }
+
+    #[test]
+    fn wrapper_shapes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (m, n, k) = (6, 10, 4);
+        let a = random_matrix(&mut rng, m * k);
+        let b = random_matrix(&mut rng, k * n);
+        let mut c = vec![0.0f32; m * n];
+        matmul(m, n, k, &a, &b, &mut c);
+        let mut cref = vec![0.0f32; m * n];
+        sgemm_reference(false, false, m, n, k, 1.0, &a, k, &b, n, 0.0, &mut cref, n);
+        assert_close(&c, &cref, 1e-5);
+
+        // A(m x k) * B^T where B is (n x k)
+        let bt = random_matrix(&mut rng, n * k);
+        let mut c2 = vec![0.0f32; m * n];
+        matmul_nt(m, n, k, &a, &bt, &mut c2);
+        let mut c2ref = vec![0.0f32; m * n];
+        sgemm_reference(false, true, m, n, k, 1.0, &a, k, &bt, k, 0.0, &mut c2ref, n);
+        assert_close(&c2, &c2ref, 1e-5);
+
+        // A^T(m x k from k x m) * B
+        let at = random_matrix(&mut rng, k * m);
+        let mut c3 = vec![0.0f32; m * n];
+        matmul_tn(m, n, k, &at, &b, &mut c3);
+        let mut c3ref = vec![0.0f32; m * n];
+        sgemm_reference(true, false, m, n, k, 1.0, &at, m, &b, n, 0.0, &mut c3ref, n);
+        assert_close(&c3, &c3ref, 1e-5);
+    }
+
+    #[test]
+    fn hgemm_matches_widened_matmul() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (m, n, k) = (8, 12, 16);
+        let a32 = random_matrix(&mut rng, m * k);
+        let b32 = random_matrix(&mut rng, k * n);
+        let a: Vec<F16> = a32.iter().map(|&v| F16::from_f32(v)).collect();
+        let b: Vec<F16> = b32.iter().map(|&v| F16::from_f32(v)).collect();
+        let mut c = vec![F16::ZERO; m * n];
+        hgemm(m, n, k, &a, &b, &mut c);
+
+        let aw: Vec<f32> = a.iter().map(|v| v.to_f32()).collect();
+        let bw: Vec<f32> = b.iter().map(|v| v.to_f32()).collect();
+        let mut cw = vec![0.0f32; m * n];
+        matmul(m, n, k, &aw, &bw, &mut cw);
+        for (h, &w) in c.iter().zip(&cw) {
+            assert_eq!(h.to_f32(), F16::from_f32(w).to_f32());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "C slice too small")]
+    fn rejects_undersized_output() {
+        let a = vec![0.0f32; 4];
+        let b = vec![0.0f32; 4];
+        let mut c = vec![0.0f32; 3];
+        sgemm(false, false, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2);
+    }
+}

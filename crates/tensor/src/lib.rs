@@ -1,0 +1,24 @@
+//! Dense compute substrate for the SAMO reproduction.
+//!
+//! The paper ("Exploiting Sparsity in Pruned Neural Networks to Optimize
+//! Large Model Training", Singh & Bhatele, IPDPS 2023) relies on cuBLAS /
+//! cuDNN dense kernels for the forward and backward pass, and on dense
+//! elementwise kernels for the optimizer step over compressed tensors.
+//! This crate provides the CPU equivalents from scratch:
+//!
+//! * [`f16::F16`] — software IEEE binary16, so that mixed-precision memory
+//!   accounting is byte-exact,
+//! * [`pool`] — a persistent fork–join thread pool (rayon-style scopes on
+//!   crossbeam channels),
+//! * [`gemm`] — cache-blocked, multi-threaded dense GEMM,
+//! * [`ops`] — parallel elementwise/reduction kernels,
+//! * [`tensor::Tensor`] — a minimal owned row-major tensor.
+
+pub mod f16;
+pub mod gemm;
+pub mod ops;
+pub mod pool;
+pub mod tensor;
+
+pub use f16::F16;
+pub use tensor::Tensor;

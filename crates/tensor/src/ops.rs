@@ -1,0 +1,314 @@
+//! Parallel elementwise and reduction kernels on `f32` slices.
+//!
+//! These are the building blocks for both the optimizer steps (which the
+//! paper runs as *dense elementwise kernels over compressed tensors*,
+//! Sec. III-C) and the layer forward/backward passes.
+
+use crate::f16::F16;
+use crate::pool::{par_chunks_mut, par_ranges};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Minimum slice length before a kernel bothers going parallel.
+const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// `y[i] += alpha * x[i]`.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len());
+    par_chunks_mut(y, PAR_THRESHOLD, |offset, chunk| {
+        let xs = &x[offset..offset + chunk.len()];
+        for (yi, &xi) in chunk.iter_mut().zip(xs) {
+            *yi += alpha * xi;
+        }
+    });
+}
+
+/// `x[i] *= alpha`.
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    par_chunks_mut(x, PAR_THRESHOLD, |_, chunk| {
+        for v in chunk {
+            *v *= alpha;
+        }
+    });
+}
+
+/// `out[i] = a[i] + b[i]`.
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    par_chunks_mut(out, PAR_THRESHOLD, |offset, chunk| {
+        for (i, v) in chunk.iter_mut().enumerate() {
+            *v = a[offset + i] + b[offset + i];
+        }
+    });
+}
+
+/// `out[i] = a[i] * b[i]` (Hadamard product).
+pub fn hadamard(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    par_chunks_mut(out, PAR_THRESHOLD, |offset, chunk| {
+        for (i, v) in chunk.iter_mut().enumerate() {
+            *v = a[offset + i] * b[offset + i];
+        }
+    });
+}
+
+/// Dot product `Σ a[i]·b[i]` with parallel tree reduction.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    if a.len() < PAR_THRESHOLD {
+        return a.iter().zip(b).map(|(x, y)| x * y).sum();
+    }
+    // Accumulate partial sums atomically as f64 bit patterns; the chunk
+    // count is small (≤ 2×workers) so contention is negligible.
+    let acc = AtomicU64::new(0f64.to_bits());
+    par_ranges(a.len(), PAR_THRESHOLD, |s, e| {
+        let partial: f64 = a[s..e].iter().zip(&b[s..e]).map(|(x, y)| (*x as f64) * (*y as f64)).sum();
+        let mut cur = acc.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + partial).to_bits();
+            match acc.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    });
+    f64::from_bits(acc.load(Ordering::Relaxed)) as f32
+}
+
+/// Sum of all elements (f64 accumulation for stability).
+pub fn sum(x: &[f32]) -> f32 {
+    if x.len() < PAR_THRESHOLD {
+        return x.iter().map(|&v| v as f64).sum::<f64>() as f32;
+    }
+    let acc = AtomicU64::new(0f64.to_bits());
+    par_ranges(x.len(), PAR_THRESHOLD, |s, e| {
+        let partial: f64 = x[s..e].iter().map(|&v| v as f64).sum();
+        let mut cur = acc.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + partial).to_bits();
+            match acc.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    });
+    f64::from_bits(acc.load(Ordering::Relaxed)) as f32
+}
+
+/// Maximum absolute value in the slice (0.0 for empty slices). Used by the
+/// gradient scaler to detect overflow before unscaling.
+pub fn max_abs(x: &[f32]) -> f32 {
+    x.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// `true` if any element is NaN or infinite — the mixed-precision loss
+/// scaler's overflow check.
+pub fn has_non_finite(x: &[f32]) -> bool {
+    x.iter().any(|v| !v.is_finite())
+}
+
+/// `true` if any half-precision element is NaN or infinite.
+pub fn has_non_finite_f16(x: &[F16]) -> bool {
+    x.iter().any(|v| !v.is_finite())
+}
+
+/// Numerically stable softmax over each row of a row-major `rows × cols`
+/// matrix, in place.
+pub fn softmax_rows(data: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(data.len(), rows * cols);
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let pool = crate::pool::ThreadPool::global();
+    // Row-aligned chunking: each task gets a whole number of rows.
+    let rows_per_task = rows.div_ceil(pool.workers() * 2).max(1);
+    pool.scope(|s| {
+        for chunk in data.chunks_mut(rows_per_task * cols) {
+            s.spawn(move || {
+                for row in chunk.chunks_mut(cols) {
+                    let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+                    let mut denom = 0.0f32;
+                    for v in row.iter_mut() {
+                        *v = (*v - max).exp();
+                        denom += *v;
+                    }
+                    let inv = 1.0 / denom;
+                    for v in row.iter_mut() {
+                        *v *= inv;
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Argmax of each row of a row-major `rows × cols` matrix (ties broken
+/// by the lowest index). Used by classification accuracy metrics.
+pub fn argmax_rows(data: &[f32], rows: usize, cols: usize) -> Vec<usize> {
+    assert_eq!(data.len(), rows * cols);
+    assert!(cols > 0 || rows == 0);
+    data.chunks(cols)
+        .map(|row| {
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Per-row mean and (biased) variance of a row-major `rows × cols`
+/// matrix, with f64 accumulation.
+pub fn mean_var_rows(data: &[f32], rows: usize, cols: usize) -> Vec<(f32, f32)> {
+    assert_eq!(data.len(), rows * cols);
+    data.chunks(cols)
+        .map(|row| {
+            let n = row.len() as f64;
+            let mean = row.iter().map(|&v| v as f64).sum::<f64>() / n;
+            let var = row.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+            (mean as f32, var as f32)
+        })
+        .collect()
+}
+
+/// Widens a half-precision slice into an existing f32 buffer.
+pub fn widen_into(src: &[F16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    par_chunks_mut(dst, PAR_THRESHOLD, |offset, chunk| {
+        for (i, v) in chunk.iter_mut().enumerate() {
+            *v = src[offset + i].to_f32();
+        }
+    });
+}
+
+/// Rounds an f32 slice into an existing half-precision buffer.
+pub fn narrow_into(src: &[f32], dst: &mut [F16]) {
+    assert_eq!(src.len(), dst.len());
+    par_chunks_mut(dst, PAR_THRESHOLD, |offset, chunk| {
+        for (i, v) in chunk.iter_mut().enumerate() {
+            *v = F16::from_f32(src[offset + i]);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let x = vec![1.0f32, 2.0, 3.0];
+        let mut y = vec![10.0f32, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpy_large_parallel_path() {
+        let n = 100_000;
+        let x = vec![1.0f32; n];
+        let mut y = vec![0.5f32; n];
+        axpy(0.5, &x, &mut y);
+        assert!(y.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let mut x = vec![2.0f32; 10];
+        scale(3.0, &mut x);
+        assert!(x.iter().all(|&v| v == 6.0));
+        let a = vec![1.0f32; 4];
+        let b = vec![2.0f32; 4];
+        let mut out = vec![0.0f32; 4];
+        add(&a, &b, &mut out);
+        assert_eq!(out, vec![3.0; 4]);
+        hadamard(&a, &b, &mut out);
+        assert_eq!(out, vec![2.0; 4]);
+    }
+
+    #[test]
+    fn dot_and_sum_small_and_large() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![4.0f32, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        assert_eq!(sum(&a), 6.0);
+
+        let n = 200_000;
+        let ones = vec![1.0f32; n];
+        assert_eq!(sum(&ones), n as f32);
+        assert_eq!(dot(&ones, &ones), n as f32);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert!(!has_non_finite(&[1.0, 2.0]));
+        assert!(has_non_finite(&[1.0, f32::NAN]));
+        assert!(has_non_finite(&[f32::INFINITY]));
+        assert!(!has_non_finite_f16(&[F16::ONE]));
+        assert!(has_non_finite_f16(&[F16::NAN]));
+        assert!(has_non_finite_f16(&[F16::INFINITY]));
+    }
+
+    #[test]
+    fn max_abs_finds_extreme() {
+        assert_eq!(max_abs(&[]), 0.0);
+        assert_eq!(max_abs(&[1.0, -5.0, 3.0]), 5.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut data = vec![1.0f32, 2.0, 3.0, -1.0, 0.0, 1.0];
+        softmax_rows(&mut data, 2, 3);
+        for row in data.chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row.windows(2).all(|w| w[0] < w[1])); // increasing logits
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = vec![1000.0f32, 1001.0, 1002.0];
+        softmax_rows(&mut a, 1, 3);
+        let mut b = vec![0.0f32, 1.0, 2.0];
+        softmax_rows(&mut b, 1, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn argmax_rows_basic() {
+        let data = vec![1.0f32, 5.0, 2.0, 9.0, 0.0, -1.0];
+        assert_eq!(argmax_rows(&data, 2, 3), vec![1, 0]);
+        // Ties pick the first occurrence.
+        assert_eq!(argmax_rows(&[3.0, 3.0, 3.0], 1, 3), vec![0]);
+        assert!(argmax_rows(&[], 0, 3).is_empty());
+    }
+
+    #[test]
+    fn mean_var_rows_known_values() {
+        let stats = mean_var_rows(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert!((stats[0].0 - 2.0).abs() < 1e-6);
+        assert!((stats[0].1 - 2.0 / 3.0).abs() < 1e-6);
+        assert!((stats[1].0 - 5.0).abs() < 1e-6);
+        // Constant row has zero variance.
+        let c = mean_var_rows(&[7.0; 4], 1, 4);
+        assert_eq!(c[0], (7.0, 0.0));
+    }
+
+    #[test]
+    fn widen_narrow_roundtrip() {
+        let src: Vec<F16> = (0..1000).map(|i| F16::from_f32(i as f32 * 0.25)).collect();
+        let mut wide = vec![0.0f32; 1000];
+        widen_into(&src, &mut wide);
+        let mut back = vec![F16::ZERO; 1000];
+        narrow_into(&wide, &mut back);
+        assert_eq!(src, back);
+    }
+}

@@ -1,0 +1,355 @@
+//! A persistent worker thread pool with a scoped fork–join API.
+//!
+//! The compute kernels in this workspace (GEMM, elementwise ops,
+//! compression/expansion) parallelize over disjoint index ranges. Spawning
+//! OS threads per kernel call would dominate the runtime of small layers,
+//! so we keep a process-global pool of workers alive and hand them short
+//! borrowed closures through a channel, in the style of rayon's
+//! fork–join scopes.
+//!
+//! Safety model: [`ThreadPool::scope`] erases the lifetime of spawned
+//! closures (they may borrow from the caller's stack), which is sound
+//! because the scope blocks until a completion latch counts every spawned
+//! task as finished — the borrowed data strictly outlives every task. The
+//! latch is a `parking_lot` mutex/condvar pair (see "Rust Atomics and
+//! Locks", ch. 1/9). Worker panics are captured and re-thrown on the
+//! scope owner's thread so failures are never silently swallowed.
+
+use std::mem;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing fork–join scopes.
+pub struct ThreadPool {
+    sender: Sender<Job>,
+    workers: usize,
+}
+
+/// Completion latch shared between a scope and its outstanding tasks.
+struct Latch {
+    /// Number of tasks spawned but not yet finished.
+    pending: Mutex<usize>,
+    cond: Condvar,
+    /// First panic payload captured from a task, if any.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn new() -> Arc<Latch> {
+        Arc::new(Latch {
+            pending: Mutex::new(0),
+            cond: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    fn add(&self) {
+        *self.pending.lock() += 1;
+    }
+
+    fn done(&self) {
+        let mut pending = self.pending.lock();
+        *pending -= 1;
+        if *pending == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut pending = self.pending.lock();
+        while *pending != 0 {
+            self.cond.wait(&mut pending);
+        }
+    }
+}
+
+/// A fork–join scope: tasks spawned on it may borrow data living outside
+/// the scope closure, and are guaranteed to finish before `scope` returns.
+pub struct Scope<'scope> {
+    pool: &'scope ThreadPool,
+    latch: Arc<Latch>,
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `f` onto the pool. `f` may borrow anything that outlives the
+    /// enclosing [`ThreadPool::scope`] call.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.latch.add();
+        let latch = Arc::clone(&self.latch);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(f));
+            if let Err(payload) = result {
+                let mut slot = latch.panic.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            latch.done();
+        });
+        // SAFETY: `scope` blocks on the latch until this job has run to
+        // completion, so every borrow inside `job` (lifetime 'scope)
+        // remains valid for the job's entire execution. The lifetime is
+        // erased only to satisfy the channel's 'static bound.
+        let job: Job = unsafe { mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        self.pool
+            .sender
+            .send(job)
+            .expect("thread pool workers terminated unexpectedly");
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `workers` threads (at least 1).
+    pub fn new(workers: usize) -> ThreadPool {
+        let workers = workers.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        for i in 0..workers {
+            let rx = receiver.clone();
+            std::thread::Builder::new()
+                .name(format!("samo-worker-{i}"))
+                .spawn(move || {
+                    // Jobs already wrap user code in catch_unwind; a job
+                    // that still panics here indicates latch poisoning,
+                    // and the worker dying loudly is the right outcome.
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("failed to spawn worker thread");
+        }
+        ThreadPool { sender, workers }
+    }
+
+    /// The process-global pool, sized to the number of available CPUs
+    /// (overridable with the `SAMO_NUM_THREADS` environment variable).
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: std::sync::OnceLock<ThreadPool> = std::sync::OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let n = std::env::var("SAMO_NUM_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+                });
+            ThreadPool::new(n)
+        })
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` with a fork–join [`Scope`]; returns once every task spawned
+    /// in the scope has completed. Panics from tasks are propagated.
+    pub fn scope<'scope, F, R>(&'scope self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            latch: Latch::new(),
+            _marker: std::marker::PhantomData,
+        };
+        let result = f(&scope);
+        scope.latch.wait();
+        if let Some(payload) = scope.latch.panic.lock().take() {
+            panic::resume_unwind(payload);
+        }
+        result
+    }
+}
+
+/// Splits `0..len` into roughly equal contiguous ranges, one per worker
+/// (but no smaller than `min_chunk`), and runs `f(start, end)` on each in
+/// parallel. Runs inline when a single chunk suffices.
+pub fn par_ranges<F>(len: usize, min_chunk: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let pool = ThreadPool::global();
+    let max_chunks = pool.workers() * 2;
+    let min_chunk = min_chunk.max(1);
+    let chunks = (len / min_chunk).clamp(1, max_chunks);
+    if chunks == 1 {
+        f(0, len);
+        return;
+    }
+    let chunk = len.div_ceil(chunks);
+    pool.scope(|s| {
+        let f = &f;
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
+            s.spawn(move || f(start, end));
+            start = end;
+        }
+    });
+}
+
+/// Applies `f` in parallel to disjoint mutable chunks of `data`, giving
+/// each invocation the chunk and the index of its first element.
+pub fn par_chunks_mut<T, F>(data: &mut [T], min_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let pool = ThreadPool::global();
+    let max_chunks = pool.workers() * 2;
+    let min_chunk = min_chunk.max(1);
+    let chunks = (len / min_chunk).clamp(1, max_chunks);
+    if chunks == 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = len.div_ceil(chunks);
+    pool.scope(|s| {
+        let f = &f;
+        for (i, slice) in data.chunks_mut(chunk).enumerate() {
+            let offset = i * chunk;
+            s.spawn(move || f(offset, slice));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scope_allows_borrowing_stack_data() {
+        let pool = ThreadPool::new(2);
+        let data = [1u64, 2, 3, 4, 5];
+        let sum = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(2) {
+                let sum = &sum;
+                s.spawn(move || {
+                    let local: u64 = chunk.iter().sum();
+                    sum.fetch_add(local as usize, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn nested_scopes_work() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|outer| {
+            for _ in 0..4 {
+                let counter = &counter;
+                outer.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        pool.scope(|s| {
+            s.spawn(|| {
+                counter.fetch_add(10, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 14);
+    }
+
+    #[test]
+    fn panics_propagate_to_scope_owner() {
+        let pool = ThreadPool::new(2);
+        let survived = AtomicBool::new(false);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task exploded"));
+                s.spawn(|| {
+                    survived.store(true, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(result.is_err(), "scope must rethrow the task panic");
+        // Pool must remain usable after a panic.
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn par_ranges_covers_everything_exactly_once() {
+        let mut hits = vec![AtomicUsize::new(0), AtomicUsize::new(0)];
+        hits.resize_with(10_000, || AtomicUsize::new(0));
+        par_ranges(10_000, 16, |start, end| {
+            for i in start..end {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_ranges_empty_and_tiny() {
+        par_ranges(0, 8, |_, _| panic!("must not be called"));
+        let counter = AtomicUsize::new(0);
+        par_ranges(3, 100, |start, end| {
+            counter.fetch_add(end - start, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint() {
+        let mut data = vec![0u32; 5000];
+        par_chunks_mut(&mut data, 8, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (offset + i) as u32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+    }
+
+    #[test]
+    fn global_pool_is_reusable() {
+        for _ in 0..3 {
+            let total = AtomicUsize::new(0);
+            par_ranges(1000, 1, |s, e| {
+                total.fetch_add(e - s, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 1000);
+        }
+    }
+}

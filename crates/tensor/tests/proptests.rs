@@ -1,0 +1,127 @@
+//! Property-based tests for the dense substrate.
+
+use proptest::prelude::*;
+use tensor::f16::F16;
+use tensor::gemm::{sgemm, sgemm_reference};
+use tensor::ops;
+
+fn close(a: f32, b: f32, tol: f32) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The blocked parallel GEMM must agree with the naive reference for
+    /// arbitrary shapes, transposes and scaling factors.
+    #[test]
+    fn gemm_matches_reference(
+        m in 1usize..48,
+        n in 1usize..48,
+        k in 1usize..48,
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (ar, ac) = if ta { (k, m) } else { (m, k) };
+        let (br, bc) = if tb { (n, k) } else { (k, n) };
+        let a: Vec<f32> = (0..ar * ac).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..br * bc).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let c0: Vec<f32> = (0..m * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        sgemm(ta, tb, m, n, k, alpha, &a, ac, &b, bc, beta, &mut c1, n);
+        sgemm_reference(ta, tb, m, n, k, alpha, &a, ac, &b, bc, beta, &mut c2, n);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!(close(*x, *y, 1e-4), "{x} vs {y}");
+        }
+    }
+
+    /// f32 -> f16 -> f32 must be the identity for every value that is
+    /// exactly representable in binary16.
+    #[test]
+    fn f16_roundtrip_representable(bits in any::<u16>()) {
+        let h = F16::from_bits(bits);
+        if h.is_nan() {
+            prop_assert!(F16::from_f32(h.to_f32()).is_nan());
+        } else {
+            prop_assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits);
+        }
+    }
+
+    /// Conversion must round to one of the two nearest representable
+    /// neighbours (never further away).
+    #[test]
+    fn f16_conversion_is_nearest(v in -70000.0f32..70000.0) {
+        let h = F16::from_f32(v);
+        if h.is_finite() {
+            let back = h.to_f32();
+            // The gap between adjacent f16 values around `back`:
+            let ulp = {
+                let next = F16::from_bits(h.to_bits().wrapping_add(1));
+                if next.is_finite() { (next.to_f32() - back).abs() } else { 32.0 }
+            };
+            prop_assert!((back - v).abs() <= ulp, "v={v} back={back} ulp={ulp}");
+        } else {
+            // Overflow to infinity only happens beyond the halfway point
+            // between MAX and the next (unrepresentable) value.
+            prop_assert!(v.abs() >= 65520.0, "v={v} mapped to infinity");
+        }
+    }
+
+    /// Monotonicity: conversion preserves (non-strict) order.
+    #[test]
+    fn f16_conversion_monotone(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let hl = F16::from_f32(lo).to_f32();
+        let hh = F16::from_f32(hi).to_f32();
+        prop_assert!(hl <= hh, "{lo} -> {hl}, {hi} -> {hh}");
+    }
+
+    /// axpy is linear: axpy(a, x, y) == y + a*x elementwise.
+    #[test]
+    fn axpy_is_linear(
+        alpha in -4.0f32..4.0,
+        data in proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 1..200),
+    ) {
+        let x: Vec<f32> = data.iter().map(|p| p.0).collect();
+        let mut y: Vec<f32> = data.iter().map(|p| p.1).collect();
+        let expect: Vec<f32> = data.iter().map(|p| p.1 + alpha * p.0).collect();
+        ops::axpy(alpha, &x, &mut y);
+        for (got, want) in y.iter().zip(&expect) {
+            prop_assert!(close(*got, *want, 1e-6));
+        }
+    }
+
+    /// softmax rows always sum to 1 and are in (0, 1].
+    #[test]
+    fn softmax_rows_normalized(
+        rows in 1usize..6,
+        cols in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-30.0..30.0)).collect();
+        ops::softmax_rows(&mut data, rows, cols);
+        for row in data.chunks(cols) {
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row sum {s}");
+            prop_assert!(row.iter().all(|&v| v > 0.0 && v <= 1.0 + 1e-6));
+        }
+    }
+
+    /// Parallel sum/dot agree with sequential f64 accumulation.
+    #[test]
+    fn sum_and_dot_match_sequential(v in proptest::collection::vec(-100.0f32..100.0, 0..400)) {
+        let seq_sum: f64 = v.iter().map(|&x| x as f64).sum();
+        prop_assert!(close(ops::sum(&v), seq_sum as f32, 1e-5));
+        let seq_dot: f64 = v.iter().map(|&x| (x as f64) * (x as f64)).sum();
+        prop_assert!(close(ops::dot(&v, &v), seq_dot as f32, 1e-5));
+    }
+}

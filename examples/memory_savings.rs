@@ -1,0 +1,57 @@
+//! Sweeps sparsity and reports SAMO's memory savings — the analytic
+//! Fig. 2 curve next to byte-exact measurements of live data structures,
+//! plus the paper's GPT-3 2.7B headline.
+//!
+//! ```sh
+//! cargo run --release --example memory_savings
+//! ```
+
+use models::gpt::ALL_GPT;
+use nn::mixed::{DenseMixedState, Optimizer};
+use nn::optim::AdamConfig;
+use samo::memory;
+use samo::SamoLayerState;
+
+fn main() {
+    let opt = Optimizer::Adam(AdamConfig::default());
+    let phi = 200_000usize;
+    let values: Vec<f32> = (0..phi).map(|i| (i as f32 * 0.01).sin()).collect();
+
+    println!("Fig. 2 — % of model-state memory saved vs sparsity (φ = {phi}):");
+    println!("{:>8}  {:>10}  {:>10}", "sparsity", "analytic", "measured");
+    for i in 0..=10 {
+        let p = i as f64 / 10.0;
+        let mask = prune::random_prune(&[phi], p, 42);
+        let st = SamoLayerState::from_params(&values, mask, &opt);
+        let dense = DenseMixedState::from_params(&values, &opt);
+        let analytic = memory::samo_savings_fraction(p) * 100.0;
+        let measured = 100.0 * (1.0 - st.measured_bytes(true) as f64 / dense.bytes() as f64);
+        println!("{p:>8.1}  {analytic:>9.1}%  {measured:>9.1}%");
+    }
+    println!(
+        "\nbreak-even sparsity (Sec. III-D): {}",
+        memory::BREAK_EVEN_SPARSITY
+    );
+
+    println!("\nModel-state footprints at p = 0.9 for the paper's GPT variants:");
+    println!(
+        "{:>12}  {:>8}  {:>12}  {:>12}  {:>7}",
+        "model", "params", "dense (GB)", "SAMO (GB)", "saved"
+    );
+    for cfg in ALL_GPT {
+        let phi = cfg.params();
+        let dense = memory::m_default_bytes(phi);
+        let samo = memory::m_samo_bytes(phi, 0.9);
+        println!(
+            "{:>12}  {:>7.2}B  {:>12.2}  {:>12.2}  {:>6.0}%",
+            cfg.name,
+            phi as f64 / 1e9,
+            memory::bytes_to_gb(dense),
+            memory::bytes_to_gb(samo),
+            100.0 * (1.0 - samo as f64 / dense as f64)
+        );
+    }
+    println!("\n(The paper's Sec. I headline for GPT-3 2.7B: 80.16 GB -> 20.28 GB, a 74%");
+    println!("reduction, measured on Summit including framework buffers; the pure");
+    println!("model-state formula gives the 78% shown here.)");
+}

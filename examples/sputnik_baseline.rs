@@ -1,0 +1,89 @@
+//! The paper's central design choice, measured live: train the same
+//! pruned layer (a) the Sputnik way — sparse CSR weights, spMM/sDDMM
+//! kernels — and (b) the SAMO way — dense fp16 compute weights,
+//! compressed everything-else. Both produce the same math (tested in the
+//! suite); this example compares their speed and memory on your CPU.
+//!
+//! ```sh
+//! cargo run --release --example sputnik_baseline [n] [sparsity]
+//! ```
+
+use nn::layer::Layer;
+use nn::linear::Linear;
+use nn::loss::mse;
+use nn::mixed::Optimizer;
+use nn::optim::SgdConfig;
+use nn::sparse_linear::SparseLinear;
+use samo::trainer::SamoTrainer;
+use std::time::Instant;
+use tensor::Tensor;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let sparsity: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.9);
+    let batch = 64usize;
+    let steps = 30usize;
+
+    println!("layer {n}x{n}, sparsity {sparsity}, batch {batch}, {steps} training steps\n");
+    let weight = Tensor::randn(&[n, n], (1.0 / n as f32).sqrt(), 1);
+    let mask = prune::magnitude_prune(weight.as_slice(), &[n, n], sparsity);
+    let x = Tensor::randn(&[batch, n], 1.0, 2);
+    let target = Tensor::randn(&[batch, n], 1.0, 3);
+
+    // --- (a) Sputnik-style sparse training. ---
+    let mut sparse_layer = SparseLinear::from_dense_masked(&weight, &mask, None);
+    let t0 = Instant::now();
+    let mut sparse_loss = 0.0;
+    for _ in 0..steps {
+        let y = sparse_layer.forward(&x);
+        let (loss, dy) = mse(&y, &target);
+        sparse_layer.backward(&dy);
+        sparse_layer.sgd_update(0.05);
+        sparse_loss = loss;
+    }
+    let t_sparse = t0.elapsed();
+    // Sparse memory: CSR values + col idx + row ptr + grads.
+    let w = sparse_layer.weight();
+    let sparse_bytes = w.nnz() * (4 + 4) + (w.rows + 1) * 4 + w.nnz() * 4;
+
+    // --- (b) SAMO: dense compute, compressed state. ---
+    let mut dense_layer = Linear::from_weights(weight.clone(), None);
+    let mut trainer = SamoTrainer::new(
+        &mut dense_layer,
+        vec![mask.clone()],
+        Optimizer::Sgd(SgdConfig {
+            lr: 0.05,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }),
+    );
+    let t1 = Instant::now();
+    let mut samo_loss = 0.0;
+    for _ in 0..steps {
+        let y = dense_layer.forward(&x);
+        let (loss, mut dy) = mse(&y, &target);
+        tensor::ops::scale(trainer.loss_scale(), dy.as_mut_slice());
+        dense_layer.backward(&dy);
+        trainer.step(&mut dense_layer);
+        samo_loss = loss;
+    }
+    let t_samo = t1.elapsed();
+    let samo_bytes = trainer.model_state_bytes(true);
+
+    println!("{:>24}  {:>12}  {:>14}  {:>10}", "approach", "time", "state bytes", "final loss");
+    println!(
+        "{:>24}  {:>10.1?}  {:>14}  {:>10.4}",
+        "Sputnik (sparse compute)", t_sparse, sparse_bytes, sparse_loss
+    );
+    println!(
+        "{:>24}  {:>10.1?}  {:>14}  {:>10.4}",
+        "SAMO (dense compute)", t_samo, samo_bytes, samo_loss
+    );
+    println!(
+        "\nspeed ratio (sparse/samo): {:.2}x",
+        t_sparse.as_secs_f64() / t_samo.as_secs_f64()
+    );
+    println!("On the paper's V100s this ratio is 6-22x in dense's favour (Fig. 1);");
+    println!("on CPU the kernels are closer — which is precisely why the repository");
+    println!("carries a calibrated GPU cost model for the scaling figures.");
+}

@@ -1,0 +1,84 @@
+//! Strong-scaling study on the simulated Summit machine: GPT-3 2.7B from
+//! 64 to 512 GPUs across all four frameworks (the paper's Fig. 6 right
+//! panel), with the Fig. 8 phase breakdown.
+//!
+//! ```sh
+//! cargo run --release --example strong_scaling [model]
+//!   model: xl | 2.7b | 6.7b | 13b   (default 2.7b)
+//! ```
+
+use axonn_sim::frameworks::{run_gpt, Framework};
+use models::gpt::{GptConfig, GPT3_13B, GPT3_2_7B, GPT3_6_7B, GPT3_XL};
+use summit_sim::machine::SUMMIT;
+
+fn pick_model(arg: Option<&str>) -> GptConfig {
+    match arg.unwrap_or("2.7b") {
+        "xl" => GPT3_XL,
+        "6.7b" => GPT3_6_7B,
+        "13b" => GPT3_13B,
+        _ => GPT3_2_7B,
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let cfg = pick_model(arg.as_deref());
+    let min_gpus = cfg.batch / 8;
+    let max_gpus = cfg.batch;
+
+    println!(
+        "Strong scaling of {} (batch {} sequences) on simulated Summit:",
+        cfg.name, cfg.batch
+    );
+    println!(
+        "{:>6}  {:>14}  {:>12}  {:>8}  {:>8}  {:>18}",
+        "GPUs", "framework", "batch time", "G_inter", "G_data", "% peak fp16"
+    );
+    let mut gpus = min_gpus;
+    while gpus <= max_gpus {
+        for fw in [
+            Framework::Sputnik,
+            Framework::DeepSpeed3D,
+            Framework::Axonn,
+            Framework::AxonnSamo,
+        ] {
+            match run_gpt(&SUMMIT, &cfg, fw, gpus) {
+                Some(r) => println!(
+                    "{:>6}  {:>14}  {:>10.2} s  {:>8}  {:>8}  {:>17.1}%",
+                    gpus,
+                    fw.name(),
+                    r.batch_time(),
+                    r.config.g_inter,
+                    r.config.g_data,
+                    r.percent_peak(&cfg, &SUMMIT)
+                ),
+                None => println!("{:>6}  {:>14}  infeasible", gpus, fw.name()),
+            }
+        }
+        let a = run_gpt(&SUMMIT, &cfg, Framework::Axonn, gpus);
+        let s = run_gpt(&SUMMIT, &cfg, Framework::AxonnSamo, gpus);
+        if let (Some(a), Some(s)) = (a, s) {
+            println!(
+                "        -> AxoNN+SAMO speedup over AxoNN: {:.0}%",
+                (a.batch_time() / s.batch_time() - 1.0) * 100.0
+            );
+        }
+        println!();
+        gpus *= 2;
+    }
+
+    println!("Phase breakdown at {} GPUs (GPU 0, Fig. 8 style):", max_gpus);
+    for fw in [Framework::Axonn, Framework::AxonnSamo] {
+        if let Some(r) = run_gpt(&SUMMIT, &cfg, fw, max_gpus) {
+            let p = r.phases;
+            println!(
+                "{:>12}: compute {:.2}s | p2p {:.2}s | bubble {:.2}s | collective {:.2}s",
+                fw.name(),
+                p.compute,
+                p.p2p,
+                p.bubble,
+                p.collective
+            );
+        }
+    }
+}

@@ -1,0 +1,2 @@
+//! Root re-export crate for the SAMO reproduction workspace.
+pub use samo;

@@ -1,0 +1,130 @@
+//! Integration: activation checkpointing composed with SAMO training —
+//! the full AxoNN memory stack (paper Sec. II-E: "AxoNN supports mixed
+//! precision training and activation checkpointing"; SAMO then cuts the
+//! model-state side).
+
+use nn::activations::Gelu;
+use nn::checkpoint::Checkpoint;
+use nn::layer::{Layer, Sequential};
+use nn::linear::Linear;
+use nn::loss::mse;
+use nn::mixed::Optimizer;
+use nn::optim::AdamConfig;
+use prune::Mask;
+use samo::trainer::SamoTrainer;
+use tensor::Tensor;
+
+fn block(seed: u64) -> Sequential {
+    Sequential::new()
+        .push(Linear::new(16, 64, true, seed))
+        .push(Gelu::new())
+        .push(Linear::new(64, 16, true, seed + 1))
+}
+
+fn model(seed: u64) -> Sequential {
+    Sequential::new()
+        .push(Checkpoint::new(block(seed)))
+        .push(Checkpoint::new(block(seed + 10)))
+}
+
+fn masks_for(m: &Sequential) -> Vec<Mask> {
+    m.params()
+        .iter()
+        .map(|p| {
+            if p.value.shape().len() >= 2 {
+                prune::magnitude_prune(p.value.as_slice(), p.value.shape(), 0.85)
+            } else {
+                Mask::dense(p.value.shape())
+            }
+        })
+        .collect()
+}
+
+/// SAMO training through checkpointed blocks: loss decreases, pruned
+/// weights stay zero, and activation memory stays at the checkpoint
+/// floor after each forward.
+#[test]
+fn samo_trains_through_checkpointed_blocks() {
+    let mut m = model(3);
+    let masks = masks_for(&m);
+    let mut trainer = SamoTrainer::new(
+        &mut m,
+        masks.clone(),
+        Optimizer::Adam(AdamConfig {
+            lr: 5e-3,
+            ..Default::default()
+        }),
+    );
+
+    let x = Tensor::randn(&[16, 16], 1.0, 4);
+    let target = Tensor::from_vec(&[16, 16], x.as_slice().iter().map(|v| 0.3 * v).collect());
+
+    let mut first = None;
+    let mut last = 0.0;
+    for _ in 0..200 {
+        let y = m.forward(&x);
+        // Post-forward held activations: only the two checkpoint inputs.
+        assert_eq!(m.cached_bytes(), 2 * 16 * 16 * 4);
+        let (loss, mut dy) = mse(&y, &target);
+        tensor::ops::scale(trainer.loss_scale(), dy.as_mut_slice());
+        m.backward(&dy);
+        trainer.step(&mut m);
+        first.get_or_insert(loss);
+        last = loss;
+    }
+    assert!(last < first.unwrap() * 0.3, "{first:?} -> {last}");
+
+    // Pruned positions never moved.
+    for (p, mask) in m.params().iter().zip(&masks) {
+        let keep = mask.to_bools();
+        for (i, &v) in p.value.as_slice().iter().enumerate() {
+            if !keep[i] {
+                assert_eq!(v, 0.0, "{} position {i} moved", p.name);
+            }
+        }
+    }
+}
+
+/// Checkpointed and plain models produce identical SAMO trajectories —
+/// recomputation must not perturb the training math.
+#[test]
+fn checkpointing_does_not_change_samo_trajectory() {
+    let mut plain = Sequential::new().push(block(7)).push(block(17));
+    let mut ckpt = model(7); // same seeds: 7 and 7+10
+    let masks_p = masks_for(&plain);
+    let masks_c = masks_for(&ckpt);
+
+    let opt = || {
+        Optimizer::Adam(AdamConfig {
+            lr: 1e-2,
+            ..Default::default()
+        })
+    };
+    let mut tr_p = SamoTrainer::new(&mut plain, masks_p, opt());
+    let mut tr_c = SamoTrainer::new(&mut ckpt, masks_c, opt());
+
+    let x = Tensor::randn(&[8, 16], 1.0, 9);
+    let target = Tensor::randn(&[8, 16], 1.0, 10);
+    for step in 0..10 {
+        let y1 = plain.forward(&x);
+        let (_, mut d1) = mse(&y1, &target);
+        tensor::ops::scale(tr_p.loss_scale(), d1.as_mut_slice());
+        plain.backward(&d1);
+        tr_p.step(&mut plain);
+
+        let y2 = ckpt.forward(&x);
+        let (_, mut d2) = mse(&y2, &target);
+        tensor::ops::scale(tr_c.loss_scale(), d2.as_mut_slice());
+        ckpt.backward(&d2);
+        tr_c.step(&mut ckpt);
+
+        for (a, b) in plain.params().iter().zip(ckpt.params()) {
+            assert_eq!(
+                a.value.as_slice(),
+                b.value.as_slice(),
+                "step {step}: {} diverged under checkpointing",
+                a.name
+            );
+        }
+    }
+}
