@@ -23,4 +23,7 @@ pub mod pipeline;
 pub use config::{select_config, ParallelConfig, StateStorage};
 pub use memory_report::{memory_map, MemoryMap};
 pub use frameworks::{run_gpt, run_vision, Framework, PhaseBreakdown, RunReport, STUDY_SPARSITY};
-pub use pipeline::{analytic_bubble, ascii_schedule, render_gantt, simulate_pipeline, PipelineSpec};
+pub use pipeline::{
+    analytic_bubble, ascii_schedule, chrome_trace_events, render_gantt, simulate_pipeline,
+    trace_schedule, PipelineSpec, PipelineResult,
+};

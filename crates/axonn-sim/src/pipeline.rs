@@ -64,6 +64,30 @@ pub struct PipelineResult {
     pub per_gpu: Vec<GpuPhases>,
 }
 
+impl PipelineResult {
+    /// Mean bubble fraction across GPUs: idle-not-communicating time
+    /// over wall-clock, averaged over stages.
+    pub fn bubble_fraction(&self) -> f64 {
+        if self.total_time <= 0.0 || self.per_gpu.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.per_gpu.iter().map(|g| g.bubble).sum();
+        sum / (self.total_time * self.per_gpu.len() as f64)
+    }
+
+    /// Per-GPU busy fraction (compute time over wall-clock), one entry
+    /// per stage.
+    pub fn busy_fractions(&self) -> Vec<f64> {
+        if self.total_time <= 0.0 {
+            return vec![0.0; self.per_gpu.len()];
+        }
+        self.per_gpu
+            .iter()
+            .map(|g| g.compute / self.total_time)
+            .collect()
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Op {
     Fwd(usize), // microbatch id
@@ -278,10 +302,41 @@ fn simulate_inner(
         }
     }
 
-    PipelineResult {
+    let result = PipelineResult {
         total_time,
         per_gpu: gpus.into_iter().map(|g| g.phases).collect(),
+    };
+    if telemetry::enabled() {
+        let reg = telemetry::global();
+        reg.gauge("axonn.pipeline.bubble_fraction")
+            .set(result.bubble_fraction());
+        reg.gauge("axonn.pipeline.total_time").set(result.total_time);
+        for (i, busy) in result.busy_fractions().iter().enumerate() {
+            reg.gauge(&format!("axonn.pipeline.gpu{i}.busy_fraction"))
+                .set(*busy);
+        }
     }
+    result
+}
+
+/// Converts a [`trace_schedule`] log into Chrome trace_event complete
+/// events: one event per compute interval, `pid` 0 ("simulated
+/// pipeline"), one `tid` lane per stage, simulation seconds scaled to
+/// trace microseconds. Load the written file in `chrome://tracing` or
+/// Perfetto to see the Fig.-3-style schedule.
+pub fn chrome_trace_events(trace: &[(usize, f64, f64, char)]) -> Vec<telemetry::TraceEvent> {
+    trace
+        .iter()
+        .map(|&(stage, start, end, label)| telemetry::TraceEvent {
+            name: if label == 'F' { "forward" } else { "backward" }.to_string(),
+            cat: "pipeline".to_string(),
+            pid: 0,
+            tid: stage as u64,
+            ts_us: start * 1e6,
+            dur_us: (end - start) * 1e6,
+            args: vec![("op".to_string(), telemetry::json::Json::from(label.to_string()))],
+        })
+        .collect()
 }
 
 /// Closed-form pipeline bubble of Eq. 7: `(t_f + t_b)(1 − 1/G_inter)`,

@@ -1,13 +1,23 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--quick]
+//! repro <experiment> [--quick] [--trace <path>]
 //!   experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap all
 //! ```
 //!
 //! Each experiment prints the regenerated rows/series and writes a CSV
 //! under `results/` (override with `SAMO_RESULTS_DIR`). See
 //! EXPERIMENTS.md for paper-vs-measured commentary.
+//!
+//! Machine-readable output (tables, charts, CSV) goes to stdout; progress
+//! chatter goes to stderr through the `SAMO_LOG` leveled logger
+//! (`quiet|info|debug`). `--trace <path>` enables telemetry
+//! (`SAMO_TELEMETRY=1` does too) and writes a Chrome `trace_event` JSON
+//! file combining the Fig. 3 simulated pipeline schedule (pid 0, one
+//! lane per GPU) with the live per-experiment span timers (pid 1); load
+//! it in `chrome://tracing` or <https://ui.perfetto.dev>. While
+//! telemetry is enabled the trainers also append one line per training
+//! step to `results/metrics.jsonl`.
 
 use axonn_sim::frameworks::{run_gpt, run_vision, Framework};
 use axonn_sim::pipeline::{analytic_bubble, ascii_schedule};
@@ -37,79 +47,60 @@ const ALL_FRAMEWORKS: [Framework; 4] = [
 ];
 
 fn main() {
+    telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let trace_pos = args.iter().position(|a| a == "--trace");
+    let trace_path = match trace_pos {
+        Some(i) => match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => Some(p.clone()),
+            _ => {
+                eprintln!("--trace requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    if trace_path.is_some() {
+        telemetry::set_enabled(true);
+    }
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && trace_pos != Some(i.wrapping_sub(1)))
+        .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_string());
 
-    let run = |name: &str| what == "all" || what == name;
     let mut ran = false;
-    if run("fig1") {
-        fig1(quick);
-        ran = true;
-    }
-    if run("fig2") {
-        fig2();
-        ran = true;
-    }
-    if run("fig3") {
-        fig3();
-        ran = true;
-    }
-    if run("fig4") {
-        fig4(quick);
-        ran = true;
-    }
-    if run("fig5") {
-        fig5();
-        ran = true;
-    }
-    if run("fig6") {
-        fig6_7("fig6", &[(GPT3_XL, 64, 512), (GPT3_2_7B, 64, 512)]);
-        ran = true;
-    }
-    if run("fig7") {
-        fig6_7("fig7", &[(GPT3_6_7B, 128, 1024), (GPT3_13B, 256, 2048)]);
-        ran = true;
-    }
-    if run("fig8") {
-        fig8();
-        ran = true;
-    }
-    if run("table1") {
-        table1();
-        ran = true;
-    }
-    if run("table2") {
-        table2();
-        ran = true;
-    }
-    if run("memory") {
-        memory_headline();
-        ran = true;
-    }
-    if run("ablation") {
-        ablation();
-        ran = true;
-    }
-    if run("sensitivity") {
-        sensitivity();
-        ran = true;
-    }
-    if run("scorecard") {
-        scorecard();
-        ran = true;
-    }
-    if run("cnn") {
-        cnn_accuracy(quick);
-        ran = true;
-    }
-    if run("memorymap") {
-        memorymap();
-        ran = true;
+    {
+        let mut exp = |name: &str, span_name: &'static str, f: &mut dyn FnMut()| {
+            if what == "all" || what == name {
+                let sp = telemetry::enabled().then(|| telemetry::span(span_name));
+                f();
+                drop(sp);
+                ran = true;
+            }
+        };
+        exp("fig1", "repro.fig1", &mut || fig1(quick));
+        exp("fig2", "repro.fig2", &mut fig2);
+        exp("fig3", "repro.fig3", &mut fig3);
+        exp("fig4", "repro.fig4", &mut || fig4(quick));
+        exp("fig5", "repro.fig5", &mut fig5);
+        exp("fig6", "repro.fig6", &mut || {
+            fig6_7("fig6", &[(GPT3_XL, 64, 512), (GPT3_2_7B, 64, 512)])
+        });
+        exp("fig7", "repro.fig7", &mut || {
+            fig6_7("fig7", &[(GPT3_6_7B, 128, 1024), (GPT3_13B, 256, 2048)])
+        });
+        exp("fig8", "repro.fig8", &mut fig8);
+        exp("table1", "repro.table1", &mut table1);
+        exp("table2", "repro.table2", &mut table2);
+        exp("memory", "repro.memory", &mut memory_headline);
+        exp("ablation", "repro.ablation", &mut ablation);
+        exp("sensitivity", "repro.sensitivity", &mut sensitivity);
+        exp("scorecard", "repro.scorecard", &mut scorecard);
+        exp("cnn", "repro.cnn", &mut || cnn_accuracy(quick));
+        exp("memorymap", "repro.memorymap", &mut memorymap);
     }
     if !ran {
         eprintln!(
@@ -117,13 +108,39 @@ fn main() {
         );
         std::process::exit(2);
     }
+
+    telemetry::jsonl::flush();
+    if let Some(path) = trace_path {
+        write_trace(&path);
+    }
+}
+
+/// Writes the Chrome trace: the Fig. 3 simulated pipeline schedule on
+/// pid 0 (one tid lane per GPU) plus every live span recorded during
+/// this run on pid 1.
+fn write_trace(path: &str) {
+    let spec = axonn_sim::PipelineSpec {
+        stages: 3,
+        microbatches: 5,
+        t_fwd: vec![1.0; 3],
+        t_bwd: vec![2.0; 3],
+        msg_bytes: 0,
+        gpu_ids: vec![0; 3],
+        max_in_flight: 5,
+    };
+    let mut events =
+        axonn_sim::chrome_trace_events(&axonn_sim::pipeline::trace_schedule(&SUMMIT, &spec));
+    events.extend(telemetry::trace::span_trace_events(&telemetry::take_spans()));
+    telemetry::trace::write_chrome_trace(std::path::Path::new(path), &events)
+        .expect("write chrome trace");
+    telemetry::log_info!("repro: wrote Chrome trace ({} events) to {path}", events.len());
 }
 
 /// Fig. 1 — dense vs sparse FC-layer kernels at 90% sparsity, batch 576.
 /// Two outputs: the calibrated V100 cost model (the paper's setting) and
 /// a live measurement of this crate's own CPU kernels.
 fn fig1(quick: bool) {
-    println!("\n=== Fig. 1: FC layer, 90% sparsity, batch 576 — V100 model ===");
+    telemetry::log_info!("\n=== Fig. 1: FC layer, 90% sparsity, batch 576 — V100 model ===");
     let mut model_tab = Table::new(
         "fig1_model",
         &["n", "cublas_ms", "sputnik_ms", "cusparse_ms", "sputnik_over_cublas"],
@@ -141,7 +158,7 @@ fn fig1(quick: bool) {
     println!("{}", model_tab.render());
     model_tab.write_csv().expect("write fig1_model.csv");
 
-    println!("=== Fig. 1 (companion): this crate's CPU kernels, measured ===");
+    telemetry::log_info!("=== Fig. 1 (companion): this crate's CPU kernels, measured ===");
     let mut cpu_tab = Table::new(
         "fig1_cpu",
         &["n", "dense_ms", "spmm_ms", "spmm_rowsplit_ms"],
@@ -188,7 +205,7 @@ fn fig1(quick: bool) {
 /// Fig. 2 — analytic memory savings curve, cross-checked against the
 /// byte-exact accounting of a live `SamoLayerState`.
 fn fig2() {
-    println!("\n=== Fig. 2: % model-state memory saved by SAMO vs sparsity ===");
+    telemetry::log_info!("\n=== Fig. 2: % model-state memory saved by SAMO vs sparsity ===");
     let mut tab = Table::new("fig2", &["sparsity", "percent_saved_analytic", "percent_saved_measured"]);
     let phi = 100_000usize;
     for i in 0..=20 {
@@ -237,7 +254,7 @@ fn fig2() {
 /// Fig. 3 — the pipeline schedule illustration (G_inter = 3, five
 /// microbatches, t_b = 2 t_f), plus its bubble accounting vs Eq. 7.
 fn fig3() {
-    println!("\n=== Fig. 3: inter-layer pipeline schedule (G_inter=3, 5 microbatches) ===");
+    telemetry::log_info!("\n=== Fig. 3: inter-layer pipeline schedule (G_inter=3, 5 microbatches) ===");
     let art = ascii_schedule(3, 5);
     println!("{art}");
     println!(
@@ -251,7 +268,7 @@ fn fig3() {
 /// training vs pruned-90%+SAMO training on the synthetic corpus
 /// (substitution for Wikitext-103 / BookCorpus; see DESIGN.md §2).
 fn fig4(quick: bool) {
-    println!("\n=== Fig. 4: validation perplexity, dense AxoNN vs AxoNN+SAMO (p=0.9) ===");
+    telemetry::log_info!("\n=== Fig. 4: validation perplexity, dense AxoNN vs AxoNN+SAMO (p=0.9) ===");
     let iters = if quick { 120 } else { 400 };
     let eval_every = 20;
     let cfg = TinyGptConfig {
@@ -296,7 +313,7 @@ fn fig4(quick: bool) {
         .collect();
     let total: usize = samo_masks.iter().map(|m| m.numel()).sum();
     let kept: usize = samo_masks.iter().map(|m| m.nnz()).sum();
-    println!(
+    telemetry::log_info!(
         "pruned model: {total} params, {kept} kept ({:.1}% overall sparsity)",
         100.0 * (1.0 - kept as f64 / total as f64)
     );
@@ -320,7 +337,7 @@ fn fig4(quick: bool) {
         if it % eval_every == 0 {
             let p_dense = eval(&mut dense_model, &val);
             let p_samo = eval(&mut samo_model, &val);
-            println!("iter {it:4}: AxoNN ppl {p_dense:6.3}   AxoNN+SAMO ppl {p_samo:6.3}");
+            telemetry::log_info!("iter {it:4}: AxoNN ppl {p_dense:6.3}   AxoNN+SAMO ppl {p_samo:6.3}");
             tab.push(vec![it.to_string(), format!("{p_dense:.4}"), format!("{p_samo:.4}")]);
             curve_dense.push((it as f64, p_dense as f64));
             curve_samo.push((it as f64, p_samo as f64));
@@ -365,7 +382,7 @@ fn fig4(quick: bool) {
 /// Fig. 5 — strong scaling of WideResnet-101 and VGG-19 (pure data
 /// parallelism), 16–128 GPUs, batch 128.
 fn fig5() {
-    println!("\n=== Fig. 5: CNN strong scaling (batch 128, data parallel) ===");
+    telemetry::log_info!("\n=== Fig. 5: CNN strong scaling (batch 128, data parallel) ===");
     let mut tab = Table::new(
         "fig5",
         &["model", "gpus", "framework", "batch_time_ms", "speedup_over_axonn"],
@@ -397,7 +414,7 @@ fn fig5() {
 
 /// Figs. 6 & 7 — GPT strong scaling across the four frameworks.
 fn fig6_7(name: &str, models: &[(GptConfig, usize, usize)]) {
-    println!("\n=== {}: GPT strong scaling ===", name.to_uppercase());
+    telemetry::log_info!("\n=== {}: GPT strong scaling ===", name.to_uppercase());
     let mut tab = Table::new(
         name,
         &["model", "gpus", "framework", "batch_time_s", "g_inter", "speedup_over_axonn"],
@@ -454,7 +471,7 @@ fn fig6_7(name: &str, models: &[(GptConfig, usize, usize)]) {
 
 /// Fig. 8 — batch-time phase breakdown for GPT-3 2.7B on GPU 0.
 fn fig8() {
-    println!("\n=== Fig. 8: batch time breakdown, GPT-3 2.7B (GPU 0) ===");
+    telemetry::log_info!("\n=== Fig. 8: batch time breakdown, GPT-3 2.7B (GPU 0) ===");
     let mut tab = Table::new(
         "fig8",
         &["gpus", "framework", "compute_s", "p2p_s", "bubble_s", "collective_s", "total_s"],
@@ -493,7 +510,7 @@ fn fig8() {
 
 /// Table I — the model zoo.
 fn table1() {
-    println!("\n=== Table I: networks, batch sizes, GPU ranges ===");
+    telemetry::log_info!("\n=== Table I: networks, batch sizes, GPU ranges ===");
     let mut tab = Table::new("table1", &["network", "params", "batch", "gpus"]);
     for row in table_i() {
         tab.push(vec![
@@ -509,7 +526,7 @@ fn table1() {
 
 /// Table II — % of peak half-precision throughput, GPT-3 13B.
 fn table2() {
-    println!("\n=== Table II: % of peak fp16 throughput, GPT-3 13B ===");
+    telemetry::log_info!("\n=== Table II: % of peak fp16 throughput, GPT-3 13B ===");
     let mut tab = Table::new(
         "table2",
         &["gpus", "Sputnik", "DeepSpeed-3D", "AxoNN", "AxoNN+SAMO"],
@@ -530,7 +547,7 @@ fn table2() {
 
 /// The Sec.-I memory headline: GPT-3 2.7B model state at p = 0.9.
 fn memory_headline() {
-    println!("\n=== Memory headline: GPT-3 2.7B model state at p=0.9 ===");
+    telemetry::log_info!("\n=== Memory headline: GPT-3 2.7B model state at p=0.9 ===");
     let phi = GPT3_2_7B.params();
     let dense = memory::m_default_bytes(phi);
     let samo = memory::m_samo_bytes(phi, 0.9);
@@ -559,7 +576,7 @@ fn memory_headline() {
 /// smaller `G_inter` vs the compressed all-reduce.
 fn ablation() {
     use axonn_sim::frameworks::{run_gpt_samo_ablation, SamoAblation};
-    println!("\n=== Ablation: SAMO's two communication channels (GPT-3 2.7B) ===");
+    telemetry::log_info!("\n=== Ablation: SAMO's two communication channels (GPT-3 2.7B) ===");
     let mut tab = Table::new(
         "ablation",
         &["gpus", "axonn_s", "only_collective_s", "only_g_inter_s", "full_samo_s"],
@@ -598,7 +615,7 @@ fn ablation() {
 /// would the result survive on a different cluster?
 fn sensitivity() {
     use summit_sim::machine::Machine;
-    println!("\n=== Sensitivity: SAMO speedup vs machine parameters (2.7B @ 512 GPUs) ===");
+    telemetry::log_info!("\n=== Sensitivity: SAMO speedup vs machine parameters (2.7B @ 512 GPUs) ===");
     let speedup_on = |m: &Machine| -> Option<f64> {
         let a = run_gpt(m, &GPT3_2_7B, Framework::Axonn, 512)?;
         let s = run_gpt(m, &GPT3_2_7B, Framework::AxonnSamo, 512)?;
@@ -657,7 +674,7 @@ fn sensitivity() {
 /// Scorecard: programmatic paper-vs-ours comparison on every anchor the
 /// paper states numerically.
 fn scorecard() {
-    println!("\n=== Scorecard: paper anchors vs this reproduction ===");
+    telemetry::log_info!("\n=== Scorecard: paper anchors vs this reproduction ===");
     let mut tab = Table::new("scorecard", &["anchor", "paper", "ours", "verdict"]);
     let mut push = |anchor: &str, paper: String, ours: String, ok: bool| {
         tab.push(vec![
@@ -756,7 +773,7 @@ fn scorecard() {
 fn cnn_accuracy(quick: bool) {
     use models::tiny_cnn::{ShapeDataset, TinyCnn, CNN_CLASSES};
     use nn::optim::SgdConfig;
-    println!("\n=== CNN statistical efficiency: dense vs pruned+SAMO (SGD) ===");
+    telemetry::log_info!("\n=== CNN statistical efficiency: dense vs pruned+SAMO (SGD) ===");
     let iters = if quick { 60 } else { 200 };
     let sgd = Optimizer::Sgd(SgdConfig {
         lr: 0.05,
@@ -801,7 +818,7 @@ fn cnn_accuracy(quick: bool) {
         if it % 20 == 0 {
             let a_dense = accuracy(&mut dense, 999);
             let a_samo = accuracy(&mut pruned, 999);
-            println!("iter {it:4}: dense acc {a_dense:.2}   pruned+SAMO acc {a_samo:.2}");
+            telemetry::log_info!("iter {it:4}: dense acc {a_dense:.2}   pruned+SAMO acc {a_samo:.2}");
             tab.push(vec![it.to_string(), format!("{a_dense:.3}"), format!("{a_samo:.3}")]);
         }
         if it == iters {
@@ -833,7 +850,7 @@ fn cnn_accuracy(quick: bool) {
 fn memorymap() {
     use axonn_sim::config::StateStorage;
     use axonn_sim::memory_report::memory_map;
-    println!("\n=== Per-GPU memory map (behind the 80.16 GB -> 20.28 GB headline) ===");
+    telemetry::log_info!("\n=== Per-GPU memory map (behind the 80.16 GB -> 20.28 GB headline) ===");
     let mut tab = Table::new(
         "memorymap",
         &["model", "storage", "g_inter", "state_gb", "act_gb", "framework_gb", "total_gb", "instance_gb"],

@@ -75,17 +75,32 @@ impl Table {
     }
 
     /// Writes the table as CSV under `results/<name>.csv` and returns
-    /// the path.
+    /// the path. Cells are quoted per RFC 4180 when they contain commas,
+    /// quotes or newlines.
     pub fn write_csv(&self) -> std::io::Result<PathBuf> {
         let dir = results_dir();
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.csv", self.name));
         let mut f = fs::File::create(&path)?;
-        writeln!(f, "{}", self.header.join(","))?;
+        let join = |cells: &[String]| {
+            cells.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(",")
+        };
+        writeln!(f, "{}", join(&self.header))?;
         for row in &self.rows {
-            writeln!(f, "{}", row.join(","))?;
+            writeln!(f, "{}", join(row))?;
         }
         Ok(path)
+    }
+}
+
+/// RFC 4180 cell quoting: cells containing a comma, double quote, CR or
+/// LF are wrapped in double quotes with embedded quotes doubled; all
+/// other cells pass through unchanged.
+pub fn csv_escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
     }
 }
 
@@ -127,7 +142,33 @@ mod tests {
     }
 
     #[test]
+    fn csv_escapes_special_cells_rfc4180() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("line1\nline2"), "\"line1\nline2\"");
+        assert_eq!(csv_escape("cr\rcell"), "\"cr\rcell\"");
+
+        // Serializes SAMO_RESULTS_DIR mutation against csv_roundtrip.
+        let _guard = telemetry::registry::test_lock();
+        let dir = std::env::temp_dir().join(format!("samo-csv-test-{}", std::process::id()));
+        std::env::set_var("SAMO_RESULTS_DIR", &dir);
+        let mut t = Table::new("unit_csv_quote", &["name", "note"]);
+        t.push(vec!["GPT-3 6.7B".into(), "adam, fp16".into()]);
+        t.push(vec!["with \"quote\"".into(), "multi\nline".into()]);
+        let path = t.write_csv().unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert_eq!(
+            body,
+            "name,note\nGPT-3 6.7B,\"adam, fp16\"\n\"with \"\"quote\"\"\",\"multi\nline\"\n"
+        );
+        std::env::remove_var("SAMO_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn csv_roundtrip() {
+        let _guard = telemetry::registry::test_lock();
         let dir = std::env::temp_dir().join("samo-test-results");
         std::env::set_var("SAMO_RESULTS_DIR", &dir);
         let mut t = Table::new("unit_csv", &["x", "y"]);

@@ -14,7 +14,7 @@
 //!    expanded into every replica's dense θ16.
 
 use crate::sharded::ShardedSamoLayerState;
-use crate::trainer::allreduce_mean_f16;
+use crate::trainer::{allreduce_mean_f16, samo_allreduce_bytes};
 use nn::layer::Layer;
 use nn::mixed::{LossScaler, Optimizer};
 use prune::Mask;
@@ -28,6 +28,9 @@ pub struct DataParallelSamo<M: Layer> {
     opt: Optimizer,
     scaler: LossScaler,
     steps_taken: u64,
+    steps_skipped: u64,
+    /// Cumulative compressed-gradient bytes moved through the all-reduce.
+    allreduce_bytes: u64,
 }
 
 impl<M: Layer> DataParallelSamo<M> {
@@ -79,6 +82,8 @@ impl<M: Layer> DataParallelSamo<M> {
             opt,
             scaler: LossScaler::default(),
             steps_taken: 0,
+            steps_skipped: 0,
+            allreduce_bytes: 0,
         }
     }
 
@@ -108,6 +113,28 @@ impl<M: Layer> DataParallelSamo<M> {
         self.steps_taken
     }
 
+    /// Steps skipped on gradient overflow (every rank skips together).
+    pub fn steps_skipped(&self) -> u64 {
+        self.steps_skipped
+    }
+
+    /// Cumulative compressed-gradient bytes this group has moved through
+    /// its all-reduce (`2·fφ` per step — skipped steps included, since
+    /// the collective runs before the overflow check).
+    pub fn allreduce_bytes(&self) -> u64 {
+        self.allreduce_bytes
+    }
+
+    /// Total parameters φ (per replica).
+    pub fn numel(&self) -> usize {
+        self.states[0].iter().map(|s| s.numel()).sum()
+    }
+
+    /// Unpruned parameters fφ (per replica).
+    pub fn nnz(&self) -> usize {
+        self.states[0].iter().map(|s| s.nnz()).sum()
+    }
+
     /// Per-rank model-state bytes (all ranks hold the same amount ±1
     /// shard-remainder element).
     pub fn bytes_per_rank(&self) -> u64 {
@@ -118,17 +145,21 @@ impl<M: Layer> DataParallelSamo<M> {
     /// with the scaled loss: compress → all-reduce → shard-step →
     /// all-gather → expand. Returns `false` if skipped on overflow.
     pub fn step(&mut self) -> bool {
+        let tel = telemetry::enabled();
         let d = self.replicas.len();
         let nparams = self.states[0].len();
 
         // 1. Compress each rank's gradients.
+        let sp = tel.then(|| telemetry::span("samo.dp.compress"));
         for (model, rank_states) in self.replicas.iter_mut().zip(&mut self.states) {
             for (p, st) in model.params_mut().into_iter().zip(rank_states.iter_mut()) {
                 st.compress_grad(p.grad.as_slice());
             }
         }
+        let t_compress = sp.map(telemetry::SpanGuard::finish);
 
         // 2. All-reduce (mean) the compressed fp16 gradients per param.
+        let sp = tel.then(|| telemetry::span("samo.dp.allreduce"));
         for pi in 0..nparams {
             let mut bufs: Vec<&mut [F16]> = Vec::with_capacity(d);
             // Split-borrow across ranks.
@@ -139,6 +170,10 @@ impl<M: Layer> DataParallelSamo<M> {
             }
             allreduce_mean_f16(&mut bufs);
         }
+        let t_allreduce = sp.map(telemetry::SpanGuard::finish);
+        // The collective has run by now whether or not the step applies.
+        let step_allreduce_bytes = samo_allreduce_bytes(self.nnz() as u64);
+        self.allreduce_bytes += step_allreduce_bytes;
 
         // Overflow check on the reduced gradients.
         let finite = !self
@@ -152,10 +187,15 @@ impl<M: Layer> DataParallelSamo<M> {
             for model in &mut self.replicas {
                 model.zero_grad();
             }
+            self.steps_skipped += 1;
+            if tel {
+                self.record_step(false, scale, step_allreduce_bytes, t_compress, t_allreduce, None);
+            }
             return false;
         }
 
         // 3–4. Each rank steps its shard; gather shards per parameter.
+        let sp = tel.then(|| telemetry::span("samo.dp.shard_step"));
         for pi in 0..nparams {
             let nnz = self.states[0][pi].grad16.len();
             let mut gathered = vec![F16::ZERO; nnz];
@@ -177,8 +217,70 @@ impl<M: Layer> DataParallelSamo<M> {
                 p.zero_grad();
             }
         }
+        let t_shard_step = sp.map(telemetry::SpanGuard::finish);
         self.steps_taken += 1;
+        if tel {
+            self.record_step(
+                true,
+                scale,
+                step_allreduce_bytes,
+                t_compress,
+                t_allreduce,
+                t_shard_step,
+            );
+        }
         true
+    }
+
+    /// Cold path: metric/JSONL bookkeeping for one completed `step()`.
+    fn record_step(
+        &self,
+        applied: bool,
+        scale_used: f32,
+        step_allreduce_bytes: u64,
+        t_compress: Option<f64>,
+        t_allreduce: Option<f64>,
+        t_shard_step: Option<f64>,
+    ) {
+        let reg = telemetry::global();
+        reg.counter(if applied {
+            "samo.dp.steps_taken"
+        } else {
+            "samo.dp.steps_skipped"
+        })
+        .inc();
+        reg.counter("samo.dp.allreduce_bytes")
+            .add(step_allreduce_bytes);
+        reg.gauge("samo.dp.loss_scale")
+            .set(f64::from(self.scaler.scale()));
+        let bytes = self.bytes_per_rank();
+        reg.gauge("samo.dp.bytes_per_rank").set_max(bytes as f64);
+        let mut phases = Vec::new();
+        if let Some(t) = t_compress {
+            phases.push(("compress", t));
+        }
+        if let Some(t) = t_allreduce {
+            phases.push(("allreduce", t));
+        }
+        if let Some(t) = t_shard_step {
+            phases.push(("shard_step", t));
+        }
+        telemetry::jsonl::emit_step(&telemetry::StepEvent {
+            kind: "samo_dp",
+            step: self.steps_taken + self.steps_skipped - 1,
+            applied,
+            loss_scale: scale_used,
+            steps_taken: self.steps_taken,
+            steps_skipped: self.steps_skipped,
+            numel: self.numel() as u64,
+            nnz: self.nnz() as u64,
+            model_state_bytes: bytes,
+            // Sharded per-rank state has per-rank remainders; the paper's
+            // closed form does not apply verbatim, so it is omitted.
+            formula_state_bytes: None,
+            allreduce_bytes: step_allreduce_bytes,
+            phases,
+        });
     }
 }
 
@@ -321,5 +423,35 @@ mod tests {
             assert_eq!(p.value.as_slice(), &want[..]);
         }
         assert_eq!(dp.steps_taken(), 0);
+        assert_eq!(dp.steps_skipped(), 1);
+        // The all-reduce ran before the overflow was detected, so its
+        // bytes still count: 2·fφ for one step.
+        assert_eq!(dp.allreduce_bytes(), 2 * dp.nnz() as u64);
+    }
+
+    #[test]
+    fn allreduce_bytes_accumulate_per_step() {
+        let masks2 = masks(&model(13));
+        let mut dp = DataParallelSamo::new(vec![model(13), model(13)], masks2, adam());
+        dp.set_scaler(LossScaler::new(128.0));
+        assert_eq!(dp.allreduce_bytes(), 0);
+        let per_step = 2 * dp.nnz() as u64;
+        for step in 0..3 {
+            for r in 0..dp.world_size() {
+                let scale = dp.loss_scale();
+                let x = Tensor::randn(&[4, 6], 1.0, 500 + (step * 2 + r) as u64);
+                let t = Tensor::randn(&[4, 6], 1.0, 600 + (step * 2 + r) as u64);
+                let m = dp.replica_mut(r);
+                let y = m.forward(&x);
+                let (_, mut dy) = mse(&y, &t);
+                tensor::ops::scale(scale, dy.as_mut_slice());
+                m.backward(&dy);
+            }
+            dp.step();
+        }
+        assert_eq!(dp.allreduce_bytes(), 3 * per_step);
+        assert_eq!(dp.steps_taken() + dp.steps_skipped(), 3);
+        // φ and fφ agree with the underlying masks.
+        assert!(dp.nnz() < dp.numel());
     }
 }

@@ -94,6 +94,16 @@ impl ShardedSamoLayerState {
         (self.lo, self.hi)
     }
 
+    /// Total parameters φ in this tensor.
+    pub fn numel(&self) -> usize {
+        self.mask.numel()
+    }
+
+    /// Unpruned parameters fφ in this tensor.
+    pub fn nnz(&self) -> usize {
+        self.mask.nnz()
+    }
+
     /// Rank index.
     pub fn shard_id(&self) -> usize {
         self.shard_id

@@ -117,22 +117,37 @@ impl SamoTrainer {
     /// parameter gradient (layer granularity), checks for overflow,
     /// applies the optimizer on compressed state, and expands the updated
     /// θ16 back into the model. Returns `false` if the step was skipped.
+    ///
+    /// With telemetry enabled, each phase is timed (`samo.step.compress`,
+    /// `samo.step.optimizer`, `samo.step.expand`) and one [`telemetry::StepEvent`]
+    /// line is appended to `metrics.jsonl`; disabled, the only overhead
+    /// is one atomic load.
     pub fn step(&mut self, model: &mut impl Layer) -> bool {
+        let tel = telemetry::enabled();
         let params = model.params_mut();
         assert_eq!(params.len(), self.layers.len());
         // Backward pass hook: compress gradients layer by layer.
+        let sp = tel.then(|| telemetry::span("samo.step.compress"));
         for (p, st) in params.iter().zip(&mut self.layers) {
             st.compress_grad(p.grad.as_slice());
         }
+        let t_compress = sp.map(telemetry::SpanGuard::finish);
         let finite = !self.layers.iter().any(|l| l.grads_non_finite());
         let scale = self.scaler.scale();
         let proceed = self.scaler.check_and_update(finite);
+        let (mut t_optimizer, mut t_expand) = (None, None);
         if proceed {
-            for (p, st) in params.into_iter().zip(&mut self.layers) {
+            let sp = tel.then(|| telemetry::span("samo.step.optimizer"));
+            for st in &mut self.layers {
                 st.optimizer_step(&self.opt, 1.0 / scale);
+            }
+            t_optimizer = sp.map(telemetry::SpanGuard::finish);
+            let sp = tel.then(|| telemetry::span("samo.step.expand"));
+            for (p, st) in params.into_iter().zip(&self.layers) {
                 p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
                 p.zero_grad();
             }
+            t_expand = sp.map(telemetry::SpanGuard::finish);
             self.steps_taken += 1;
         } else {
             for p in params {
@@ -140,7 +155,78 @@ impl SamoTrainer {
             }
             self.steps_skipped += 1;
         }
+        if tel {
+            self.record_step(proceed, scale, t_compress, t_optimizer, t_expand);
+        }
         proceed
+    }
+
+    /// Cold path: metric/JSONL bookkeeping for one completed `step()`.
+    fn record_step(
+        &self,
+        applied: bool,
+        scale_used: f32,
+        t_compress: Option<f64>,
+        t_optimizer: Option<f64>,
+        t_expand: Option<f64>,
+    ) {
+        let numel = self.numel() as u64;
+        let nnz = self.nnz() as u64;
+        let reg = telemetry::global();
+        reg.counter(if applied {
+            "samo.steps_taken"
+        } else {
+            "samo.steps_skipped"
+        })
+        .inc();
+        reg.gauge("samo.loss_scale")
+            .set(f64::from(self.scaler.scale()));
+        let bytes = self.model_state_bytes(true);
+        reg.gauge("samo.model_state_bytes").set_max(bytes as f64);
+        let mut phases = Vec::new();
+        if let Some(t) = t_compress {
+            phases.push(("compress", t));
+        }
+        if let Some(t) = t_optimizer {
+            phases.push(("optimizer", t));
+        }
+        if let Some(t) = t_expand {
+            phases.push(("expand", t));
+        }
+        telemetry::jsonl::emit_step(&telemetry::StepEvent {
+            kind: "samo",
+            step: self.steps_taken + self.steps_skipped - 1,
+            applied,
+            loss_scale: scale_used,
+            steps_taken: self.steps_taken,
+            steps_skipped: self.steps_skipped,
+            numel,
+            nnz,
+            model_state_bytes: bytes,
+            formula_state_bytes: Some(formula_state_bytes(&self.opt, numel, nnz)),
+            allreduce_bytes: samo_allreduce_bytes(nnz),
+            phases,
+        });
+    }
+}
+
+/// Closed-form peak SAMO model-state bytes for `phi` parameters with
+/// `nnz` kept: the paper's `2φ + 24·nnz` for Adam (Eq. 2's `24fφ + 2φ`
+/// at exact integer granularity) and `2φ + 20·nnz` for SGD with
+/// momentum. Matches [`SamoTrainer::model_state_bytes`] exactly.
+pub fn formula_state_bytes(opt: &Optimizer, phi: u64, nnz: u64) -> u64 {
+    match opt {
+        Optimizer::Adam(_) => 2 * phi + 24 * nnz,
+        Optimizer::Sgd(_) => 2 * phi + 20 * nnz,
+    }
+}
+
+/// Closed-form dense mixed-precision model-state bytes: `20φ` (Adam) or
+/// `16φ` (SGD). Matches [`DenseMaskedTrainer::model_state_bytes`].
+pub fn dense_formula_state_bytes(opt: &Optimizer, phi: u64) -> u64 {
+    match opt {
+        Optimizer::Adam(_) => 20 * phi,
+        Optimizer::Sgd(_) => 16 * phi,
     }
 }
 
@@ -152,6 +238,8 @@ pub struct DenseMaskedTrainer {
     pub layers: Vec<(DenseMixedState, Mask)>,
     pub opt: Optimizer,
     pub scaler: LossScaler,
+    steps_taken: u64,
+    steps_skipped: u64,
 }
 
 impl DenseMaskedTrainer {
@@ -173,6 +261,8 @@ impl DenseMaskedTrainer {
             layers,
             opt,
             scaler: LossScaler::default(),
+            steps_taken: 0,
+            steps_skipped: 0,
         }
     }
 
@@ -186,24 +276,49 @@ impl DenseMaskedTrainer {
         self.layers.iter().map(|(st, _)| st.bytes() as u64).sum()
     }
 
+    /// Total parameters φ across all layers.
+    pub fn numel(&self) -> usize {
+        self.layers.iter().map(|(_, m)| m.numel()).sum()
+    }
+
+    /// Unpruned parameters fφ.
+    pub fn nnz(&self) -> usize {
+        self.layers.iter().map(|(_, m)| m.nnz()).sum()
+    }
+
+    /// Steps applied (not skipped by the loss scaler).
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Steps skipped due to gradient overflow.
+    pub fn steps_skipped(&self) -> u64 {
+        self.steps_skipped
+    }
+
     /// Dense counterpart of [`SamoTrainer::step`]: masks gradients (the
     /// subnetwork constraint), runs the dense optimizer, re-masks
     /// parameters, writes back.
     pub fn step(&mut self, model: &mut impl Layer) -> bool {
+        let tel = telemetry::enabled();
         let params = model.params_mut();
         assert_eq!(params.len(), self.layers.len());
+        let sp = tel.then(|| telemetry::span("dense.step.mask_grad"));
         for (p, (st, mask)) in params.iter().zip(&mut self.layers) {
             let mut g = p.grad.as_slice().to_vec();
             mask.apply(&mut g);
             st.set_grad_from_f32(&g);
         }
+        let t_mask_grad = sp.map(telemetry::SpanGuard::finish);
         let finite = !self
             .layers
             .iter()
             .any(|(st, _)| st.grad16.iter().any(|g| !g.is_finite()));
         let scale = self.scaler.scale();
         let proceed = self.scaler.check_and_update(finite);
+        let mut t_optimizer = None;
         if proceed {
+            let sp = tel.then(|| telemetry::span("dense.step.optimizer"));
             for (p, (st, mask)) in params.into_iter().zip(&mut self.layers) {
                 st.optimizer_step(&self.opt, 1.0 / scale);
                 // Keep pruned positions exactly zero (masked subnetwork
@@ -218,12 +333,62 @@ impl DenseMaskedTrainer {
                 p.value.as_mut_slice().copy_from_slice(&dense);
                 p.zero_grad();
             }
+            t_optimizer = sp.map(telemetry::SpanGuard::finish);
+            self.steps_taken += 1;
         } else {
             for p in params {
                 p.zero_grad();
             }
+            self.steps_skipped += 1;
+        }
+        if tel {
+            self.record_step(proceed, scale, t_mask_grad, t_optimizer);
         }
         proceed
+    }
+
+    /// Cold path: metric/JSONL bookkeeping for one completed `step()`.
+    fn record_step(
+        &self,
+        applied: bool,
+        scale_used: f32,
+        t_mask_grad: Option<f64>,
+        t_optimizer: Option<f64>,
+    ) {
+        let numel = self.numel() as u64;
+        let nnz = self.nnz() as u64;
+        let reg = telemetry::global();
+        reg.counter(if applied {
+            "dense.steps_taken"
+        } else {
+            "dense.steps_skipped"
+        })
+        .inc();
+        reg.gauge("dense.loss_scale")
+            .set(f64::from(self.scaler.scale()));
+        let bytes = self.model_state_bytes();
+        reg.gauge("dense.model_state_bytes").set_max(bytes as f64);
+        let mut phases = Vec::new();
+        if let Some(t) = t_mask_grad {
+            phases.push(("mask_grad", t));
+        }
+        if let Some(t) = t_optimizer {
+            phases.push(("optimizer", t));
+        }
+        telemetry::jsonl::emit_step(&telemetry::StepEvent {
+            kind: "dense_masked",
+            step: self.steps_taken + self.steps_skipped - 1,
+            applied,
+            loss_scale: scale_used,
+            steps_taken: self.steps_taken,
+            steps_skipped: self.steps_skipped,
+            numel,
+            nnz,
+            model_state_bytes: bytes,
+            formula_state_bytes: Some(dense_formula_state_bytes(&self.opt, numel)),
+            allreduce_bytes: dense_allreduce_bytes(numel),
+            phases,
+        });
     }
 }
 

@@ -21,6 +21,9 @@ use crate::tiny_cnn::CNN_CLASSES;
 /// big-classifier shape that makes VGG communication-heavy relative to
 /// its compute in Fig. 5.
 pub fn build_vgg_nano(seed: u64) -> Sequential {
+    if telemetry::enabled() {
+        telemetry::global().counter("models.built").inc();
+    }
     Sequential::new()
         .push(Conv2d::new(1, 8, 3, 1, 1, false, seed))
         .push(BatchNorm2d::new(8))
@@ -58,6 +61,9 @@ fn residual_block(channels: usize, seed: u64) -> Residual<Sequential> {
 /// average pooling, linear head — the residual + GAP shape that makes
 /// WideResnet compute-heavy relative to its parameter count.
 pub fn build_resnet_nano(seed: u64) -> Sequential {
+    if telemetry::enabled() {
+        telemetry::global().counter("models.built").inc();
+    }
     Sequential::new()
         .push(Conv2d::new(1, 12, 3, 1, 1, false, seed))
         .push(BatchNorm2d::new(12))

@@ -14,7 +14,14 @@
 //! assigning an equal number of *nonzeros* (not rows) to each task.
 
 use crate::formats::Csr;
+use std::sync::{Arc, OnceLock};
 use tensor::pool::ThreadPool;
+
+/// Cached `sparse.spmm_calls` counter handle (all spMM variants).
+fn spmm_calls() -> &'static Arc<telemetry::Counter> {
+    static CALLS: OnceLock<Arc<telemetry::Counter>> = OnceLock::new();
+    CALLS.get_or_init(|| telemetry::global().counter("sparse.spmm_calls"))
+}
 
 /// spMM: `C = A_sparse · B`, where `A` is `m × k` CSR, `B` is dense
 /// row-major `k × n`, `C` is dense row-major `m × n` (overwritten).
@@ -25,6 +32,9 @@ pub fn spmm(a: &Csr, b: &[f32], n: usize, c: &mut [f32]) {
     assert_eq!(c.len(), a.rows * n, "C must be m x n");
     if a.rows == 0 || n == 0 {
         return;
+    }
+    if telemetry::enabled() {
+        spmm_calls().inc();
     }
     let pool = ThreadPool::global();
     let rows_per_task = a.rows.div_ceil(pool.workers() * 4).max(1);
@@ -76,6 +86,9 @@ pub fn spmm_row_split(a: &Csr, b: &[f32], n: usize, c: &mut [f32]) {
     assert_eq!(c.len(), a.rows * n, "C must be m x n");
     if a.rows == 0 || n == 0 {
         return;
+    }
+    if telemetry::enabled() {
+        spmm_calls().inc();
     }
     let pool = ThreadPool::global();
     let splits = balanced_row_splits(a, pool.workers() * 4);
@@ -194,6 +207,9 @@ pub fn spmm_f16(
     assert_eq!(col_idx.len(), values.len());
     if rows == 0 || n == 0 {
         return;
+    }
+    if telemetry::enabled() {
+        spmm_calls().inc();
     }
     let pool = ThreadPool::global();
     let rows_per_task = rows.div_ceil(pool.workers() * 4).max(1);

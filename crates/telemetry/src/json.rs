@@ -1,0 +1,165 @@
+//! A deliberately tiny JSON writer — just enough for trace files and
+//! JSONL metric lines, with correct string escaping and round-trippable
+//! number formatting, so the crate stays free of heavy serialisation
+//! dependencies.
+
+use std::fmt::Write as _;
+
+/// An owned JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Finite floats print via Rust's shortest round-trip `Display`;
+    /// NaN/inf degrade to `null` (JSON has no spelling for them).
+    Num(f64),
+    Int(i64),
+    UInt(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // `{}` on f64 is shortest-round-trip, but bare
+                    // integers like `1` are still valid JSON numbers.
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::from("fwd \"x\"\n")),
+            ("n".into(), Json::UInt(3)),
+            ("t".into(), Json::Num(1.5)),
+            ("neg".into(), Json::Int(-2)),
+            ("ok".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            ("xs".into(), Json::Arr(vec![Json::UInt(1), Json::UInt(2)])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"fwd \"x\"\n","n":3,"t":1.5,"neg":-2,"ok":true,"none":null,"xs":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn control_chars_and_nonfinite() {
+        assert_eq!(Json::from("\u{1}").render(), "\"\\u0001\"");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        // Integral floats still print as valid JSON numbers.
+        assert_eq!(Json::Num(2.0).render(), "2");
+    }
+}

@@ -1,0 +1,192 @@
+//! One-line-per-training-step JSONL metric records.
+//!
+//! Trainers emit a [`StepEvent`] per optimizer step; with telemetry
+//! enabled each event is appended as a single JSON object line to
+//! `<results>/metrics.jsonl`, where `<results>` honours
+//! `SAMO_RESULTS_DIR` (default `results`). The file is truncated the
+//! first time the process writes to it, so each run starts clean.
+
+use crate::json::Json;
+use parking_lot::Mutex;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Everything worth recording about one training step.
+///
+/// `formula_state_bytes` is the paper's closed-form model-state size
+/// (Adam: `2φ + 24·nnz`, SGD: `2φ + 20·nnz`); it is `None` where the
+/// closed form does not apply verbatim (e.g. sharded data-parallel
+/// replicas with per-rank remainders).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepEvent {
+    /// Which trainer produced the event: `samo`, `dense_masked`, `samo_dp`.
+    pub kind: &'static str,
+    /// 0-based index of this `step()` call (applied or skipped).
+    pub step: u64,
+    /// False when the dynamic loss scaler skipped the update.
+    pub applied: bool,
+    pub loss_scale: f32,
+    pub steps_taken: u64,
+    pub steps_skipped: u64,
+    /// Total parameter count φ.
+    pub numel: u64,
+    /// Parameters surviving the prune mask.
+    pub nnz: u64,
+    /// Measured bytes of persistent model state.
+    pub model_state_bytes: u64,
+    /// Closed-form model-state bytes, where the formula applies.
+    pub formula_state_bytes: Option<u64>,
+    /// Gradient bytes this step would move through all-reduce.
+    pub allreduce_bytes: u64,
+    /// `(phase name, seconds)` wall-clock timings for this step.
+    pub phases: Vec<(&'static str, f64)>,
+}
+
+impl StepEvent {
+    /// The JSON object written as one line.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("kind".into(), Json::from(self.kind)),
+            ("step".into(), Json::UInt(self.step)),
+            ("applied".into(), Json::Bool(self.applied)),
+            ("loss_scale".into(), Json::Num(f64::from(self.loss_scale))),
+            ("steps_taken".into(), Json::UInt(self.steps_taken)),
+            ("steps_skipped".into(), Json::UInt(self.steps_skipped)),
+            ("numel".into(), Json::UInt(self.numel)),
+            ("nnz".into(), Json::UInt(self.nnz)),
+            (
+                "model_state_bytes".into(),
+                Json::UInt(self.model_state_bytes),
+            ),
+            (
+                "formula_state_bytes".into(),
+                match self.formula_state_bytes {
+                    Some(b) => Json::UInt(b),
+                    None => Json::Null,
+                },
+            ),
+            ("allreduce_bytes".into(), Json::UInt(self.allreduce_bytes)),
+        ];
+        for (name, secs) in &self.phases {
+            fields.push((format!("t_{name}"), Json::Num(*secs)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Directory experiment outputs go to; honours `SAMO_RESULTS_DIR`.
+fn results_dir() -> PathBuf {
+    std::env::var_os("SAMO_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+struct Sink {
+    file: Option<File>,
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let dir = results_dir();
+        let file = fs::create_dir_all(&dir).ok().and_then(|_| {
+            OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(dir.join("metrics.jsonl"))
+                .ok()
+        });
+        Mutex::new(Sink { file })
+    })
+}
+
+/// Append one step record to `metrics.jsonl`. No-op while telemetry is
+/// disabled; I/O errors are swallowed (telemetry must never take down
+/// training).
+pub fn emit_step(ev: &StepEvent) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut line = ev.to_json().render();
+    line.push('\n');
+    let mut sink = sink().lock();
+    if let Some(f) = sink.file.as_mut() {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+/// Flush the JSONL sink. No-op while telemetry is disabled (so this
+/// never opens — and truncates — the file as a side effect).
+pub fn flush() {
+    if !crate::enabled() {
+        return;
+    }
+    if let Some(f) = sink().lock().file.as_mut() {
+        let _ = f.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_event_serialises_all_fields() {
+        let ev = StepEvent {
+            kind: "samo",
+            step: 3,
+            applied: true,
+            loss_scale: 65536.0,
+            steps_taken: 4,
+            steps_skipped: 0,
+            numel: 100,
+            nnz: 10,
+            model_state_bytes: 440,
+            formula_state_bytes: Some(440),
+            allreduce_bytes: 20,
+            phases: vec![("compress", 0.5), ("optimizer", 0.25)],
+        };
+        let line = ev.to_json().render();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        for key in [
+            "\"kind\":\"samo\"",
+            "\"step\":3",
+            "\"applied\":true",
+            "\"loss_scale\":65536",
+            "\"numel\":100",
+            "\"nnz\":10",
+            "\"model_state_bytes\":440",
+            "\"formula_state_bytes\":440",
+            "\"allreduce_bytes\":20",
+            "\"t_compress\":0.5",
+            "\"t_optimizer\":0.25",
+        ] {
+            assert!(line.contains(key), "{key} missing from {line}");
+        }
+    }
+
+    #[test]
+    fn formula_none_serialises_as_null() {
+        let ev = StepEvent {
+            kind: "samo_dp",
+            step: 0,
+            applied: false,
+            loss_scale: 2.0,
+            steps_taken: 0,
+            steps_skipped: 1,
+            numel: 8,
+            nnz: 8,
+            model_state_bytes: 0,
+            formula_state_bytes: None,
+            allreduce_bytes: 16,
+            phases: vec![],
+        };
+        assert!(ev
+            .to_json()
+            .render()
+            .contains("\"formula_state_bytes\":null"));
+    }
+}

@@ -1,0 +1,155 @@
+//! RAII wall-clock span timers.
+//!
+//! A [`span`] measures the wall time between its creation and its
+//! [`SpanGuard::finish`] (or drop). When telemetry is enabled the
+//! duration is recorded into the global histogram named after the span,
+//! and the span is pushed to an in-memory collector that
+//! [`crate::trace::write_chrome_trace`] can later drain into a
+//! `chrome://tracing` file. When telemetry is disabled the guard is
+//! inert apart from reading the clock once.
+
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Spans kept by the collector before new ones are dropped. Generous for
+/// any real run (a full `repro all --quick` produces a few thousand)
+/// while bounding memory if someone leaves telemetry on in a loop.
+pub const MAX_COLLECTED_SPANS: usize = 100_000;
+
+/// A finished span: name plus microsecond start/duration relative to the
+/// process epoch, tagged with an opaque thread id for trace lanes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    pub name: String,
+    pub start_us: u64,
+    pub dur_us: u64,
+    pub tid: u64,
+}
+
+static COLLECTED: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+
+/// The instant all span timestamps are measured from.
+fn epoch() -> Instant {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn current_tid() -> u64 {
+    // Stable small ids per thread, assigned in first-use order.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Start timing a named phase. The name becomes the histogram key, so
+/// use stable dotted names (`samo.step.compress`, `repro.fig4`).
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: Instant::now(),
+        done: false,
+    }
+}
+
+/// Guard returned by [`span`]; records on drop or explicit finish.
+#[must_use = "a span measures until it is dropped or finished"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+    done: bool,
+}
+
+impl SpanGuard {
+    /// Stop the timer now and return the elapsed seconds. The duration
+    /// is also recorded (histogram + collector) exactly as on drop.
+    pub fn finish(mut self) -> f64 {
+        self.record();
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn record(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        if !crate::enabled() {
+            return;
+        }
+        let dur = self.start.elapsed();
+        crate::global()
+            .histogram(self.name)
+            .record(dur.as_secs_f64());
+        let start_us = self
+            .start
+            .saturating_duration_since(epoch())
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        let mut collected = COLLECTED.lock();
+        if collected.len() < MAX_COLLECTED_SPANS {
+            collected.push(SpanEvent {
+                name: self.name.to_string(),
+                start_us,
+                dur_us: dur.as_micros().min(u64::MAX as u128) as u64,
+                tid: current_tid(),
+            });
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Drain every span collected so far, leaving the collector empty.
+pub fn take_spans() -> Vec<SpanEvent> {
+    std::mem::take(&mut *COLLECTED.lock())
+}
+
+/// Number of spans currently held by the collector.
+pub fn collected_span_count() -> usize {
+    COLLECTED.lock().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_histogram_and_collector_when_enabled() {
+        let _guard = crate::registry::test_lock();
+        let was = crate::enabled();
+        crate::set_enabled(true);
+        take_spans();
+
+        let before = crate::global().histogram("test.span.unit").count();
+        let s = span("test.span.unit");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let secs = s.finish();
+        assert!(secs >= 0.001);
+        assert_eq!(crate::global().histogram("test.span.unit").count(), before + 1);
+        let spans = take_spans();
+        assert!(spans.iter().any(|e| e.name == "test.span.unit" && e.dur_us >= 1000));
+
+        crate::set_enabled(was);
+    }
+
+    #[test]
+    fn span_is_inert_when_disabled() {
+        let _guard = crate::registry::test_lock();
+        let was = crate::enabled();
+        crate::set_enabled(false);
+        take_spans();
+
+        let before = crate::global().histogram("test.span.off").count();
+        drop(span("test.span.off"));
+        assert_eq!(crate::global().histogram("test.span.off").count(), before);
+        assert_eq!(collected_span_count(), 0);
+
+        crate::set_enabled(was);
+    }
+}

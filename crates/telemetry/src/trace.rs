@@ -1,0 +1,133 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! The output loads directly in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev). Every event is a "complete"
+//! event (`ph: "X"`) with microsecond `ts`/`dur`; `pid`/`tid` pick the
+//! process/thread lanes the UI renders. By convention here:
+//!
+//! * `pid 0` — the simulated pipeline (one `tid` lane per GPU);
+//! * `pid 1` — live [`mod@crate::span`] timers (one `tid` lane per thread).
+
+use crate::json::Json;
+use crate::span::SpanEvent;
+use std::io;
+use std::path::Path;
+
+/// One complete ("X") trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub name: String,
+    /// Category string, used by trace UIs for filtering/colour.
+    pub cat: String,
+    pub pid: u64,
+    pub tid: u64,
+    /// Start, microseconds.
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Free-form `args` shown in the UI's detail pane.
+    pub args: Vec<(String, Json)>,
+}
+
+impl TraceEvent {
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("cat".into(), Json::Str(self.cat.clone())),
+            ("ph".into(), Json::from("X")),
+            ("pid".into(), Json::UInt(self.pid)),
+            ("tid".into(), Json::UInt(self.tid)),
+            ("ts".into(), Json::Num(self.ts_us)),
+            ("dur".into(), Json::Num(self.dur_us)),
+        ];
+        if !self.args.is_empty() {
+            fields.push(("args".into(), Json::Obj(self.args.clone())));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Convert collected live spans into trace events on `pid 1`.
+pub fn span_trace_events(spans: &[SpanEvent]) -> Vec<TraceEvent> {
+    spans
+        .iter()
+        .map(|s| TraceEvent {
+            name: s.name.clone(),
+            cat: "span".into(),
+            pid: 1,
+            tid: s.tid,
+            ts_us: s.start_us as f64,
+            dur_us: s.dur_us as f64,
+            args: Vec::new(),
+        })
+        .collect()
+}
+
+/// The top-level trace document for a set of events.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> Json {
+    Json::Obj(vec![
+        (
+            "traceEvents".into(),
+            Json::Arr(events.iter().map(TraceEvent::to_json).collect()),
+        ),
+        ("displayTimeUnit".into(), Json::from("ms")),
+    ])
+}
+
+/// Render and write a trace document to `path`, creating parent
+/// directories as needed.
+pub fn write_chrome_trace(path: &Path, events: &[TraceEvent]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, chrome_trace_json(events).render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_renders_complete_event_fields() {
+        let ev = TraceEvent {
+            name: "F0".into(),
+            cat: "pipeline".into(),
+            pid: 0,
+            tid: 2,
+            ts_us: 10.5,
+            dur_us: 3.25,
+            args: vec![("mb".into(), Json::UInt(0))],
+        };
+        let s = ev.to_json().render();
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"pid\":0"));
+        assert!(s.contains("\"tid\":2"));
+        assert!(s.contains("\"ts\":10.5"));
+        assert!(s.contains("\"dur\":3.25"));
+        assert!(s.contains("\"args\":{\"mb\":0}"));
+    }
+
+    #[test]
+    fn document_shape() {
+        let doc = chrome_trace_json(&[]).render();
+        assert_eq!(doc, r#"{"traceEvents":[],"displayTimeUnit":"ms"}"#);
+    }
+
+    #[test]
+    fn spans_map_to_pid_one() {
+        let spans = vec![SpanEvent {
+            name: "repro.fig4".into(),
+            start_us: 5,
+            dur_us: 7,
+            tid: 3,
+        }];
+        let evs = span_trace_events(&spans);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].pid, 1);
+        assert_eq!(evs[0].tid, 3);
+        assert_eq!(evs[0].ts_us, 5.0);
+        assert_eq!(evs[0].dur_us, 7.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the fixed-bucket histogram.
+
+use proptest::prelude::*;
+use telemetry::Histogram;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every quantile estimate must fall inside the exact recorded
+    /// [min, max], for any sample set and any q.
+    #[test]
+    fn quantiles_within_min_max(
+        samples in proptest::collection::vec(1e-7f64..200.0, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.min(), Some(lo));
+        prop_assert_eq!(h.max(), Some(hi));
+        for qq in [0.0, q, 0.5, 0.999, 1.0] {
+            let est = h.quantile(qq).unwrap();
+            prop_assert!(
+                (lo..=hi).contains(&est),
+                "quantile({}) = {} outside [{}, {}]", qq, est, lo, hi
+            );
+        }
+    }
+
+    /// count/sum bookkeeping matches the sample set exactly.
+    #[test]
+    fn count_and_sum_exact(
+        samples in proptest::collection::vec(0.0f64..50.0, 0..200),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let expect: f64 = samples.iter().sum();
+        prop_assert!((h.sum() - expect).abs() <= 1e-9 * (1.0 + expect.abs()));
+    }
+
+    /// Quantile estimates are monotone in q.
+    #[test]
+    fn quantiles_monotone(
+        samples in proptest::collection::vec(1e-6f64..100.0, 1..200),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let (qlo, qhi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(h.quantile(qlo).unwrap() <= h.quantile(qhi).unwrap());
+    }
+}

@@ -14,6 +14,17 @@
 
 use crate::f16::F16;
 use crate::pool::par_ranges;
+use std::sync::{Arc, OnceLock};
+
+/// Cached handles so the per-call telemetry cost is two atomic adds, not
+/// a registry lookup: (`tensor.sgemm_calls`, `tensor.sgemm_flops`).
+fn gemm_metrics() -> &'static (Arc<telemetry::Counter>, Arc<telemetry::Counter>) {
+    static METRICS: OnceLock<(Arc<telemetry::Counter>, Arc<telemetry::Counter>)> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = telemetry::global();
+        (reg.counter("tensor.sgemm_calls"), reg.counter("tensor.sgemm_flops"))
+    })
+}
 
 /// Row-panel height processed per task; also the L2 block for A.
 const MC: usize = 64;
@@ -50,6 +61,10 @@ pub fn sgemm(
     check_dims(transa, transb, m, n, k, a.len(), lda, b.len(), ldb, c.len(), ldc);
     if m == 0 || n == 0 {
         return;
+    }
+    if telemetry::enabled() {
+        gemm_metrics().0.inc();
+        gemm_metrics().1.add(2 * (m as u64) * (n as u64) * (k as u64));
     }
 
     // Scale C by beta first so the accumulation loop is a pure FMA.
