@@ -13,14 +13,22 @@
 //! * [`config`] — memory-driven `G_inter` selection (the mechanism by
 //!   which SAMO's savings become communication savings, Sec. IV-B),
 //! * [`frameworks`] — batch-time models for AxoNN, AxoNN+SAMO,
-//!   DeepSpeed-3D and Sputnik-in-AxoNN, for GPT and vision models.
+//!   DeepSpeed-3D and Sputnik-in-AxoNN, for GPT and vision models,
+//! * [`faults`] — MTBF-driven failure injection over those batch times:
+//!   goodput under checkpoint/restart, where SAMO's smaller checkpoints
+//!   shrink both the Young/Daly interval and the recovery cost.
 
 pub mod config;
+pub mod faults;
 pub mod frameworks;
 pub mod memory_report;
 pub mod pipeline;
 
 pub use config::{select_config, ParallelConfig, StateStorage};
+pub use faults::{
+    dense_checkpoint_bytes, samo_checkpoint_bytes, simulate_faulty_run, young_daly_interval,
+    FaultRunReport, FaultRunSpec,
+};
 pub use memory_report::{memory_map, MemoryMap};
 pub use frameworks::{run_gpt, run_vision, Framework, PhaseBreakdown, RunReport, STUDY_SPARSITY};
 pub use pipeline::{

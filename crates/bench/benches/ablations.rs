@@ -20,7 +20,7 @@ fn bench_allreduce_payload(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("dense", phi), |b| {
         b.iter(|| {
             let mut bufs: Vec<&mut [F16]> = dense.iter_mut().map(|v| v.as_mut_slice()).collect();
-            allreduce_mean_f16(&mut bufs);
+            allreduce_mean_f16(&mut bufs).unwrap();
         });
     });
 
@@ -33,7 +33,7 @@ fn bench_allreduce_payload(c: &mut Criterion) {
         b.iter(|| {
             let mut bufs: Vec<&mut [F16]> =
                 compressed.iter_mut().map(|v| v.as_mut_slice()).collect();
-            allreduce_mean_f16(&mut bufs);
+            allreduce_mean_f16(&mut bufs).unwrap();
         });
     });
     group.finish();

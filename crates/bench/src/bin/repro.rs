@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--quick] [--trace <path>]
-//!   experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap all
+//!   experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all
 //! ```
 //!
 //! Each experiment prints the regenerated rows/series and writes a CSV
@@ -72,15 +72,22 @@ fn main() {
         .unwrap_or_else(|| "all".to_string());
 
     let mut ran = false;
+    let mut failed: Option<String> = None;
     {
-        let mut exp = |name: &str, span_name: &'static str, f: &mut dyn FnMut()| {
-            if what == "all" || what == name {
-                let sp = telemetry::enabled().then(|| telemetry::span(span_name));
-                f();
-                drop(sp);
-                ran = true;
-            }
-        };
+        // Experiments report failures (unwritable results dir, no feasible
+        // parallel config, ...) instead of panicking; the first failure
+        // stops the run and becomes a nonzero exit below.
+        let mut exp =
+            |name: &str, span_name: &'static str, f: &mut dyn FnMut() -> Result<(), String>| {
+                if (what == "all" || what == name) && failed.is_none() {
+                    let sp = telemetry::enabled().then(|| telemetry::span(span_name));
+                    if let Err(e) = f() {
+                        failed = Some(format!("{name}: {e}"));
+                    }
+                    drop(sp);
+                    ran = true;
+                }
+            };
         exp("fig1", "repro.fig1", &mut || fig1(quick));
         exp("fig2", "repro.fig2", &mut fig2);
         exp("fig3", "repro.fig3", &mut fig3);
@@ -101,24 +108,32 @@ fn main() {
         exp("scorecard", "repro.scorecard", &mut scorecard);
         exp("cnn", "repro.cnn", &mut || cnn_accuracy(quick));
         exp("memorymap", "repro.memorymap", &mut memorymap);
+        exp("faults", "repro.faults", &mut || faults(quick));
     }
     if !ran {
         eprintln!(
-            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap all"
+            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all"
         );
         std::process::exit(2);
     }
 
     telemetry::jsonl::flush();
+    if let Some(msg) = failed {
+        eprintln!("repro: experiment failed: {msg}");
+        std::process::exit(1);
+    }
     if let Some(path) = trace_path {
-        write_trace(&path);
+        if let Err(e) = write_trace(&path) {
+            eprintln!("repro: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
 /// Writes the Chrome trace: the Fig. 3 simulated pipeline schedule on
 /// pid 0 (one tid lane per GPU) plus every live span recorded during
 /// this run on pid 1.
-fn write_trace(path: &str) {
+fn write_trace(path: &str) -> Result<(), String> {
     let spec = axonn_sim::PipelineSpec {
         stages: 3,
         microbatches: 5,
@@ -132,14 +147,15 @@ fn write_trace(path: &str) {
         axonn_sim::chrome_trace_events(&axonn_sim::pipeline::trace_schedule(&SUMMIT, &spec));
     events.extend(telemetry::trace::span_trace_events(&telemetry::take_spans()));
     telemetry::trace::write_chrome_trace(std::path::Path::new(path), &events)
-        .expect("write chrome trace");
+        .map_err(|e| format!("write chrome trace {path}: {e}"))?;
     telemetry::log_info!("repro: wrote Chrome trace ({} events) to {path}", events.len());
+    Ok(())
 }
 
 /// Fig. 1 — dense vs sparse FC-layer kernels at 90% sparsity, batch 576.
 /// Two outputs: the calibrated V100 cost model (the paper's setting) and
 /// a live measurement of this crate's own CPU kernels.
-fn fig1(quick: bool) {
+fn fig1(quick: bool) -> Result<(), String> {
     telemetry::log_info!("\n=== Fig. 1: FC layer, 90% sparsity, batch 576 — V100 model ===");
     let mut model_tab = Table::new(
         "fig1_model",
@@ -156,7 +172,9 @@ fn fig1(quick: bool) {
         ]);
     }
     println!("{}", model_tab.render());
-    model_tab.write_csv().expect("write fig1_model.csv");
+    model_tab
+        .write_csv()
+        .map_err(|e| format!("write fig1_model.csv: {e}"))?;
 
     telemetry::log_info!("=== Fig. 1 (companion): this crate's CPU kernels, measured ===");
     let mut cpu_tab = Table::new(
@@ -199,12 +217,15 @@ fn fig1(quick: bool) {
         ]);
     }
     println!("{}", cpu_tab.render());
-    cpu_tab.write_csv().expect("write fig1_cpu.csv");
+    cpu_tab
+        .write_csv()
+        .map_err(|e| format!("write fig1_cpu.csv: {e}"))?;
+    Ok(())
 }
 
 /// Fig. 2 — analytic memory savings curve, cross-checked against the
 /// byte-exact accounting of a live `SamoLayerState`.
-fn fig2() {
+fn fig2() -> Result<(), String> {
     telemetry::log_info!("\n=== Fig. 2: % model-state memory saved by SAMO vs sparsity ===");
     let mut tab = Table::new("fig2", &["sparsity", "percent_saved_analytic", "percent_saved_measured"]);
     let phi = 100_000usize;
@@ -248,12 +269,13 @@ fn fig2() {
         memory::samo_savings_fraction(0.8) * 100.0,
         memory::samo_savings_fraction(0.9) * 100.0
     );
-    tab.write_csv().expect("write fig2.csv");
+    tab.write_csv().map_err(|e| format!("write fig2.csv: {e}"))?;
+    Ok(())
 }
 
 /// Fig. 3 — the pipeline schedule illustration (G_inter = 3, five
 /// microbatches, t_b = 2 t_f), plus its bubble accounting vs Eq. 7.
-fn fig3() {
+fn fig3() -> Result<(), String> {
     telemetry::log_info!("\n=== Fig. 3: inter-layer pipeline schedule (G_inter=3, 5 microbatches) ===");
     let art = ascii_schedule(3, 5);
     println!("{art}");
@@ -261,13 +283,14 @@ fn fig3() {
         "bubble per GPU: 6 time units == (G_inter-1) fwd + (G_inter-1) bwd; Eq.7 with t_f=3, t_b=6: {}",
         analytic_bubble(3.0, 6.0, 3)
     );
-    write_text("fig3.txt", &art).expect("write fig3.txt");
+    write_text("fig3.txt", &art).map_err(|e| format!("write fig3.txt: {e}"))?;
+    Ok(())
 }
 
 /// Fig. 4 — statistical efficiency: validation perplexity of dense
 /// training vs pruned-90%+SAMO training on the synthetic corpus
 /// (substitution for Wikitext-103 / BookCorpus; see DESIGN.md §2).
-fn fig4(quick: bool) {
+fn fig4(quick: bool) -> Result<(), String> {
     telemetry::log_info!("\n=== Fig. 4: validation perplexity, dense AxoNN vs AxoNN+SAMO (p=0.9) ===");
     let iters = if quick { 120 } else { 400 };
     let eval_every = 20;
@@ -359,7 +382,7 @@ fn fig4(quick: bool) {
         samo_model.backward(&d);
         samo_tr.step(&mut samo_model);
     }
-    tab.write_csv().expect("write fig4.csv");
+    tab.write_csv().map_err(|e| format!("write fig4.csv: {e}"))?;
     println!(
         "{}",
         line_chart(
@@ -377,11 +400,12 @@ fn fig4(quick: bool) {
         dense_tr.model_state_bytes(),
         samo_tr.model_state_bytes(true)
     );
+    Ok(())
 }
 
 /// Fig. 5 — strong scaling of WideResnet-101 and VGG-19 (pure data
 /// parallelism), 16–128 GPUs, batch 128.
-fn fig5() {
+fn fig5() -> Result<(), String> {
     telemetry::log_info!("\n=== Fig. 5: CNN strong scaling (batch 128, data parallel) ===");
     let mut tab = Table::new(
         "fig5",
@@ -389,7 +413,9 @@ fn fig5() {
     );
     for model in [wideresnet101(), vgg19()] {
         for gpus in [16usize, 32, 64, 128] {
-            let axonn = run_vision(&SUMMIT, &model, Framework::Axonn, gpus).unwrap();
+            let axonn = run_vision(&SUMMIT, &model, Framework::Axonn, gpus).ok_or_else(|| {
+                format!("no feasible AxoNN config for {} on {gpus} GPUs", model.name)
+            })?;
             for fw in [Framework::DeepSpeed3D, Framework::Axonn, Framework::AxonnSamo] {
                 if let Some(r) = run_vision(&SUMMIT, &model, fw, gpus) {
                     let speedup = if fw == Framework::AxonnSamo {
@@ -409,11 +435,12 @@ fn fig5() {
         }
     }
     println!("{}", tab.render());
-    tab.write_csv().expect("write fig5.csv");
+    tab.write_csv().map_err(|e| format!("write fig5.csv: {e}"))?;
+    Ok(())
 }
 
 /// Figs. 6 & 7 — GPT strong scaling across the four frameworks.
-fn fig6_7(name: &str, models: &[(GptConfig, usize, usize)]) {
+fn fig6_7(name: &str, models: &[(GptConfig, usize, usize)]) -> Result<(), String> {
     telemetry::log_info!("\n=== {}: GPT strong scaling ===", name.to_uppercase());
     let mut tab = Table::new(
         name,
@@ -466,11 +493,12 @@ fn fig6_7(name: &str, models: &[(GptConfig, usize, usize)]) {
         );
     }
     println!("{}", tab.render());
-    tab.write_csv().expect("write fig csv");
+    tab.write_csv().map_err(|e| format!("write {name}.csv: {e}"))?;
+    Ok(())
 }
 
 /// Fig. 8 — batch-time phase breakdown for GPT-3 2.7B on GPU 0.
-fn fig8() {
+fn fig8() -> Result<(), String> {
     telemetry::log_info!("\n=== Fig. 8: batch time breakdown, GPT-3 2.7B (GPU 0) ===");
     let mut tab = Table::new(
         "fig8",
@@ -478,7 +506,8 @@ fn fig8() {
     );
     for gpus in [128usize, 256, 512] {
         for fw in [Framework::Axonn, Framework::AxonnSamo] {
-            let r = run_gpt(&SUMMIT, &GPT3_2_7B, fw, gpus).unwrap();
+            let r = run_gpt(&SUMMIT, &GPT3_2_7B, fw, gpus)
+                .ok_or_else(|| no_config(fw, "GPT-3 2.7B", gpus))?;
             let p = r.phases;
             tab.push(vec![
                 gpus.to_string(),
@@ -494,8 +523,10 @@ fn fig8() {
     println!("{}", tab.render());
     // The paper reports improvements as fractions of AxoNN's batch time.
     for gpus in [128usize, 256, 512] {
-        let a = run_gpt(&SUMMIT, &GPT3_2_7B, Framework::Axonn, gpus).unwrap();
-        let s = run_gpt(&SUMMIT, &GPT3_2_7B, Framework::AxonnSamo, gpus).unwrap();
+        let a = run_gpt(&SUMMIT, &GPT3_2_7B, Framework::Axonn, gpus)
+            .ok_or_else(|| no_config(Framework::Axonn, "GPT-3 2.7B", gpus))?;
+        let s = run_gpt(&SUMMIT, &GPT3_2_7B, Framework::AxonnSamo, gpus)
+            .ok_or_else(|| no_config(Framework::AxonnSamo, "GPT-3 2.7B", gpus))?;
         let t = a.batch_time();
         println!(
             "{gpus} GPUs: reductions as % of AxoNN batch time — p2p {:.0}%, bubble {:.0}%, collective {:.0}%, compression overhead {:.0}%",
@@ -505,11 +536,17 @@ fn fig8() {
             100.0 * (s.phases.compute - a.phases.compute) / t,
         );
     }
-    tab.write_csv().expect("write fig8.csv");
+    tab.write_csv().map_err(|e| format!("write fig8.csv: {e}"))?;
+    Ok(())
+}
+
+/// The standard "planner found no feasible parallel config" message.
+fn no_config(fw: Framework, model: &str, gpus: usize) -> String {
+    format!("no feasible {} config for {model} on {gpus} GPUs", fw.name())
 }
 
 /// Table I — the model zoo.
-fn table1() {
+fn table1() -> Result<(), String> {
     telemetry::log_info!("\n=== Table I: networks, batch sizes, GPU ranges ===");
     let mut tab = Table::new("table1", &["network", "params", "batch", "gpus"]);
     for row in table_i() {
@@ -521,11 +558,12 @@ fn table1() {
         ]);
     }
     println!("{}", tab.render());
-    tab.write_csv().expect("write table1.csv");
+    tab.write_csv().map_err(|e| format!("write table1.csv: {e}"))?;
+    Ok(())
 }
 
 /// Table II — % of peak half-precision throughput, GPT-3 13B.
-fn table2() {
+fn table2() -> Result<(), String> {
     telemetry::log_info!("\n=== Table II: % of peak fp16 throughput, GPT-3 13B ===");
     let mut tab = Table::new(
         "table2",
@@ -542,11 +580,12 @@ fn table2() {
         tab.push(row);
     }
     println!("{}", tab.render());
-    tab.write_csv().expect("write table2.csv");
+    tab.write_csv().map_err(|e| format!("write table2.csv: {e}"))?;
+    Ok(())
 }
 
 /// The Sec.-I memory headline: GPT-3 2.7B model state at p = 0.9.
-fn memory_headline() {
+fn memory_headline() -> Result<(), String> {
     telemetry::log_info!("\n=== Memory headline: GPT-3 2.7B model state at p=0.9 ===");
     let phi = GPT3_2_7B.params();
     let dense = memory::m_default_bytes(phi);
@@ -569,12 +608,14 @@ fn memory_headline() {
     let mut tab = Table::new("memory_headline", &["storage", "gb"]);
     tab.push(vec!["dense".into(), format!("{:.2}", memory::bytes_to_gb(dense))]);
     tab.push(vec!["samo_p090".into(), format!("{:.2}", memory::bytes_to_gb(samo))]);
-    tab.write_csv().expect("write memory_headline.csv");
+    tab.write_csv()
+        .map_err(|e| format!("write memory_headline.csv: {e}"))?;
+    Ok(())
 }
 
 /// Ablation (DESIGN.md §6): how much of SAMO's speedup comes from the
 /// smaller `G_inter` vs the compressed all-reduce.
-fn ablation() {
+fn ablation() -> Result<(), String> {
     use axonn_sim::frameworks::{run_gpt_samo_ablation, SamoAblation};
     telemetry::log_info!("\n=== Ablation: SAMO's two communication channels (GPT-3 2.7B) ===");
     let mut tab = Table::new(
@@ -582,22 +623,25 @@ fn ablation() {
         &["gpus", "axonn_s", "only_collective_s", "only_g_inter_s", "full_samo_s"],
     );
     for gpus in [128usize, 256, 512] {
-        let axonn = run_gpt(&SUMMIT, &GPT3_2_7B, Framework::Axonn, gpus).unwrap();
+        let ablation_err = || format!("no feasible ablation config for GPT-3 2.7B on {gpus} GPUs");
+        let axonn = run_gpt(&SUMMIT, &GPT3_2_7B, Framework::Axonn, gpus)
+            .ok_or_else(|| no_config(Framework::Axonn, "GPT-3 2.7B", gpus))?;
         let coll = run_gpt_samo_ablation(
             &SUMMIT,
             &GPT3_2_7B,
             gpus,
             SamoAblation { reduce_g_inter: false, compress_collective: true },
         )
-        .unwrap();
+        .ok_or_else(ablation_err)?;
         let gi = run_gpt_samo_ablation(
             &SUMMIT,
             &GPT3_2_7B,
             gpus,
             SamoAblation { reduce_g_inter: true, compress_collective: false },
         )
-        .unwrap();
-        let full = run_gpt_samo_ablation(&SUMMIT, &GPT3_2_7B, gpus, SamoAblation::FULL).unwrap();
+        .ok_or_else(ablation_err)?;
+        let full = run_gpt_samo_ablation(&SUMMIT, &GPT3_2_7B, gpus, SamoAblation::FULL)
+            .ok_or_else(ablation_err)?;
         tab.push(vec![
             gpus.to_string(),
             format!("{:.2}", axonn.batch_time()),
@@ -607,13 +651,14 @@ fn ablation() {
         ]);
     }
     println!("{}", tab.render());
-    tab.write_csv().expect("write ablation.csv");
+    tab.write_csv().map_err(|e| format!("write ablation.csv: {e}"))?;
+    Ok(())
 }
 
 /// Sensitivity analysis (beyond the paper): how SAMO's speedup over
 /// AxoNN for GPT-3 2.7B at 512 GPUs responds to machine parameters —
 /// would the result survive on a different cluster?
-fn sensitivity() {
+fn sensitivity() -> Result<(), String> {
     use summit_sim::machine::Machine;
     telemetry::log_info!("\n=== Sensitivity: SAMO speedup vs machine parameters (2.7B @ 512 GPUs) ===");
     let speedup_on = |m: &Machine| -> Option<f64> {
@@ -668,12 +713,14 @@ fn sensitivity() {
     println!("(communication matters less). GPU memory acts non-monotonically: the win");
     println!("tracks the *gap* between the G_inter each memory model achieves, which");
     println!("jumps whenever one side crosses a power-of-two placement threshold.");
-    tab.write_csv().expect("write sensitivity.csv");
+    tab.write_csv()
+        .map_err(|e| format!("write sensitivity.csv: {e}"))?;
+    Ok(())
 }
 
 /// Scorecard: programmatic paper-vs-ours comparison on every anchor the
 /// paper states numerically.
-fn scorecard() {
+fn scorecard() -> Result<(), String> {
     telemetry::log_info!("\n=== Scorecard: paper anchors vs this reproduction ===");
     let mut tab = Table::new("scorecard", &["anchor", "paper", "ours", "verdict"]);
     let mut push = |anchor: &str, paper: String, ours: String, ok: bool| {
@@ -723,8 +770,10 @@ fn scorecard() {
         (GPT3_6_7B, 23.0),
         (GPT3_13B, 26.0),
     ] {
-        let a = run_gpt(&SUMMIT, &cfg, Framework::Axonn, cfg.batch).unwrap();
-        let s = run_gpt(&SUMMIT, &cfg, Framework::AxonnSamo, cfg.batch).unwrap();
+        let a = run_gpt(&SUMMIT, &cfg, Framework::Axonn, cfg.batch)
+            .ok_or_else(|| no_config(Framework::Axonn, cfg.name, cfg.batch))?;
+        let s = run_gpt(&SUMMIT, &cfg, Framework::AxonnSamo, cfg.batch)
+            .ok_or_else(|| no_config(Framework::AxonnSamo, cfg.name, cfg.batch))?;
         let ours = (a.batch_time() / s.batch_time() - 1.0) * 100.0;
         push(
             &format!("{} speedup @ max", cfg.name),
@@ -735,8 +784,10 @@ fn scorecard() {
     }
 
     // Table II at 2048.
-    let sm = run_gpt(&SUMMIT, &GPT3_13B, Framework::AxonnSamo, 2048).unwrap();
-    let ax = run_gpt(&SUMMIT, &GPT3_13B, Framework::Axonn, 2048).unwrap();
+    let sm = run_gpt(&SUMMIT, &GPT3_13B, Framework::AxonnSamo, 2048)
+        .ok_or_else(|| no_config(Framework::AxonnSamo, "GPT-3 13B", 2048))?;
+    let ax = run_gpt(&SUMMIT, &GPT3_13B, Framework::Axonn, 2048)
+        .ok_or_else(|| no_config(Framework::Axonn, "GPT-3 13B", 2048))?;
     push(
         "13B %peak @2048 (SAMO/AxoNN)",
         "31.0/22.9".into(),
@@ -749,8 +800,10 @@ fn scorecard() {
     );
 
     // Fig. 8 @ 512: total communication-time reduction as % of AxoNN.
-    let s512 = run_gpt(&SUMMIT, &GPT3_2_7B, Framework::AxonnSamo, 512).unwrap();
-    let a512 = run_gpt(&SUMMIT, &GPT3_2_7B, Framework::Axonn, 512).unwrap();
+    let s512 = run_gpt(&SUMMIT, &GPT3_2_7B, Framework::AxonnSamo, 512)
+        .ok_or_else(|| no_config(Framework::AxonnSamo, "GPT-3 2.7B", 512))?;
+    let a512 = run_gpt(&SUMMIT, &GPT3_2_7B, Framework::Axonn, 512)
+        .ok_or_else(|| no_config(Framework::Axonn, "GPT-3 2.7B", 512))?;
     let comm_red = 100.0
         * ((a512.phases.p2p - s512.phases.p2p)
             + (a512.phases.bubble - s512.phases.bubble)
@@ -764,13 +817,14 @@ fn scorecard() {
     );
 
     println!("{}", tab.render());
-    tab.write_csv().expect("write scorecard.csv");
+    tab.write_csv().map_err(|e| format!("write scorecard.csv: {e}"))?;
+    Ok(())
 }
 
 /// CNN statistical efficiency (companion to Fig. 4, for the Fig. 5
 /// architectures): test accuracy of dense vs pruned+SAMO training on the
 /// synthetic shape task.
-fn cnn_accuracy(quick: bool) {
+fn cnn_accuracy(quick: bool) -> Result<(), String> {
     use models::tiny_cnn::{ShapeDataset, TinyCnn, CNN_CLASSES};
     use nn::optim::SgdConfig;
     telemetry::log_info!("\n=== CNN statistical efficiency: dense vs pruned+SAMO (SGD) ===");
@@ -842,12 +896,14 @@ fn cnn_accuracy(quick: bool) {
         dense_tr.model_state_bytes(),
         samo_tr.model_state_bytes(true)
     );
-    tab.write_csv().expect("write cnn_accuracy.csv");
+    tab.write_csv()
+        .map_err(|e| format!("write cnn_accuracy.csv: {e}"))?;
+    Ok(())
 }
 
 /// Memory map: where every byte sits on a GPU for each framework — the
 /// accounting behind the paper's Sec.-I headline and the G_inter choice.
-fn memorymap() {
+fn memorymap() -> Result<(), String> {
     use axonn_sim::config::StateStorage;
     use axonn_sim::memory_report::memory_map;
     telemetry::log_info!("\n=== Per-GPU memory map (behind the 80.16 GB -> 20.28 GB headline) ===");
@@ -876,5 +932,95 @@ fn memorymap() {
     }
     println!("{}", tab.render());
     println!("paper: one dense GPT-3 2.7B instance measured 80.16 GB, SAMO 20.28 GB.");
-    tab.write_csv().expect("write memorymap.csv");
+    tab.write_csv().map_err(|e| format!("write memorymap.csv: {e}"))?;
+    Ok(())
+}
+
+/// Faults (beyond the paper): goodput under MTBF-driven failure
+/// injection for GPT-3 13B at 2048 GPUs, dense vs SAMO checkpoints,
+/// each at 0.5× / 1× / 2× its Young/Daly-optimal checkpoint interval.
+/// Deterministic for the fixed seed; see DESIGN.md §"Fault model".
+fn faults(quick: bool) -> Result<(), String> {
+    use axonn_sim::faults::{
+        dense_checkpoint_bytes, samo_checkpoint_bytes, simulate_faulty_run, FaultRunSpec,
+    };
+    use summit_sim::failure::StragglerModel;
+    telemetry::log_info!("\n=== Faults: goodput vs checkpoint interval vs sparsity (GPT-3 13B @ 2048 GPUs) ===");
+    let cfg = &GPT3_13B;
+    let gpus = 2048usize;
+    let phi = cfg.params();
+    let nodes = gpus.div_ceil(SUMMIT.gpus_per_node);
+    let axonn = run_gpt(&SUMMIT, cfg, Framework::Axonn, gpus)
+        .ok_or_else(|| no_config(Framework::Axonn, cfg.name, gpus))?;
+    let samo = run_gpt(&SUMMIT, cfg, Framework::AxonnSamo, gpus)
+        .ok_or_else(|| no_config(Framework::AxonnSamo, cfg.name, gpus))?;
+
+    // 30-day node MTBF → ~2.1 h system MTBF at 342 nodes: failure-rich
+    // enough that a multi-hour run sees several failures. The short
+    // --quick run needs a proportionally harsher MTBF to still exercise
+    // the failure/recovery path. Filesystem bandwidth is a parallel-FS
+    // share; restart covers requeue + init.
+    let node_mtbf_s = if quick { 4.0 * 86_400.0 } else { 30.0 * 86_400.0 };
+    let fs_bw = 50e9;
+    let restart_s = 120.0;
+    let total_steps: u64 = if quick { 400 } else { 4000 };
+    let straggler = StragglerModel { prob: 0.01, slowdown: 3.0 };
+    let seed = 42u64;
+
+    let mut tab = Table::new(
+        "faults",
+        &[
+            "storage", "batch_s", "ckpt_gb", "daly_mult", "interval_s", "ckpts", "failures",
+            "lost_work_s", "ckpt_overhead_s", "recovery_s", "goodput_pct", "tts_h",
+        ],
+    );
+    let variants: [(&str, u64, f64); 3] = [
+        ("dense", dense_checkpoint_bytes(phi), axonn.batch_time()),
+        ("samo_p080", samo_checkpoint_bytes(phi, 0.8), samo.batch_time()),
+        ("samo_p090", samo_checkpoint_bytes(phi, 0.9), samo.batch_time()),
+    ];
+    for (name, ckpt_bytes, batch_time_s) in variants {
+        for daly_mult in [0.5f64, 1.0, 2.0] {
+            let mut spec = FaultRunSpec {
+                batch_time_s,
+                total_steps,
+                n_nodes: nodes,
+                node_mtbf_s,
+                ckpt_bytes,
+                write_bw: fs_bw,
+                read_bw: fs_bw,
+                restart_s,
+                ckpt_interval_s: 1.0, // overwritten below from the spec's own δ
+                straggler,
+                seed,
+            };
+            spec.ckpt_interval_s = spec.daly_interval_s() * daly_mult;
+            let rep = simulate_faulty_run(&spec);
+            tab.push(vec![
+                name.to_string(),
+                format!("{batch_time_s:.2}"),
+                format!("{:.1}", ckpt_bytes as f64 / 1e9),
+                format!("{daly_mult}"),
+                format!("{:.0}", spec.ckpt_interval_s),
+                rep.checkpoints.to_string(),
+                rep.failures.to_string(),
+                format!("{:.0}", rep.lost_work_s),
+                format!("{:.0}", rep.ckpt_overhead_s),
+                format!("{:.0}", rep.recovery_s),
+                format!("{:.2}", rep.goodput() * 100.0),
+                format!("{:.2}", rep.wall_time_s / 3600.0),
+            ]);
+        }
+    }
+    println!("{}", tab.render());
+    println!(
+        "system MTBF: {:.1} h across {nodes} nodes; seed {seed}; straggler p={} x{}",
+        node_mtbf_s / nodes as f64 / 3600.0,
+        straggler.prob,
+        straggler.slowdown,
+    );
+    println!("reading: smaller SAMO checkpoints shrink both the Daly interval and the");
+    println!("per-failure recovery cost, so goodput at equal MTBF is >= dense for p >= 0.8.");
+    tab.write_csv().map_err(|e| format!("write faults.csv: {e}"))?;
+    Ok(())
 }

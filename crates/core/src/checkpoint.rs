@@ -1,0 +1,300 @@
+//! Durable on-disk checkpointing — the piece that turns the in-memory
+//! save/restore of `crate::serialize` into crash tolerance.
+//!
+//! Writes are atomic in the POSIX rename sense: the serialized state goes
+//! to a temporary file in the checkpoint directory, is flushed with
+//! `fsync`, then renamed over the final name (and the directory is synced
+//! so the rename itself is durable). A crash at any point leaves either
+//! the previous checkpoint or the new one — never a torn file — and the
+//! v2 CRCs reject whatever a dying disk managed to corrupt anyway.
+//!
+//! Policy lives here too: a step-cadence (`every_steps`) and a retention
+//! window (`keep_last`), so a long run keeps a bounded set of recent
+//! checkpoints to roll back to. With telemetry enabled, writes feed
+//! `samo.ckpt.writes` / `samo.ckpt.bytes_written` counters, the
+//! `samo.ckpt.write_seconds` histogram, and a `samo.ckpt.last_bytes`
+//! gauge.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Where and how often to checkpoint.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Directory the checkpoint files live in (created if missing).
+    pub dir: PathBuf,
+    /// Save every `every_steps` applied trainer steps (0 disables the
+    /// cadence; explicit `save_now` still works).
+    pub every_steps: u64,
+    /// How many most-recent checkpoints to retain (older ones are
+    /// pruned after a successful write). 0 means keep everything.
+    pub keep_last: usize,
+    /// File-name prefix, e.g. `"ckpt"` → `ckpt-000042.samo`.
+    pub prefix: String,
+}
+
+impl CheckpointConfig {
+    /// A sensible default rooted at `dir`: every 100 steps, keep 3.
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointConfig {
+        CheckpointConfig {
+            dir: dir.into(),
+            every_steps: 100,
+            keep_last: 3,
+            prefix: "ckpt".to_string(),
+        }
+    }
+}
+
+/// Durable checkpoint writer/loader with cadence and retention.
+pub struct CheckpointManager {
+    cfg: CheckpointConfig,
+    /// Step count at the last successful save (cadence anchor).
+    last_saved_step: Option<u64>,
+}
+
+impl CheckpointManager {
+    /// Creates the manager, creating the directory if needed.
+    pub fn new(cfg: CheckpointConfig) -> Result<CheckpointManager, String> {
+        fs::create_dir_all(&cfg.dir)
+            .map_err(|e| format!("create checkpoint dir {:?}: {e}", cfg.dir))?;
+        Ok(CheckpointManager {
+            cfg,
+            last_saved_step: None,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CheckpointConfig {
+        &self.cfg
+    }
+
+    fn file_name(&self, step: u64) -> PathBuf {
+        self.cfg.dir.join(format!("{}-{:09}.samo", self.cfg.prefix, step))
+    }
+
+    /// Whether the cadence policy calls for a save at `steps_taken`.
+    pub fn due(&self, steps_taken: u64) -> bool {
+        if self.cfg.every_steps == 0 {
+            return false;
+        }
+        match self.last_saved_step {
+            None => steps_taken >= self.cfg.every_steps,
+            Some(last) => steps_taken >= last + self.cfg.every_steps,
+        }
+    }
+
+    /// Saves if the cadence policy says so; returns the path written, if
+    /// any. `bytes` is only serialized by the caller when due — pass a
+    /// closure-produced buffer via [`Self::maybe_save_with`] to avoid
+    /// serializing on off-cadence steps.
+    pub fn maybe_save_with(
+        &mut self,
+        steps_taken: u64,
+        serialize: impl FnOnce() -> bytes::Bytes,
+    ) -> Result<Option<PathBuf>, String> {
+        if !self.due(steps_taken) {
+            return Ok(None);
+        }
+        let path = self.save_now(steps_taken, &serialize())?;
+        Ok(Some(path))
+    }
+
+    /// Unconditionally writes `bytes` as the checkpoint for
+    /// `steps_taken`, atomically (temp file + fsync + rename + dir
+    /// sync), then prunes beyond the retention window.
+    pub fn save_now(&mut self, steps_taken: u64, bytes: &[u8]) -> Result<PathBuf, String> {
+        let tel = telemetry::enabled();
+        let started = std::time::Instant::now();
+        let final_path = self.file_name(steps_taken);
+        let tmp_path = final_path.with_extension("samo.tmp");
+        {
+            let mut f = fs::File::create(&tmp_path)
+                .map_err(|e| format!("create {tmp_path:?}: {e}"))?;
+            f.write_all(bytes)
+                .map_err(|e| format!("write {tmp_path:?}: {e}"))?;
+            f.sync_all().map_err(|e| format!("fsync {tmp_path:?}: {e}"))?;
+        }
+        fs::rename(&tmp_path, &final_path)
+            .map_err(|e| format!("rename {tmp_path:?} -> {final_path:?}: {e}"))?;
+        // Sync the directory so the rename is durable, not just the data.
+        if let Ok(dir) = fs::File::open(&self.cfg.dir) {
+            let _ = dir.sync_all();
+        }
+        self.last_saved_step = Some(steps_taken);
+        let elapsed = started.elapsed().as_secs_f64();
+        telemetry::log_info!(
+            "checkpoint: wrote {final_path:?} ({} bytes) in {elapsed:.3}s",
+            bytes.len()
+        );
+        if tel {
+            let reg = telemetry::global();
+            reg.counter("samo.ckpt.writes").inc();
+            reg.counter("samo.ckpt.bytes_written").add(bytes.len() as u64);
+            reg.gauge("samo.ckpt.last_bytes").set(bytes.len() as f64);
+            reg.histogram("samo.ckpt.write_seconds").record(elapsed);
+        }
+        self.prune_old()?;
+        Ok(final_path)
+    }
+
+    /// All retained checkpoints, oldest first.
+    pub fn list(&self) -> Result<Vec<PathBuf>, String> {
+        let mut found = Vec::new();
+        let entries = fs::read_dir(&self.cfg.dir)
+            .map_err(|e| format!("read checkpoint dir {:?}: {e}", self.cfg.dir))?;
+        for entry in entries {
+            let path = entry.map_err(|e| format!("read dir entry: {e}"))?.path();
+            let name = match path.file_name().and_then(|n| n.to_str()) {
+                Some(n) => n,
+                None => continue,
+            };
+            if name.starts_with(&format!("{}-", self.cfg.prefix)) && name.ends_with(".samo") {
+                found.push(path);
+            }
+        }
+        found.sort();
+        Ok(found)
+    }
+
+    /// The newest retained checkpoint, if any — the resume point after a
+    /// crash.
+    pub fn latest(&self) -> Result<Option<PathBuf>, String> {
+        Ok(self.list()?.pop())
+    }
+
+    fn prune_old(&self) -> Result<(), String> {
+        if self.cfg.keep_last == 0 {
+            return Ok(());
+        }
+        let found = self.list()?;
+        if found.len() > self.cfg.keep_last {
+            for old in &found[..found.len() - self.cfg.keep_last] {
+                fs::remove_file(old).map_err(|e| format!("prune {old:?}: {e}"))?;
+                telemetry::log_debug!("checkpoint: pruned {old:?}");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads a checkpoint file written by [`CheckpointManager`]. Pure I/O —
+/// pass the bytes to `crate::serialize::load_checkpoint` (or a trainer's
+/// `restore`) for validation; any corruption surfaces there as `Err`.
+pub fn read_checkpoint_file(path: &Path) -> Result<Vec<u8>, String> {
+    fs::read(path).map_err(|e| format!("read checkpoint {path:?}: {e}"))
+}
+
+/// Convenience: read + deserialize + structural/CRC validation in one
+/// call. Never panics on corrupt input.
+pub fn load_checkpoint_file(
+    path: &Path,
+    opt: &nn::mixed::Optimizer,
+) -> Result<(Vec<crate::state::SamoLayerState>, Option<crate::serialize::TrainerMeta>), String> {
+    let bytes = read_checkpoint_file(path)?;
+    crate::serialize::load_checkpoint(&bytes, opt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::SamoLayerState;
+    use nn::mixed::Optimizer;
+    use nn::optim::AdamConfig;
+
+    fn adam() -> Optimizer {
+        Optimizer::Adam(AdamConfig::default())
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("samo-ckpt-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_bytes(seed: u64) -> bytes::Bytes {
+        let mask = prune::random_prune(&[64], 0.5, seed);
+        let st = SamoLayerState::from_params(&vec![0.25; 64], mask, &adam());
+        crate::serialize::save_checkpoint(
+            std::slice::from_ref(&st),
+            &crate::serialize::TrainerMeta {
+                loss_scale: 2.0,
+                good_steps: 1,
+                steps_taken: seed,
+                steps_skipped: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn save_load_roundtrip_via_disk() {
+        let dir = tmpdir("roundtrip");
+        let mut mgr = CheckpointManager::new(CheckpointConfig::new(&dir)).unwrap();
+        let bytes = sample_bytes(3);
+        let path = mgr.save_now(3, &bytes).unwrap();
+        assert!(path.exists());
+        let (layers, meta) = load_checkpoint_file(&path, &adam()).unwrap();
+        assert_eq!(layers.len(), 1);
+        assert_eq!(meta.unwrap().steps_taken, 3);
+        assert_eq!(mgr.latest().unwrap().unwrap(), path);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_tmp_files_survive_a_save() {
+        let dir = tmpdir("tmpfiles");
+        let mut mgr = CheckpointManager::new(CheckpointConfig::new(&dir)).unwrap();
+        mgr.save_now(1, &sample_bytes(1)).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().map(|e| e == "tmp").unwrap_or(false))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cadence_and_retention() {
+        let dir = tmpdir("cadence");
+        let mut cfg = CheckpointConfig::new(&dir);
+        cfg.every_steps = 10;
+        cfg.keep_last = 2;
+        let mut mgr = CheckpointManager::new(cfg).unwrap();
+        assert!(!mgr.due(5));
+        assert!(mgr.due(10));
+        let mut written = 0;
+        for step in 1..=45u64 {
+            if mgr
+                .maybe_save_with(step, || sample_bytes(step))
+                .unwrap()
+                .is_some()
+            {
+                written += 1;
+            }
+        }
+        assert_eq!(written, 4, "steps 10, 20, 30, 40");
+        let kept = mgr.list().unwrap();
+        assert_eq!(kept.len(), 2, "retention prunes to keep_last");
+        assert!(kept[1].to_str().unwrap().contains("000000040"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_file_is_rejected_not_panicking() {
+        let dir = tmpdir("corrupt");
+        let mut mgr = CheckpointManager::new(CheckpointConfig::new(&dir)).unwrap();
+        let path = mgr.save_now(7, &sample_bytes(7)).unwrap();
+        let mut raw = fs::read(&path).unwrap();
+        let n = raw.len();
+        raw[n / 2] ^= 0x40;
+        fs::write(&path, &raw).unwrap();
+        assert!(load_checkpoint_file(&path, &adam()).is_err());
+        // Truncation too.
+        fs::write(&path, &raw[..n / 3]).unwrap();
+        assert!(load_checkpoint_file(&path, &adam()).is_err());
+        // Missing file is an I/O error, not a panic.
+        assert!(load_checkpoint_file(&dir.join("nope.samo"), &adam()).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

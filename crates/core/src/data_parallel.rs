@@ -38,7 +38,13 @@ impl<M: Layer> DataParallelSamo<M> {
     /// parameters must match — this is checked) and one mask per
     /// parameter tensor.
     pub fn new(mut replicas: Vec<M>, masks: Vec<Mask>, opt: Optimizer) -> DataParallelSamo<M> {
-        assert!(!replicas.is_empty());
+        // A data-parallel group of zero ranks has no defined collective
+        // semantics; misconfiguration is a programming error, caught here
+        // rather than as an index panic deep inside `step()`.
+        assert!(
+            !replicas.is_empty(),
+            "DataParallelSamo needs at least one replica"
+        );
         let d = replicas.len();
         // Check replicas agree before pruning.
         {
@@ -168,7 +174,8 @@ impl<M: Layer> DataParallelSamo<M> {
                 bufs.push(&mut head[pi].grad16);
                 rest = tail;
             }
-            allreduce_mean_f16(&mut bufs);
+            allreduce_mean_f16(&mut bufs)
+                .expect("replica gradient buffers share one layout by construction");
         }
         let t_allreduce = sp.map(telemetry::SpanGuard::finish);
         // The collective has run by now whether or not the step applies.
@@ -230,6 +237,179 @@ impl<M: Layer> DataParallelSamo<M> {
             );
         }
         true
+    }
+
+    /// Serializes the group's training state as one v2 checkpoint: the
+    /// per-rank shards are gathered back into full compressed layers (a
+    /// rank-count-independent layout — a checkpoint written at `d = 4`
+    /// restores into any world size), plus the loss-scaler state and
+    /// step counters.
+    pub fn save(&self) -> bytes::Bytes {
+        let layers = self.gather_full_layers();
+        let snap = self.scaler.snapshot();
+        let meta = crate::serialize::TrainerMeta {
+            loss_scale: snap.scale,
+            good_steps: snap.good_steps,
+            steps_taken: self.steps_taken,
+            steps_skipped: self.steps_skipped,
+        };
+        crate::serialize::save_checkpoint(&layers, &meta)
+    }
+
+    fn gather_full_layers(&self) -> Vec<crate::state::SamoLayerState> {
+        (0..self.states[0].len())
+            .map(|pi| {
+                let ranks: Vec<&ShardedSamoLayerState> =
+                    self.states.iter().map(|rs| &rs[pi]).collect();
+                ShardedSamoLayerState::to_full_layer(&ranks, &self.opt)
+            })
+            .collect()
+    }
+
+    /// Restores a checkpoint produced by [`Self::save`] into the whole
+    /// group: every rank's shards are re-sliced from the full layers and
+    /// every replica's dense parameters rewritten, so the group resumes
+    /// bitwise identically. The group's structure (parameter count, mask
+    /// shapes) must match what was saved; the world size may differ.
+    pub fn restore(&mut self, checkpoint: &[u8]) -> Result<(), String> {
+        let (layers, meta) = crate::serialize::load_checkpoint(checkpoint, &self.opt)?;
+        self.check_structure(&layers)?;
+        let d = self.replicas.len();
+        for (rank, (model, rank_states)) in
+            self.replicas.iter_mut().zip(&mut self.states).enumerate()
+        {
+            for ((st, layer), p) in rank_states
+                .iter_mut()
+                .zip(&layers)
+                .zip(model.params_mut())
+            {
+                *st = ShardedSamoLayerState::from_full_layer(layer, &self.opt, rank, d);
+                p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+                p.zero_grad();
+            }
+        }
+        if let Some(meta) = meta {
+            self.scaler.restore_state(nn::mixed::LossScalerState {
+                scale: meta.loss_scale,
+                good_steps: meta.good_steps,
+            });
+            self.steps_taken = meta.steps_taken;
+            self.steps_skipped = meta.steps_skipped;
+        }
+        if telemetry::enabled() {
+            telemetry::global().counter("samo.ckpt.recoveries").inc();
+        }
+        Ok(())
+    }
+
+    /// Reconstructs a single failed rank from a checkpoint taken at the
+    /// group's current step, leaving the surviving ranks untouched. The
+    /// rebuilt rank is bitwise identical to one that never failed (same
+    /// θ16/∇θ16/θ32-shard/optimizer shard), which
+    /// [`Self::rank_failure_drill`] verifies.
+    pub fn restore_rank(&mut self, rank: usize, checkpoint: &[u8]) -> Result<(), String> {
+        if rank >= self.replicas.len() {
+            return Err(format!(
+                "rank {rank} out of range for world size {}",
+                self.replicas.len()
+            ));
+        }
+        let (layers, _) = crate::serialize::load_checkpoint(checkpoint, &self.opt)?;
+        self.check_structure(&layers)?;
+        let d = self.replicas.len();
+        let model = &mut self.replicas[rank];
+        let rank_states = &mut self.states[rank];
+        for ((st, layer), p) in rank_states
+            .iter_mut()
+            .zip(&layers)
+            .zip(model.params_mut())
+        {
+            *st = ShardedSamoLayerState::from_full_layer(layer, &self.opt, rank, d);
+            p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+            p.zero_grad();
+        }
+        if telemetry::enabled() {
+            telemetry::global().counter("samo.ckpt.rank_recoveries").inc();
+        }
+        Ok(())
+    }
+
+    fn check_structure(&self, layers: &[crate::state::SamoLayerState]) -> Result<(), String> {
+        if layers.len() != self.states[0].len() {
+            return Err(format!(
+                "checkpoint has {} layers, group has {}",
+                layers.len(),
+                self.states[0].len()
+            ));
+        }
+        for (layer, st) in layers.iter().zip(&self.states[0]) {
+            if layer.mask().shape() != st.mask().shape() {
+                return Err("checkpoint mask shape mismatch".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault drill: checkpoints the group, destroys rank `rank`'s state
+    /// (scrambling its parameters and shards, as a lost node would),
+    /// reconstructs it from the checkpoint, and verifies bitwise
+    /// resynchronization against a surviving rank. Returns the
+    /// checkpoint size in bytes on success; any mismatch is an `Err`
+    /// naming the first diverging tensor.
+    pub fn rank_failure_drill(&mut self, rank: usize) -> Result<usize, String> {
+        if self.replicas.len() < 2 {
+            return Err("drill needs at least two ranks (one must survive)".into());
+        }
+        if rank >= self.replicas.len() {
+            return Err(format!(
+                "rank {rank} out of range for world size {}",
+                self.replicas.len()
+            ));
+        }
+        let checkpoint = self.save();
+        telemetry::log_info!(
+            "rank_failure_drill: dropping rank {rank}, checkpoint {} bytes",
+            checkpoint.len()
+        );
+
+        // Simulate the failure: wipe the rank's model and shards.
+        for p in self.replicas[rank].params_mut() {
+            p.value.as_mut_slice().fill(f32::NAN);
+            p.zero_grad();
+        }
+        for st in &mut self.states[rank] {
+            st.theta16.fill(tensor::f16::F16::from_f32(f32::NAN));
+            st.grad16.fill(tensor::f16::F16::from_f32(f32::NAN));
+            st.theta32_shard.fill(f32::NAN);
+        }
+
+        self.restore_rank(rank, &checkpoint)?;
+
+        // Prove bitwise resynchronization against a surviving rank.
+        let witness = if rank == 0 { 1 } else { 0 };
+        for (pi, (a, b)) in self.states[rank]
+            .iter()
+            .zip(&self.states[witness])
+            .enumerate()
+        {
+            if a.theta16 != b.theta16 {
+                return Err(format!("param {pi}: θ16 diverged after rank recovery"));
+            }
+            if a.grad16 != b.grad16 {
+                return Err(format!("param {pi}: ∇θ16 diverged after rank recovery"));
+            }
+        }
+        let restored: Vec<Vec<f32>> = self.replicas[rank]
+            .params()
+            .iter()
+            .map(|p| p.value.as_slice().to_vec())
+            .collect();
+        for (p, want) in self.replicas[witness].params().iter().zip(&restored) {
+            if p.value.as_slice() != &want[..] {
+                return Err(format!("parameter {}: replica diverged after rank recovery", p.name));
+            }
+        }
+        Ok(checkpoint.len())
     }
 
     /// Cold path: metric/JSONL bookkeeping for one completed `step()`.
@@ -427,6 +607,124 @@ mod tests {
         // The all-reduce ran before the overflow was detected, so its
         // bytes still count: 2·fφ for one step.
         assert_eq!(dp.allreduce_bytes(), 2 * dp.nnz() as u64);
+    }
+
+    fn drive_step(dp: &mut DataParallelSamo<Sequential>, step: usize) {
+        for r in 0..dp.world_size() {
+            let scale = dp.loss_scale();
+            let x = Tensor::randn(&[4, 6], 1.0, 700 + (step * 8 + r) as u64);
+            let t = Tensor::randn(&[4, 6], 1.0, 800 + (step * 8 + r) as u64);
+            let m = dp.replica_mut(r);
+            let y = m.forward(&x);
+            let (_, mut dy) = mse(&y, &t);
+            tensor::ops::scale(scale, dy.as_mut_slice());
+            m.backward(&dy);
+        }
+        dp.step();
+    }
+
+    #[test]
+    fn group_save_restore_resumes_identically() {
+        let build = || {
+            let masks3 = masks(&model(17));
+            let mut dp =
+                DataParallelSamo::new(vec![model(17), model(17), model(17)], masks3, adam());
+            dp.set_scaler(LossScaler::new(256.0));
+            dp
+        };
+        let mut live = build();
+        for s in 0..3 {
+            drive_step(&mut live, s);
+        }
+        let ckpt = live.save();
+
+        // Continue live.
+        for s in 3..6 {
+            drive_step(&mut live, s);
+        }
+
+        // Restore into a fresh group and replay the same steps.
+        let mut resumed = build();
+        resumed.restore(&ckpt).unwrap();
+        assert_eq!(resumed.steps_taken(), 3);
+        assert_eq!(resumed.loss_scale(), 256.0);
+        for s in 3..6 {
+            drive_step(&mut resumed, s);
+        }
+        for r in 0..live.world_size() {
+            for (a, b) in live.replicas[r].params().iter().zip(resumed.replicas[r].params()) {
+                assert_eq!(a.value.as_slice(), b.value.as_slice(), "rank {r} {}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_restores_across_world_sizes() {
+        // A d=3 checkpoint restores into a d=2 group (rank-count
+        // independent layout) and continues identically to a single-rank
+        // restore of the same bytes.
+        let masks3 = masks(&model(19));
+        let mut dp3 = DataParallelSamo::new(vec![model(19), model(19), model(19)], masks3, adam());
+        dp3.set_scaler(LossScaler::new(128.0));
+        for s in 0..2 {
+            drive_step(&mut dp3, s);
+        }
+        let ckpt = dp3.save();
+
+        let masks2 = masks(&model(19));
+        let mut dp2 = DataParallelSamo::new(vec![model(19), model(19)], masks2, adam());
+        dp2.restore(&ckpt).unwrap();
+        assert_eq!(dp2.steps_taken(), dp3.steps_taken());
+        for (a, b) in dp2.replicas[0].params().iter().zip(dp3.replicas[0].params()) {
+            assert_eq!(a.value.as_slice(), b.value.as_slice(), "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn rank_failure_drill_resynchronizes_bitwise() {
+        let masks3 = masks(&model(23));
+        let mut dp = DataParallelSamo::new(vec![model(23), model(23), model(23)], masks3, adam());
+        dp.set_scaler(LossScaler::new(256.0));
+        for s in 0..3 {
+            drive_step(&mut dp, s);
+        }
+        let bytes = dp.rank_failure_drill(1).unwrap();
+        assert!(bytes > 0);
+        // The group keeps training in lockstep after the recovery.
+        for s in 3..6 {
+            drive_step(&mut dp, s);
+        }
+        let reference: Vec<Vec<f32>> = dp.replicas[0]
+            .params()
+            .iter()
+            .map(|p| p.value.as_slice().to_vec())
+            .collect();
+        for r in 1..dp.world_size() {
+            for (p, want) in dp.replicas[r].params().iter().zip(&reference) {
+                assert_eq!(p.value.as_slice(), &want[..], "rank {r} {}", p.name);
+            }
+        }
+        assert_eq!(dp.steps_taken(), 6);
+    }
+
+    #[test]
+    fn drill_rejects_degenerate_groups() {
+        let masks1 = masks(&model(27));
+        let mut dp = DataParallelSamo::new(vec![model(27)], masks1, adam());
+        assert!(dp.rank_failure_drill(0).is_err(), "needs a surviving rank");
+        let ckpt = dp.save();
+        let err = dp.restore_rank(5, &ckpt).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_checkpoint() {
+        let masks2 = masks(&model(29));
+        let mut dp = DataParallelSamo::new(vec![model(29), model(29)], masks2, adam());
+        let mut bad = dp.save().to_vec();
+        let n = bad.len();
+        bad[n / 2] ^= 0x10;
+        assert!(dp.restore(&bad).is_err());
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! * [`state`] — [`state::SamoLayerState`], the per-layer compressed
 //!   mixed-precision model state and its three-phase optimizer step,
 //! * [`trainer`] — whole-model SAMO training, the dense masked baseline
-//!   it is numerically equivalent to, and the compressed all-reduce.
+//!   it is numerically equivalent to, and the compressed all-reduce,
+//! * [`checkpoint`] — durable on-disk checkpointing (atomic writes,
+//!   CRC-validated v2 format, cadence + retention),
+//! * [`sentinel`] — divergence detection driving checkpoint rollback.
 
 //! ```
 //! use nn::layer::Layer;
@@ -33,17 +36,22 @@
 //! assert!(trainer.model_state_bytes(true) < 20 * trainer.numel() as u64 / 2);
 //! ```
 
+pub mod checkpoint;
 pub mod compressed;
 pub mod data_parallel;
 pub mod memory;
+pub mod sentinel;
 pub mod serialize;
 pub mod sharded;
 pub mod state;
 pub mod trainer;
 
+pub use checkpoint::{CheckpointConfig, CheckpointManager};
 pub use compressed::{compress_f16, compress_f32, expand_f16, expand_f32};
 pub use memory::{m_default_bytes, m_samo_bytes, samo_savings_fraction, SamoBreakdown};
 pub use data_parallel::DataParallelSamo;
+pub use sentinel::{DivergenceSentinel, SentinelConfig, Verdict};
+pub use serialize::TrainerMeta;
 pub use sharded::{m_samo_zero_bytes, ShardedSamoLayerState};
 pub use state::SamoLayerState;
 pub use trainer::{DenseMaskedTrainer, SamoTrainer};

@@ -3,128 +3,373 @@
 //! checkpointing the *compressed* state writes `24fφ`-ish bytes instead
 //! of `20φ`, the same ~4× saving on disk as in memory).
 //!
-//! Format: a small versioned header, then per layer: mask (shape +
-//! linearized indices), compressed `θ32`, `∇θ16`, and the optimizer
-//! state. All integers little-endian; no external schema needed.
+//! Two on-disk versions share the magic/version header:
+//!
+//! * **v1** (legacy, still readable): per layer: mask (shape + linearized
+//!   indices), compressed `θ32`, `∇θ16`, and the optimizer state.
+//! * **v2** (written by [`save_checkpoint`]): adds a trainer-meta section
+//!   ([`TrainerMeta`]: loss-scale state and step counters, which v1
+//!   silently dropped) and a CRC-32 checksum after every section — the
+//!   meta block and each layer — so torn or bit-rotted files are rejected
+//!   with an `Err` instead of silently corrupting a resumed run.
+//!
+//! All integers little-endian; no external schema needed. Loaders never
+//! trust a length field without checking it against the remaining input,
+//! so a corrupted header cannot trigger an over-allocation.
 
 use crate::state::SamoLayerState;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use nn::mixed::{OptState, Optimizer};
 use nn::optim::{AdamState, SgdState};
 use prune::Mask;
 use tensor::f16::F16;
 
 const MAGIC: u32 = 0x53414D4F; // "SAMO"
-const VERSION: u16 = 1;
+const VERSION_V1: u16 = 1;
+const VERSION_V2: u16 = 2;
 
-/// Serializes the per-layer SAMO states into a self-describing buffer.
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — implemented here
+// because the workspace stays dependency-light; validated against the
+// canonical check value crc32("123456789") == 0xCBF43926.
+// ---------------------------------------------------------------------------
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = make_crc_table();
+
+/// CRC-32 checksum (IEEE, as used by zip/png/ethernet) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Trainer-level state carried by v2 checkpoints alongside the layers:
+/// everything a resumed run needs so its trajectory is bitwise identical
+/// to an uninterrupted one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainerMeta {
+    /// Current dynamic loss scale.
+    pub loss_scale: f32,
+    /// Consecutive good steps accumulated toward the next scale growth.
+    pub good_steps: u32,
+    /// Optimizer steps applied.
+    pub steps_taken: u64,
+    /// Steps skipped due to gradient overflow.
+    pub steps_skipped: u64,
+}
+
+fn put_layer(buf: &mut impl BufMut, layer: &SamoLayerState) {
+    let mask = layer.mask();
+    buf.put_u8(mask.shape().len() as u8);
+    for &d in mask.shape() {
+        buf.put_u64_le(d as u64);
+    }
+    buf.put_u64_le(mask.nnz() as u64);
+    for &i in mask.indices().iter() {
+        buf.put_u32_le(i);
+    }
+    for &v in &layer.theta32 {
+        buf.put_f32_le(v);
+    }
+    for g in &layer.grad16 {
+        buf.put_u16_le(g.to_bits());
+    }
+    match &layer.os {
+        OptState::Adam(st) => {
+            buf.put_u8(0);
+            buf.put_u64_le(st.step);
+            for &m in &st.m {
+                buf.put_f32_le(m);
+            }
+            for &v in &st.v {
+                buf.put_f32_le(v);
+            }
+        }
+        OptState::Sgd(st) => {
+            buf.put_u8(1);
+            for &v in &st.velocity {
+                buf.put_f32_le(v);
+            }
+        }
+    }
+}
+
+/// Serializes the per-layer SAMO states into a self-describing v1 buffer
+/// (no trainer meta, no checksums). Prefer [`save_checkpoint`] for
+/// durable files; this remains for compatibility and in-memory snapshots.
 pub fn save_layers(layers: &[SamoLayerState]) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
-    buf.put_u16_le(VERSION);
+    buf.put_u16_le(VERSION_V1);
     buf.put_u32_le(layers.len() as u32);
     for layer in layers {
-        let mask = layer.mask();
-        buf.put_u8(mask.shape().len() as u8);
-        for &d in mask.shape() {
-            buf.put_u64_le(d as u64);
-        }
-        buf.put_u64_le(mask.nnz() as u64);
-        for &i in mask.indices().iter() {
-            buf.put_u32_le(i);
-        }
-        for &v in &layer.theta32 {
-            buf.put_f32_le(v);
-        }
-        for g in &layer.grad16 {
-            buf.put_u16_le(g.to_bits());
-        }
-        match &layer.os {
-            OptState::Adam(st) => {
-                buf.put_u8(0);
-                buf.put_u64_le(st.step);
-                for &m in &st.m {
-                    buf.put_f32_le(m);
-                }
-                for &v in &st.v {
-                    buf.put_f32_le(v);
-                }
-            }
-            OptState::Sgd(st) => {
-                buf.put_u8(1);
-                for &v in &st.velocity {
-                    buf.put_f32_le(v);
-                }
-            }
-        }
+        put_layer(&mut buf, layer);
     }
     buf.freeze()
 }
 
-fn need(buf: &impl Buf, n: usize, what: &str) -> Result<(), String> {
-    if buf.remaining() < n {
-        Err(format!("truncated checkpoint while reading {what}"))
-    } else {
-        Ok(())
+/// Serializes layers plus trainer meta into a v2 buffer with per-section
+/// CRC-32 checksums (one over the meta section, one per layer).
+pub fn save_checkpoint(layers: &[SamoLayerState], meta: &TrainerMeta) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION_V2);
+
+    let mut sec: Vec<u8> = Vec::new();
+    sec.put_f32_le(meta.loss_scale);
+    sec.put_u32_le(meta.good_steps);
+    sec.put_u64_le(meta.steps_taken);
+    sec.put_u64_le(meta.steps_skipped);
+    sec.put_u32_le(layers.len() as u32);
+    buf.put_u32_le(crc32(&sec));
+    buf.put_slice(&sec);
+
+    for layer in layers {
+        let mut sec: Vec<u8> = Vec::new();
+        put_layer(&mut sec, layer);
+        buf.put_u32_le(crc32(&sec));
+        buf.put_slice(&sec);
+    }
+    buf.freeze()
+}
+
+/// Cursor over untrusted checkpoint bytes. Every read is bounds-checked
+/// and every length derived from the input is validated before any
+/// allocation, so corrupted input yields `Err`, never a panic or OOM.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn need(&self, n: usize, what: &str) -> Result<(), String> {
+        if self.remaining() < n {
+            Err(format!("truncated checkpoint while reading {what}"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        self.need(n, what)?;
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn get_u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn get_u16(&mut self, what: &str) -> Result<u16, String> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn get_u32(&mut self, what: &str) -> Result<u32, String> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_u64(&mut self, what: &str) -> Result<u64, String> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn get_f32(&mut self, what: &str) -> Result<f32, String> {
+        Ok(f32::from_bits(self.get_u32(what)?))
+    }
+
+    /// A length field from the input, validated to fit the remaining bytes
+    /// at `elem_size` bytes per element — the guard against corrupted
+    /// headers demanding absurd allocations.
+    fn get_len(&mut self, elem_size: usize, what: &str) -> Result<usize, String> {
+        let raw = self.get_u64(what)?;
+        let n = usize::try_from(raw).map_err(|_| format!("{what} count {raw} overflows"))?;
+        let bytes = n
+            .checked_mul(elem_size)
+            .ok_or_else(|| format!("{what} count {n} overflows"))?;
+        self.need(bytes, what)?;
+        Ok(n)
     }
 }
 
-/// Deserializes layers previously written by [`save_layers`]. The
-/// optimizer kind must match what was saved.
-pub fn load_layers(mut buf: &[u8], opt: &Optimizer) -> Result<Vec<SamoLayerState>, String> {
-    need(&buf, 10, "header")?;
-    let magic = buf.get_u32_le();
+fn parse_layer(r: &mut Reader<'_>, opt: &Optimizer, li: usize) -> Result<SamoLayerState, String> {
+    let rank = r.get_u8("shape rank")? as usize;
+    let mut shape = Vec::with_capacity(rank);
+    let mut numel: usize = 1;
+    for _ in 0..rank {
+        let d = r.get_u64("shape")? as usize;
+        numel = numel
+            .checked_mul(d)
+            .ok_or_else(|| format!("layer {li}: shape overflows"))?;
+        shape.push(d);
+    }
+    if numel > u32::MAX as usize {
+        return Err(format!("layer {li}: tensor too large for u32 indices"));
+    }
+    let nnz = r.get_len(4, "indices")?;
+    if nnz > numel {
+        return Err(format!("layer {li}: nnz {nnz} exceeds numel {numel}"));
+    }
+    let mut indices = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        indices.push(r.get_u32("indices")?);
+    }
+    // Mask::new asserts these invariants; on untrusted input report them
+    // as errors instead.
+    for w in indices.windows(2) {
+        if w[0] >= w[1] {
+            return Err(format!("layer {li}: mask indices not strictly increasing"));
+        }
+    }
+    if let Some(&last) = indices.last() {
+        if last as usize >= numel {
+            return Err(format!("layer {li}: mask index {last} out of bounds"));
+        }
+    }
+    let mask = Mask::new(&shape, indices);
+
+    r.need(nnz.saturating_mul(4), "theta32")?;
+    let mut theta32 = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        theta32.push(r.get_f32("theta32")?);
+    }
+    r.need(nnz.saturating_mul(2), "grad16")?;
+    let mut grad16 = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        grad16.push(F16::from_bits(r.get_u16("grad16")?));
+    }
+
+    let tag = r.get_u8("optimizer tag")?;
+    let os = match (tag, opt) {
+        (0, Optimizer::Adam(_)) => {
+            r.need(8 + nnz.saturating_mul(8), "adam state")?;
+            let step = r.get_u64("adam step")?;
+            let mut m = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                m.push(r.get_f32("adam m")?);
+            }
+            let mut v = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                v.push(r.get_f32("adam v")?);
+            }
+            OptState::Adam(AdamState { m, v, step })
+        }
+        (1, Optimizer::Sgd(_)) => {
+            r.need(nnz.saturating_mul(4), "sgd state")?;
+            let mut velocity = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                velocity.push(r.get_f32("sgd velocity")?);
+            }
+            OptState::Sgd(SgdState { velocity })
+        }
+        (t, _) => {
+            return Err(format!(
+                "layer {li}: optimizer tag {t} does not match the requested optimizer"
+            ))
+        }
+    };
+    Ok(SamoLayerState::from_parts(mask, theta32, grad16, os))
+}
+
+/// Deserializes a v1 or v2 checkpoint. Returns the layers and, for v2,
+/// the trainer meta (`None` for legacy v1 buffers). The optimizer kind
+/// must match what was saved. Any corruption — truncation, structural
+/// nonsense, or (v2) a CRC mismatch — yields `Err`; this function never
+/// panics on untrusted input.
+pub fn load_checkpoint(
+    buf: &[u8],
+    opt: &Optimizer,
+) -> Result<(Vec<SamoLayerState>, Option<TrainerMeta>), String> {
+    let mut r = Reader::new(buf);
+    let magic = r.get_u32("header")?;
     if magic != MAGIC {
         return Err(format!("bad magic {magic:#010x}"));
     }
-    let version = buf.get_u16_le();
-    if version != VERSION {
-        return Err(format!("unsupported version {version}"));
+    let version = r.get_u16("header")?;
+    match version {
+        VERSION_V1 => {
+            let nlayers = r.get_u32("layer count")? as usize;
+            // No preallocation from the untrusted count: each parsed layer
+            // consumes at least a few bytes, so growth is input-bounded.
+            let mut layers = Vec::new();
+            for li in 0..nlayers {
+                layers.push(parse_layer(&mut r, opt, li)?);
+            }
+            if r.remaining() > 0 {
+                return Err(format!("{} trailing bytes after checkpoint", r.remaining()));
+            }
+            Ok((layers, None))
+        }
+        VERSION_V2 => {
+            let meta_crc = r.get_u32("meta crc")?;
+            let start = r.pos;
+            let loss_scale = r.get_f32("meta")?;
+            let good_steps = r.get_u32("meta")?;
+            let steps_taken = r.get_u64("meta")?;
+            let steps_skipped = r.get_u64("meta")?;
+            let nlayers = r.get_u32("layer count")? as usize;
+            if crc32(&buf[start..r.pos]) != meta_crc {
+                return Err("meta section CRC mismatch".to_string());
+            }
+            let meta = TrainerMeta {
+                loss_scale,
+                good_steps,
+                steps_taken,
+                steps_skipped,
+            };
+            let mut layers = Vec::new();
+            for li in 0..nlayers {
+                let layer_crc = r.get_u32("layer crc")?;
+                let start = r.pos;
+                let layer = parse_layer(&mut r, opt, li)?;
+                if crc32(&buf[start..r.pos]) != layer_crc {
+                    return Err(format!("layer {li}: CRC mismatch"));
+                }
+                layers.push(layer);
+            }
+            if r.remaining() > 0 {
+                return Err(format!("{} trailing bytes after checkpoint", r.remaining()));
+            }
+            Ok((layers, Some(meta)))
+        }
+        v => Err(format!("unsupported version {v}")),
     }
-    let nlayers = buf.get_u32_le() as usize;
-    let mut layers = Vec::with_capacity(nlayers);
-    for li in 0..nlayers {
-        need(&buf, 1, "shape rank")?;
-        let rank = buf.get_u8() as usize;
-        need(&buf, rank * 8 + 8, "shape")?;
-        let shape: Vec<usize> = (0..rank).map(|_| buf.get_u64_le() as usize).collect();
-        let nnz = buf.get_u64_le() as usize;
-        need(&buf, nnz * 4, "indices")?;
-        let indices: Vec<u32> = (0..nnz).map(|_| buf.get_u32_le()).collect();
-        let mask = Mask::new(&shape, indices);
+}
 
-        need(&buf, nnz * 4, "theta32")?;
-        let theta32: Vec<f32> = (0..nnz).map(|_| buf.get_f32_le()).collect();
-        need(&buf, nnz * 2, "grad16")?;
-        let grad16: Vec<F16> = (0..nnz).map(|_| F16::from_bits(buf.get_u16_le())).collect();
-
-        need(&buf, 1, "optimizer tag")?;
-        let tag = buf.get_u8();
-        let os = match (tag, opt) {
-            (0, Optimizer::Adam(_)) => {
-                need(&buf, 8 + nnz * 8, "adam state")?;
-                let step = buf.get_u64_le();
-                let m: Vec<f32> = (0..nnz).map(|_| buf.get_f32_le()).collect();
-                let v: Vec<f32> = (0..nnz).map(|_| buf.get_f32_le()).collect();
-                OptState::Adam(AdamState { m, v, step })
-            }
-            (1, Optimizer::Sgd(_)) => {
-                need(&buf, nnz * 4, "sgd state")?;
-                let velocity: Vec<f32> = (0..nnz).map(|_| buf.get_f32_le()).collect();
-                OptState::Sgd(SgdState { velocity })
-            }
-            (t, _) => {
-                return Err(format!(
-                    "layer {li}: optimizer tag {t} does not match the requested optimizer"
-                ))
-            }
-        };
-        layers.push(SamoLayerState::from_parts(mask, theta32, grad16, os));
-    }
-    if buf.has_remaining() {
-        return Err(format!("{} trailing bytes after checkpoint", buf.remaining()));
-    }
-    Ok(layers)
+/// Deserializes the layers of a v1 or v2 checkpoint, discarding any
+/// trainer meta. The optimizer kind must match what was saved.
+pub fn load_layers(buf: &[u8], opt: &Optimizer) -> Result<Vec<SamoLayerState>, String> {
+    load_checkpoint(buf, opt).map(|(layers, _)| layers)
 }
 
 #[cfg(test)]
@@ -152,6 +397,21 @@ mod tests {
                 st
             })
             .collect()
+    }
+
+    fn meta() -> TrainerMeta {
+        TrainerMeta {
+            loss_scale: 1024.0,
+            good_steps: 7,
+            steps_taken: 42,
+            steps_skipped: 3,
+        }
+    }
+
+    #[test]
+    fn crc32_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -189,6 +449,32 @@ mod tests {
                 _ => panic!("wrong optimizer state"),
             }
         }
+    }
+
+    #[test]
+    fn roundtrip_v2_with_meta() {
+        let opt = adam();
+        let layers = make_layers(&opt);
+        let bytes = save_checkpoint(&layers, &meta());
+        let (loaded, got) = load_checkpoint(&bytes, &opt).unwrap();
+        assert_eq!(got, Some(meta()));
+        assert_eq!(loaded.len(), layers.len());
+        for (a, b) in layers.iter().zip(&loaded) {
+            assert_eq!(a.mask(), b.mask());
+            assert_eq!(a.theta32, b.theta32);
+            assert_eq!(a.theta16, b.theta16);
+        }
+        // load_layers reads v2 too, dropping the meta.
+        assert_eq!(load_layers(&bytes, &opt).unwrap().len(), layers.len());
+    }
+
+    #[test]
+    fn v1_still_loads_without_meta() {
+        let opt = adam();
+        let bytes = save_layers(&make_layers(&opt));
+        let (layers, got) = load_checkpoint(&bytes, &opt).unwrap();
+        assert_eq!(layers.len(), 3);
+        assert_eq!(got, None);
     }
 
     #[test]
@@ -245,6 +531,48 @@ mod tests {
         assert!(load_layers(&bytes, &sgd)
             .unwrap_err()
             .contains("does not match"));
+    }
+
+    #[test]
+    fn v2_detects_payload_bit_rot() {
+        let opt = adam();
+        let bytes = save_checkpoint(&make_layers(&opt), &meta());
+        // Flip a bit deep in the last layer's payload — structurally valid,
+        // only the CRC notices.
+        let mut bad = bytes.to_vec();
+        let n = bad.len();
+        bad[n - 3] ^= 0x04;
+        let err = load_checkpoint(&bad, &opt).unwrap_err();
+        assert!(
+            err.contains("CRC") || err.contains("truncated") || err.contains("trailing"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn huge_layer_count_is_rejected_cheaply() {
+        // A corrupted header claiming 4 billion layers must fail fast with
+        // a truncation error, not allocate.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION_V1);
+        buf.put_u32_le(u32::MAX);
+        let err = load_layers(&buf.freeze(), &adam()).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+
+        // Likewise a huge nnz inside a layer.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION_V1);
+        buf.put_u32_le(1);
+        buf.put_u8(1); // rank
+        buf.put_u64_le(1 << 30); // shape
+        buf.put_u64_le(u64::MAX / 2); // nnz — would overflow nnz*4
+        let err = load_layers(&buf.freeze(), &adam()).unwrap_err();
+        assert!(
+            err.contains("truncated") || err.contains("overflow") || err.contains("exceeds"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -89,6 +89,95 @@ impl ShardedSamoLayerState {
         }
     }
 
+    /// Rebuilds rank `shard_id`'s state from a *full* (unsharded)
+    /// compressed layer state, e.g. one loaded from a checkpoint — the
+    /// recovery path when a rank is lost and must be reconstructed.
+    /// Exactly inverts [`Self::to_full_layer`].
+    pub fn from_full_layer(
+        full: &crate::state::SamoLayerState,
+        opt: &Optimizer,
+        shard_id: usize,
+        num_shards: usize,
+    ) -> ShardedSamoLayerState {
+        assert!(num_shards >= 1 && shard_id < num_shards);
+        let mask = full.mask().clone();
+        let nnz = mask.nnz();
+        assert_eq!(full.theta32.len(), nnz);
+        let (lo, hi) = shard_bounds(nnz, shard_id, num_shards);
+        // θ16 is reconstructed the same way install_gathered produces it
+        // on the surviving ranks: narrow θ32, expand — so a rebuilt rank
+        // is bitwise identical to one that never failed.
+        let temp16: Vec<F16> = full.theta32.iter().map(|&v| F16::from_f32(v)).collect();
+        let mut theta16 = vec![F16::ZERO; mask.numel()];
+        expand_f16_into(&temp16, &mask, &mut theta16);
+        let os_shard = match (&full.os, opt) {
+            (OptState::Adam(st), Optimizer::Adam(_)) => OptState::Adam(nn::optim::AdamState {
+                m: st.m[lo..hi].to_vec(),
+                v: st.v[lo..hi].to_vec(),
+                step: st.step,
+            }),
+            (OptState::Sgd(st), Optimizer::Sgd(_)) => OptState::Sgd(nn::optim::SgdState {
+                velocity: st.velocity[lo..hi].to_vec(),
+            }),
+            _ => panic!("optimizer state/config mismatch"),
+        };
+        ShardedSamoLayerState {
+            theta32_shard: full.theta32[lo..hi].to_vec(),
+            grad32_shard: vec![0.0; hi - lo],
+            os_shard,
+            grad16: full.grad16.clone(),
+            theta16,
+            mask,
+            shard_id,
+            num_shards,
+            lo,
+            hi,
+        }
+    }
+
+    /// Reassembles the full (unsharded) compressed layer state for one
+    /// parameter from every rank's shard, for checkpointing: the shards
+    /// are contiguous and partition the compressed space, so
+    /// concatenation recovers exactly the state an unsharded
+    /// [`crate::state::SamoLayerState`] would hold.
+    ///
+    /// `ranks` must hold one state per rank, in rank order, all for the
+    /// same parameter tensor.
+    pub fn to_full_layer(
+        ranks: &[&ShardedSamoLayerState],
+        opt: &Optimizer,
+    ) -> crate::state::SamoLayerState {
+        assert!(!ranks.is_empty(), "need at least one shard");
+        let first = ranks[0];
+        assert_eq!(ranks.len(), first.num_shards, "one state per rank");
+        let nnz = first.mask.nnz();
+        let mut theta32 = vec![0.0f32; nnz];
+        let mut os = OptState::new(opt, nnz);
+        for (r, st) in ranks.iter().enumerate() {
+            assert_eq!(st.shard_id, r, "ranks must be in order");
+            assert_eq!(st.mask, first.mask, "shards of different tensors");
+            let (lo, hi) = st.shard_range();
+            theta32[lo..hi].copy_from_slice(&st.theta32_shard);
+            match (&mut os, &st.os_shard) {
+                (OptState::Adam(full), OptState::Adam(shard)) => {
+                    full.m[lo..hi].copy_from_slice(&shard.m);
+                    full.v[lo..hi].copy_from_slice(&shard.v);
+                    full.step = shard.step;
+                }
+                (OptState::Sgd(full), OptState::Sgd(shard)) => {
+                    full.velocity[lo..hi].copy_from_slice(&shard.velocity);
+                }
+                _ => panic!("optimizer state/config mismatch"),
+            }
+        }
+        crate::state::SamoLayerState::from_parts(
+            first.mask.clone(),
+            theta32,
+            first.grad16.clone(),
+            os,
+        )
+    }
+
     /// This rank's shard bounds within the compressed space.
     pub fn shard_range(&self) -> (usize, usize) {
         (self.lo, self.hi)
@@ -102,6 +191,11 @@ impl ShardedSamoLayerState {
     /// Unpruned parameters fφ in this tensor.
     pub fn nnz(&self) -> usize {
         self.mask.nnz()
+    }
+
+    /// The pruning mask (shared structure across all ranks).
+    pub fn mask(&self) -> &Mask {
+        &self.mask
     }
 
     /// Rank index.
@@ -305,6 +399,51 @@ mod tests {
             for rank in &ranks {
                 let (lo, hi) = rank.shard_range();
                 assert_eq!(&rank.theta32_shard[..], &reference.theta32[lo..hi]);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_is_bitwise() {
+        let phi = 131usize; // not divisible by d
+        let d = 4usize;
+        let mask = prune::random_prune(&[phi], 0.6, 5);
+        let values: Vec<f32> = (0..phi).map(|i| (i as f32 * 0.3).sin() * 0.1).collect();
+        let mut ranks: Vec<ShardedSamoLayerState> = (0..d)
+            .map(|r| ShardedSamoLayerState::from_params(&values, mask.clone(), &adam(), r, d))
+            .collect();
+
+        // A couple of steps so shards carry non-trivial optimizer state.
+        for step in 0..3 {
+            let grads: Vec<f32> = (0..phi).map(|i| ((i + step * 7) % 11) as f32 * 0.02).collect();
+            let nnz = mask.nnz();
+            let mut gathered = vec![F16::ZERO; nnz];
+            for rank in ranks.iter_mut() {
+                rank.compress_grad(&grads);
+                let shard16 = rank.optimizer_step_shard(&adam(), 1.0);
+                let (lo, hi) = rank.shard_range();
+                gathered[lo..hi].copy_from_slice(&shard16);
+            }
+            for rank in ranks.iter_mut() {
+                rank.install_gathered(&gathered);
+            }
+        }
+
+        let refs: Vec<&ShardedSamoLayerState> = ranks.iter().collect();
+        let full = ShardedSamoLayerState::to_full_layer(&refs, &adam());
+        for (r, orig) in ranks.iter().enumerate() {
+            let rebuilt = ShardedSamoLayerState::from_full_layer(&full, &adam(), r, d);
+            assert_eq!(rebuilt.shard_range(), orig.shard_range());
+            assert_eq!(rebuilt.theta16, orig.theta16, "rank {r} θ16");
+            assert_eq!(rebuilt.grad16, orig.grad16, "rank {r} ∇θ16");
+            assert_eq!(rebuilt.theta32_shard, orig.theta32_shard, "rank {r} θ32");
+            match (&rebuilt.os_shard, &orig.os_shard) {
+                (OptState::Adam(a), OptState::Adam(b)) => {
+                    assert_eq!(a.step, b.step);
+                    assert_eq!(a.m, b.m);
+                    assert_eq!(a.v, b.v);
+                }
+                _ => panic!("wrong optimizer state"),
             }
         }
     }

@@ -78,17 +78,32 @@ impl SamoTrainer {
     }
 
     /// Serializes the compressed training state (see `crate::serialize`
-    /// for the format). The compute model is *not* included — θ16 is
-    /// reconstructible from the checkpoint via [`Self::restore`].
+    /// for the v2 format) including the loss-scaler state and step
+    /// counters, so a resumed run continues the exact scaling schedule.
+    /// The compute model is *not* included — θ16 is reconstructible from
+    /// the checkpoint via [`Self::restore`].
     pub fn save(&self) -> bytes::Bytes {
-        crate::serialize::save_layers(&self.layers)
+        crate::serialize::save_checkpoint(&self.layers, &self.meta())
+    }
+
+    /// The trainer-level state a v2 checkpoint carries.
+    fn meta(&self) -> crate::serialize::TrainerMeta {
+        let snap = self.scaler.snapshot();
+        crate::serialize::TrainerMeta {
+            loss_scale: snap.scale,
+            good_steps: snap.good_steps,
+            steps_taken: self.steps_taken,
+            steps_skipped: self.steps_skipped,
+        }
     }
 
     /// Restores a checkpoint produced by [`Self::save`] into this
     /// trainer and writes the reconstructed parameters into `model`.
-    /// The model/mask structure must match what was saved.
+    /// The model/mask structure must match what was saved. For a v2
+    /// checkpoint the loss-scaler state and step counters are restored
+    /// too; a legacy v1 buffer leaves them untouched.
     pub fn restore(&mut self, checkpoint: &[u8], model: &mut impl Layer) -> Result<(), String> {
-        let layers = crate::serialize::load_layers(checkpoint, &self.opt)?;
+        let (layers, meta) = crate::serialize::load_checkpoint(checkpoint, &self.opt)?;
         if layers.len() != self.layers.len() {
             return Err(format!(
                 "checkpoint has {} layers, trainer has {}",
@@ -108,6 +123,36 @@ impl SamoTrainer {
             }
             p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
             p.zero_grad();
+        }
+        if let Some(meta) = meta {
+            self.scaler.restore_state(nn::mixed::LossScalerState {
+                scale: meta.loss_scale,
+                good_steps: meta.good_steps,
+            });
+            self.steps_taken = meta.steps_taken;
+            self.steps_skipped = meta.steps_skipped;
+        }
+        if telemetry::enabled() {
+            telemetry::global().counter("samo.ckpt.recoveries").inc();
+        }
+        Ok(())
+    }
+
+    /// Recovery path: restores the last good checkpoint *and* backs the
+    /// loss scale off once, so the replayed steps retry with a gentler
+    /// scale than the one that just diverged. Used by the divergence
+    /// sentinel (`crate::sentinel`).
+    pub fn rollback(&mut self, checkpoint: &[u8], model: &mut impl Layer) -> Result<(), String> {
+        self.restore(checkpoint, model)?;
+        self.scaler.force_backoff();
+        telemetry::log_info!(
+            "rollback: restored step {} (skipped {}), loss scale backed off to {}",
+            self.steps_taken,
+            self.steps_skipped,
+            self.scaler.scale()
+        );
+        if telemetry::enabled() {
+            telemetry::global().counter("samo.ckpt.rollbacks").inc();
         }
         Ok(())
     }
@@ -392,16 +437,40 @@ impl DenseMaskedTrainer {
     }
 }
 
+/// Global L2 norm of the model's current (scaled) gradients — the signal
+/// the divergence sentinel (`crate::sentinel`) watches alongside the
+/// loss. fp64 accumulation so large models don't overflow the sum.
+pub fn grad_l2_norm(model: &impl Layer) -> f64 {
+    let mut sum = 0.0f64;
+    for p in model.params() {
+        for &g in p.grad.as_slice() {
+            sum += f64::from(g) * f64::from(g);
+        }
+    }
+    sum.sqrt()
+}
+
 /// In-place mean all-reduce over per-replica compressed fp16 gradient
 /// buffers (one buffer per data-parallel rank), with fp32 accumulation —
 /// the collective SAMO issues instead of a dense `φ`-sized all-reduce
 /// (paper Sec. IV-A). All buffers end up holding the mean.
-pub fn allreduce_mean_f16(replicas: &mut [&mut [F16]]) {
-    if replicas.is_empty() {
-        return;
+///
+/// Degenerate inputs are rejected instead of reduced nonsensically: an
+/// empty replica set is a no-op `Ok` (a zero-rank collective has no
+/// defined mean but also nothing to corrupt), while mismatched buffer
+/// lengths — ranks disagreeing about the compressed layout — are a real
+/// collective error and return `Err`.
+pub fn allreduce_mean_f16(replicas: &mut [&mut [F16]]) -> Result<(), String> {
+    let Some(first) = replicas.first() else {
+        return Ok(());
+    };
+    let n = first.len();
+    if let Some(bad) = replicas.iter().position(|r| r.len() != n) {
+        return Err(format!(
+            "allreduce length mismatch: rank 0 has {n} elements, rank {bad} has {}",
+            replicas[bad].len()
+        ));
     }
-    let n = replicas[0].len();
-    assert!(replicas.iter().all(|r| r.len() == n), "replica length mismatch");
     let count = replicas.len() as f32;
     let mut acc = vec![0.0f32; n];
     for r in replicas.iter() {
@@ -417,6 +486,7 @@ pub fn allreduce_mean_f16(replicas: &mut [&mut [F16]]) {
             *g = F16::from_f32(a);
         }
     }
+    Ok(())
 }
 
 /// Message bytes of a dense fp16 gradient all-reduce for `phi` params.
@@ -665,7 +735,7 @@ mod tests {
         let mut b = vec![F16::from_f32(3.0), F16::from_f32(0.0)];
         {
             let mut bufs: Vec<&mut [F16]> = vec![&mut a, &mut b];
-            allreduce_mean_f16(&mut bufs);
+            allreduce_mean_f16(&mut bufs).unwrap();
         }
         assert_eq!(a[0].to_f32(), 2.0);
         assert_eq!(a[1].to_f32(), 2.0);
@@ -685,7 +755,7 @@ mod tests {
         let mut c2 = compress_f16(&d2, &mask);
         {
             let mut bufs: Vec<&mut [F16]> = vec![&mut c1, &mut c2];
-            allreduce_mean_f16(&mut bufs);
+            allreduce_mean_f16(&mut bufs).unwrap();
         }
 
         // Path B: all-reduce dense then compress.
@@ -693,10 +763,84 @@ mod tests {
         let mut e2 = expand_f16(&compress_f16(&d2, &mask), &mask);
         {
             let mut bufs: Vec<&mut [F16]> = vec![&mut e1, &mut e2];
-            allreduce_mean_f16(&mut bufs);
+            allreduce_mean_f16(&mut bufs).unwrap();
         }
         let cref = compress_f16(&e1, &mask);
         assert_eq!(c1, cref);
+    }
+
+    #[test]
+    fn allreduce_rejects_degenerate_inputs() {
+        // Empty replica set: nothing to reduce, explicit no-op.
+        let mut none: Vec<&mut [F16]> = vec![];
+        assert!(allreduce_mean_f16(&mut none).is_ok());
+
+        // Mismatched compressed layouts are a collective error.
+        let mut a = vec![F16::from_f32(1.0); 4];
+        let mut b = vec![F16::from_f32(1.0); 3];
+        let a_before = a.clone();
+        let mut bufs: Vec<&mut [F16]> = vec![&mut a, &mut b];
+        let err = allreduce_mean_f16(&mut bufs).unwrap_err();
+        assert!(err.contains("length mismatch"), "{err}");
+        assert_eq!(a, a_before, "failed allreduce must not write");
+    }
+
+    #[test]
+    fn save_restores_scaler_state_and_counters() {
+        let mut model = Linear::new(4, 4, false, 61);
+        let mut tr = SamoTrainer::new(&mut model, vec![Mask::dense(&[4, 4])], adam());
+        // Force one skip (backoff) and a couple of good steps.
+        model.params_mut()[0].grad.as_mut_slice()[0] = f32::INFINITY;
+        tr.step(&mut model);
+        for _ in 0..2 {
+            model.params_mut()[0].grad.as_mut_slice().fill(0.01);
+            tr.step(&mut model);
+        }
+        assert_eq!(tr.steps_taken(), 2);
+        assert_eq!(tr.steps_skipped(), 1);
+        let scale = tr.loss_scale();
+        let ckpt = tr.save();
+
+        let mut model2 = Linear::new(4, 4, false, 62);
+        let mut tr2 = SamoTrainer::new(&mut model2, vec![Mask::dense(&[4, 4])], adam());
+        tr2.restore(&ckpt, &mut model2).unwrap();
+        assert_eq!(tr2.steps_taken(), 2);
+        assert_eq!(tr2.steps_skipped(), 1);
+        assert_eq!(tr2.loss_scale(), scale);
+        assert_eq!(tr2.scaler.snapshot(), tr.scaler.snapshot());
+    }
+
+    #[test]
+    fn rollback_restores_state_and_backs_off_scale() {
+        let mut model = Linear::new(4, 4, false, 63);
+        let mut tr = SamoTrainer::new(&mut model, vec![Mask::dense(&[4, 4])], adam());
+        for _ in 0..3 {
+            model.params_mut()[0].grad.as_mut_slice().fill(0.02);
+            tr.step(&mut model);
+        }
+        let good = tr.save();
+        let scale = tr.loss_scale();
+        let theta: Vec<f32> = model.params()[0].value.as_slice().to_vec();
+
+        // "Diverge": take more steps, then roll back.
+        for _ in 0..2 {
+            model.params_mut()[0].grad.as_mut_slice().fill(5.0);
+            tr.step(&mut model);
+        }
+        tr.rollback(&good, &mut model).unwrap();
+        assert_eq!(model.params()[0].value.as_slice(), &theta[..]);
+        assert_eq!(tr.steps_taken(), 3);
+        assert_eq!(tr.loss_scale(), scale * 0.5, "rollback must back off the scale");
+    }
+
+    #[test]
+    fn grad_norm_reflects_gradients() {
+        let mut model = Linear::new(2, 2, false, 64);
+        model.params_mut()[0]
+            .grad
+            .as_mut_slice()
+            .copy_from_slice(&[3.0, 4.0, 0.0, 0.0]);
+        assert!((grad_l2_norm(&model) - 5.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Corruption-safety property tests for the checkpoint loader.
+//!
+//! The robustness contract (ISSUE: fault-tolerant training): a
+//! checkpoint read back from disk is untrusted input. For *any*
+//! truncation and *any* single-bit flip, `load_layers` /
+//! `load_checkpoint` must return `Err` — never panic, never abort, and
+//! never attempt an allocation proportional to a corrupted length
+//! field. For the CRC-protected v2 format, bit flips must additionally
+//! always be *detected* (an undetected flip would silently resurrect a
+//! diverged run from poisoned state).
+
+use nn::mixed::Optimizer;
+use nn::optim::AdamConfig;
+use proptest::prelude::*;
+use samo::serialize::{load_checkpoint, load_layers, save_checkpoint, save_layers};
+use samo::{SamoLayerState, TrainerMeta};
+
+fn adam() -> Optimizer {
+    Optimizer::Adam(AdamConfig::default())
+}
+
+/// A small two-layer checkpoint with non-trivial optimizer state.
+fn sample_layers(seed: u64) -> Vec<SamoLayerState> {
+    let opt = adam();
+    [(24usize, 0.5f64), (40, 0.8)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(n, p))| {
+            let mask = prune::random_prune(&[n], p, seed + i as u64);
+            let vals: Vec<f32> = (0..n).map(|j| (j as f32 + 0.3) * 0.01).collect();
+            SamoLayerState::from_params(&vals, mask, &opt)
+        })
+        .collect()
+}
+
+fn meta() -> TrainerMeta {
+    TrainerMeta {
+        loss_scale: 4096.0,
+        good_steps: 17,
+        steps_taken: 123,
+        steps_skipped: 4,
+    }
+}
+
+/// Every truncation prefix of a v2 checkpoint fails cleanly. Exhaustive,
+/// not sampled: the file is small enough to try every length.
+#[test]
+fn every_truncation_prefix_errors_v2() {
+    let layers = sample_layers(11);
+    let full = save_checkpoint(&layers, &meta());
+    for len in 0..full.len() {
+        let res = load_checkpoint(&full[..len], &adam());
+        assert!(res.is_err(), "truncation to {len} bytes must be an error");
+    }
+    assert!(load_checkpoint(&full, &adam()).is_ok());
+}
+
+/// Same for the legacy v1 format via `load_layers`.
+#[test]
+fn every_truncation_prefix_errors_v1() {
+    let layers = sample_layers(13);
+    let full = save_layers(&layers);
+    for len in 0..full.len() {
+        let res = load_layers(&full[..len], &adam());
+        assert!(res.is_err(), "truncation to {len} bytes must be an error");
+    }
+    assert!(load_layers(&full, &adam()).is_ok());
+}
+
+proptest! {
+    /// Any single-bit flip in a v2 checkpoint is *detected*: the CRCs
+    /// turn silent payload rot into a load error.
+    #[test]
+    fn v2_single_bit_flips_always_detected(bit in 0usize..8, seed in 0u64..64) {
+        let layers = sample_layers(3);
+        let full = save_checkpoint(&layers, &meta());
+        // One flipped byte position per case, every bit within it.
+        let pos = (seed as usize * 2_654_435_761) % full.len();
+        let mut corrupt = full.to_vec();
+        corrupt[pos] ^= 1u8 << bit;
+        let res = load_checkpoint(&corrupt, &adam());
+        prop_assert!(
+            res.is_err(),
+            "flip of bit {bit} at byte {pos} loaded successfully"
+        );
+    }
+
+    /// v1 has no checksums, so a flip may load undetected — but it must
+    /// never panic or over-allocate, even when it lands in a length
+    /// field.
+    #[test]
+    fn v1_single_bit_flips_never_panic(bit in 0usize..8, seed in 0u64..64) {
+        let layers = sample_layers(5);
+        let full = save_layers(&layers);
+        let pos = (seed as usize * 2_654_435_761) % full.len();
+        let mut corrupt = full.to_vec();
+        corrupt[pos] ^= 1u8 << bit;
+        // Either verdict is fine; surviving the call is the property.
+        let _ = load_layers(&corrupt, &adam());
+    }
+
+    /// Arbitrary garbage bytes never panic either loader.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = load_layers(&data, &adam());
+        let _ = load_checkpoint(&data, &adam());
+    }
+}
+
+/// A header claiming a huge layer count / element count must fail fast
+/// without attempting the corresponding allocation.
+#[test]
+fn huge_counts_error_without_allocating() {
+    // Valid magic + version, then an absurd layer count.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&0x53414D4Fu32.to_le_bytes());
+    buf.extend_from_slice(&1u16.to_le_bytes());
+    buf.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(load_layers(&buf, &adam()).is_err());
+
+    // A real checkpoint whose first layer's nnz field is inflated: the
+    // byte-budget check must reject it before allocating nnz elements.
+    let layers = sample_layers(7);
+    let full = save_layers(&layers);
+    let mut corrupt = full.to_vec();
+    // Layout: magic(4) version(2) nlayers(4) rank(1) shape(8) nnz(8)...
+    let nnz_off = 4 + 2 + 4 + 1 + 8;
+    corrupt[nnz_off..nnz_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(load_layers(&corrupt, &adam()).is_err());
+}

@@ -146,6 +146,17 @@ impl Default for LossScaler {
     }
 }
 
+/// Serializable snapshot of a [`LossScaler`]'s mutable state.
+///
+/// The growth/backoff hyper-parameters are configuration, not state, so a
+/// snapshot carries only what a checkpoint must restore for the scaling
+/// schedule to continue exactly where it left off.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LossScalerState {
+    pub scale: f32,
+    pub good_steps: u32,
+}
+
 impl LossScaler {
     /// Creates a scaler with an explicit initial scale.
     pub fn new(initial_scale: f32) -> LossScaler {
@@ -155,9 +166,49 @@ impl LossScaler {
         }
     }
 
+    /// Creates a scaler with fully explicit configuration. `growth_interval`
+    /// is clamped to at least 1 so the schedule is well defined.
+    pub fn with_config(
+        initial_scale: f32,
+        growth_factor: f32,
+        backoff_factor: f32,
+        growth_interval: u32,
+    ) -> LossScaler {
+        LossScaler {
+            scale: initial_scale,
+            growth_factor,
+            backoff_factor,
+            growth_interval: growth_interval.max(1),
+            good_steps: 0,
+        }
+    }
+
     /// Current loss scale.
     pub fn scale(&self) -> f32 {
         self.scale
+    }
+
+    /// Captures the mutable state for checkpointing.
+    pub fn snapshot(&self) -> LossScalerState {
+        LossScalerState {
+            scale: self.scale,
+            good_steps: self.good_steps,
+        }
+    }
+
+    /// Restores a previously captured snapshot, resuming the scaling
+    /// schedule exactly (hyper-parameters are left untouched).
+    pub fn restore_state(&mut self, st: LossScalerState) {
+        self.scale = st.scale;
+        self.good_steps = st.good_steps;
+    }
+
+    /// Multiplies the scale by `backoff_factor` (floored at 1.0) and resets
+    /// the good-step counter — the recovery path uses this after a rollback
+    /// so the replayed steps retry with a gentler scale.
+    pub fn force_backoff(&mut self) {
+        self.scale = (self.scale * self.backoff_factor).max(1.0);
+        self.good_steps = 0;
     }
 
     /// Checks the (scaled) f16 gradients of a step. Returns `true` if the
@@ -243,6 +294,35 @@ mod tests {
         assert_eq!(s.scale(), 16.0);
         assert!(!s.check_and_update(false)); // overflow → halve, skip
         assert_eq!(s.scale(), 8.0);
+    }
+
+    #[test]
+    fn scaler_snapshot_roundtrip_resumes_schedule() {
+        let mut a = LossScaler::with_config(8.0, 2.0, 0.5, 3);
+        a.check_and_update(true);
+        a.check_and_update(true);
+        let snap = a.snapshot();
+        assert_eq!(snap, LossScalerState { scale: 8.0, good_steps: 2 });
+
+        let mut b = LossScaler::with_config(8.0, 2.0, 0.5, 3);
+        b.restore_state(snap);
+        // Both are one good step away from growth; they must stay in lockstep.
+        a.check_and_update(true);
+        b.check_and_update(true);
+        assert_eq!(a.scale(), 16.0);
+        assert_eq!(b.scale(), 16.0);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn forced_backoff_halves_and_floors() {
+        let mut s = LossScaler::with_config(4.0, 2.0, 0.5, 2000);
+        s.force_backoff();
+        assert_eq!(s.scale(), 2.0);
+        for _ in 0..10 {
+            s.force_backoff();
+        }
+        assert_eq!(s.scale(), 1.0);
     }
 
     #[test]

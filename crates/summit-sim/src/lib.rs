@@ -12,11 +12,15 @@
 //!   ring-collective cost models,
 //! * [`event`] — a deterministic discrete-event queue,
 //! * [`kernels`] — V100 kernel cost models calibrated to reproduce
-//!   Fig. 1's dense-vs-sparse behaviour.
+//!   Fig. 1's dense-vs-sparse behaviour,
+//! * [`failure`] — seeded exponential-MTBF failure arrivals and
+//!   straggler jitter for fault-tolerance studies.
 
 pub mod event;
+pub mod failure;
 pub mod kernels;
 pub mod machine;
 
 pub use event::EventQueue;
+pub use failure::{FailureProcess, SplitMix64, StragglerModel};
 pub use machine::{Machine, SUMMIT};

@@ -176,7 +176,7 @@ fn data_parallel_compressed_allreduce_matches_single_gpu() {
     // All-reduce each layer's compressed fp16 gradients across replicas.
     for (l1, l2) in tr1.layers.iter_mut().zip(&mut tr2.layers) {
         let mut bufs: Vec<&mut [tensor::f16::F16]> = vec![&mut l1.grad16, &mut l2.grad16];
-        allreduce_mean_f16(&mut bufs);
+        allreduce_mean_f16(&mut bufs).unwrap();
     }
 
     // Single GPU computing the concatenated batch: its gradient is the
