@@ -3,6 +3,8 @@
 //! ```text
 //! repro <experiment> [--quick] [--trace <path>]
 //!   experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all
+//!   extras:      bench   (hot-path microbenchmarks; NOT part of `all`,
+//!                         writes BENCH_hotpaths.json at the repo root)
 //! ```
 //!
 //! Each experiment prints the regenerated rows/series and writes a CSV
@@ -109,10 +111,21 @@ fn main() {
         exp("cnn", "repro.cnn", &mut || cnn_accuracy(quick));
         exp("memorymap", "repro.memorymap", &mut memorymap);
         exp("faults", "repro.faults", &mut || faults(quick));
+        // `bench` is deliberately not part of `all`: it is a perf
+        // tracker, not a paper experiment, and writes into the repo
+        // root rather than `results/`.
+        if what == "bench" && failed.is_none() {
+            let sp = telemetry::enabled().then(|| telemetry::span("repro.bench"));
+            if let Err(e) = bench::hotpaths::run(quick) {
+                failed = Some(format!("bench: {e}"));
+            }
+            drop(sp);
+            ran = true;
+        }
     }
     if !ran {
         eprintln!(
-            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all"
+            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,255 @@
+//! `repro bench` — criterion-free best-of-N wall-clock benchmarks over
+//! the training hot-path kernels, recorded to `BENCH_hotpaths.json` at
+//! the repo root so every PR leaves a perf trajectory behind.
+//!
+//! Criterion is unusable offline (stubbed dependency), so this harness
+//! does the simplest defensible thing: each kernel runs `reps` times per
+//! sample, each sample's mean per-invocation time is recorded, and the
+//! best of `best_of` samples is the headline number (minimum wall-clock
+//! is the standard estimator for "how fast can this go with the caches
+//! warm and the machine quiet").
+//!
+//! Covered kernels (see EXPERIMENTS.md for the JSON schema):
+//! * `samo_step_fused` / `samo_step_reference` — the fused two-kernel
+//!   SAMO step vs the retained three-phase oracle, same layer state.
+//!   CI fails if the fused path is ever slower than the reference.
+//! * `gemm_256` and `gemm_attn_32x32x16` — one large square GEMM and a
+//!   swarm of attention-shaped small GEMMs.
+//! * `compress_f32` / `expand_f16` / `compress_f16` — the compression
+//!   and expansion primitives.
+//! * `allreduce_compressed` — the compressed fp16 gradient all-reduce.
+
+use nn::mixed::Optimizer;
+use nn::optim::AdamConfig;
+use samo::state::SamoLayerState;
+use samo::trainer::allreduce_mean_f16;
+use samo::{compress_f16, compress_f32, expand_f16};
+use std::time::Instant;
+use tensor::f16::F16;
+use tensor::gemm::{matmul, matmul_nt};
+
+/// One benchmarked kernel: per-invocation times in milliseconds.
+struct KernelResult {
+    name: &'static str,
+    /// Problem size (elements for memory-bound kernels, FLOPs/2 for GEMM).
+    n: usize,
+    reps: usize,
+    runs_ms: Vec<f64>,
+    best_ms: f64,
+}
+
+/// Runs `f` `reps` times per sample, `best_of` samples; returns each
+/// sample's mean per-invocation milliseconds and the minimum.
+fn sample<F: FnMut()>(best_of: usize, reps: usize, mut f: F) -> (Vec<f64>, f64) {
+    let mut runs = Vec::with_capacity(best_of);
+    for _ in 0..best_of {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        runs.push(t0.elapsed().as_secs_f64() * 1e3 / reps as f64);
+    }
+    let best = runs.iter().copied().fold(f64::INFINITY, f64::min);
+    (runs, best)
+}
+
+/// Deterministic pseudo-random f32 in roughly [-1, 1) (SplitMix64 bits;
+/// no `rand` needed so the harness stays dependency-free).
+fn lcg_f32(state: &mut u64) -> f32 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 40) as f32) / (1u64 << 23) as f32 - 1.0
+}
+
+fn random_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed;
+    (0..n).map(|_| lcg_f32(&mut s)).collect()
+}
+
+/// Runs the suite and writes `BENCH_hotpaths.json` into the current
+/// directory (the repo root when invoked as `repro bench`).
+pub fn run(quick: bool) -> Result<(), String> {
+    let best_of = if quick { 3 } else { 5 };
+    let reps = if quick { 3 } else { 10 };
+    let phi = if quick { 1 << 18 } else { 1 << 20 };
+    let sparsity = 0.9;
+    let opt = Optimizer::Adam(AdamConfig::default());
+
+    telemetry::log_info!(
+        "bench: best-of-{best_of} x {reps} reps, phi = {phi}, {} worker thread(s)",
+        tensor::pool::ThreadPool::global().workers()
+    );
+    let mut results: Vec<KernelResult> = Vec::new();
+
+    // --- Fused vs reference three-phase SAMO step (same inputs). -----
+    let mask = prune::random_prune(&[phi], sparsity, 7);
+    let init = random_vec(phi, 1);
+    let grads = {
+        let mut g = random_vec(phi, 2);
+        // Pre-scaled gradients: keep them finite so no step is skipped.
+        for v in &mut g {
+            *v *= 0.125;
+        }
+        g
+    };
+    {
+        let mut st = SamoLayerState::from_params(&init, mask.clone(), &opt);
+        let mut dense = st.dense_f32_params();
+        let (runs_ms, best_ms) = sample(best_of, reps, || {
+            let finite = st.compress_grad_fused(&grads);
+            assert!(finite);
+            st.optimizer_step_fused(&opt, 1.0, &mut dense);
+        });
+        results.push(KernelResult { name: "samo_step_fused", n: phi, reps, runs_ms, best_ms });
+    }
+    {
+        let mut st = SamoLayerState::from_params(&init, mask.clone(), &opt);
+        let mut dense = st.dense_f32_params();
+        let (runs_ms, best_ms) = sample(best_of, reps, || {
+            st.compress_grad(&grads);
+            assert!(!st.grads_non_finite());
+            st.optimizer_step(&opt, 1.0);
+            dense.copy_from_slice(&st.dense_f32_params());
+        });
+        results.push(KernelResult { name: "samo_step_reference", n: phi, reps, runs_ms, best_ms });
+    }
+
+    // --- GEMM: one large square multiply, one attention-shaped swarm. -
+    {
+        let dim = 256;
+        let a = random_vec(dim * dim, 3);
+        let b = random_vec(dim * dim, 4);
+        let mut c = vec![0.0f32; dim * dim];
+        let (runs_ms, best_ms) = sample(best_of, reps, || {
+            matmul(dim, dim, dim, &a, &b, &mut c);
+        });
+        results.push(KernelResult { name: "gemm_256", n: dim * dim * dim, reps, runs_ms, best_ms });
+    }
+    {
+        // Fig. 4's attention inner loop: batch x heads = 64 score GEMMs
+        // of (seq=32) x (seq=32) over head_dim=16 per layer.
+        let (seq, hd, loops) = (32, 16, 64);
+        let q = random_vec(seq * hd, 5);
+        let k = random_vec(seq * hd, 6);
+        let mut scores = vec![0.0f32; seq * seq];
+        let (runs_ms, best_ms) = sample(best_of, reps, || {
+            for _ in 0..loops {
+                matmul_nt(seq, seq, hd, &q, &k, &mut scores);
+            }
+        });
+        results.push(KernelResult {
+            name: "gemm_attn_32x32x16",
+            n: loops * seq * seq * hd,
+            reps,
+            runs_ms,
+            best_ms,
+        });
+    }
+
+    // --- Compression / expansion primitives. -------------------------
+    let dense32 = random_vec(phi, 8);
+    {
+        let (runs_ms, best_ms) = sample(best_of, reps, || {
+            std::hint::black_box(compress_f32(std::hint::black_box(&dense32), &mask));
+        });
+        results.push(KernelResult { name: "compress_f32", n: phi, reps, runs_ms, best_ms });
+    }
+    let values16: Vec<F16> = dense32[..mask.nnz()].iter().map(|&v| F16::from_f32(v)).collect();
+    {
+        let (runs_ms, best_ms) = sample(best_of, reps, || {
+            std::hint::black_box(expand_f16(std::hint::black_box(&values16), &mask));
+        });
+        results.push(KernelResult { name: "expand_f16", n: phi, reps, runs_ms, best_ms });
+    }
+    let dense16: Vec<F16> = dense32.iter().map(|&v| F16::from_f32(v)).collect();
+    {
+        let (runs_ms, best_ms) = sample(best_of, reps, || {
+            std::hint::black_box(compress_f16(std::hint::black_box(&dense16), &mask));
+        });
+        results.push(KernelResult { name: "compress_f16", n: phi, reps, runs_ms, best_ms });
+    }
+
+    // --- Compressed gradient all-reduce (4 ranks). --------------------
+    {
+        let ranks = 4;
+        let nnz = mask.nnz();
+        let mut bufs: Vec<Vec<F16>> = (0..ranks)
+            .map(|r| random_vec(nnz, 10 + r as u64).iter().map(|&v| F16::from_f32(v)).collect())
+            .collect();
+        let (runs_ms, best_ms) = sample(best_of, reps, || {
+            let mut views: Vec<&mut [F16]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+            allreduce_mean_f16(&mut views).expect("matching layouts");
+        });
+        results.push(KernelResult {
+            name: "allreduce_compressed",
+            n: ranks * nnz,
+            reps,
+            runs_ms,
+            best_ms,
+        });
+    }
+
+    // --- Report. ------------------------------------------------------
+    let mut tab = crate::Table::new("bench_hotpaths", &["kernel", "n", "best_ms", "samples"]);
+    for r in &results {
+        tab.push(vec![
+            r.name.to_string(),
+            r.n.to_string(),
+            format!("{:.4}", r.best_ms),
+            r.runs_ms.iter().map(|m| format!("{m:.4}")).collect::<Vec<_>>().join(" "),
+        ]);
+    }
+    println!("{}", tab.render());
+    let csv = tab.write_csv().map_err(|e| format!("write bench CSV: {e}"))?;
+    telemetry::log_info!("bench: CSV written to {}", csv.display());
+
+    let path = write_json(&results, quick, best_of).map_err(|e| format!("write BENCH_hotpaths.json: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// Serializes the results. Schema documented in EXPERIMENTS.md; bump
+/// `schema` on breaking changes.
+fn write_json(results: &[KernelResult], quick: bool, best_of: usize) -> std::io::Result<String> {
+    let threads = tensor::pool::ThreadPool::global().workers();
+    let threads_env = std::env::var("SAMO_THREADS")
+        .or_else(|_| std::env::var("SAMO_NUM_THREADS"))
+        .map(|v| format!("\"{v}\""))
+        .unwrap_or_else(|_| "null".to_string());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"best_of\": {best_of},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"threads_env\": {threads_env},\n"));
+    // Wall-clock trajectory of `repro fig4 --quick` (best of 3) measured
+    // at each PR boundary on the development machine; the anchor the
+    // per-kernel numbers below are tracked against.
+    out.push_str("  \"fig4_quick_best_of_3_ms\": {\"pre_pr3\": 11077, \"post_pr3\": 7914},\n");
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let runs = r
+            .runs_ms
+            .iter()
+            .map(|m| format!("{m:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"reps\": {}, \"best_ms\": {:.6}, \"runs_ms\": [{}]}}{}\n",
+            r.name,
+            r.n,
+            r.reps,
+            r.best_ms,
+            runs,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = "BENCH_hotpaths.json";
+    std::fs::write(path, out)?;
+    Ok(path.to_string())
+}

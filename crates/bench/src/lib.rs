@@ -2,6 +2,7 @@
 //! a tiny CSV writer and the experiment drivers behind `repro`.
 
 pub mod chart;
+pub mod hotpaths;
 
 use std::fs;
 use std::io::Write as _;

@@ -48,33 +48,76 @@ pub fn expand_f32(values: &[f32], mask: &Mask) -> Vec<f32> {
 /// Scatters compressed values into an existing dense buffer; positions
 /// not covered by the mask are zeroed.
 pub fn expand_f32_into(values: &[f32], mask: &Mask, dense: &mut [f32]) {
-    assert_eq!(values.len(), mask.nnz(), "values must match mask nnz");
     assert_eq!(dense.len(), mask.numel());
     dense.fill(0.0);
+    expand_f32_over_zeroed(values, mask, dense);
+}
+
+/// Scatter-only expansion: like [`expand_f32_into`] but skips the
+/// `fill(0)` pass. The caller must guarantee every pruned position of
+/// `dense` is already zero (true for any buffer previously produced by
+/// an expansion against the same mask).
+pub fn expand_f32_over_zeroed(values: &[f32], mask: &Mask, dense: &mut [f32]) {
+    assert_eq!(values.len(), mask.nnz(), "values must match mask nnz");
+    assert_eq!(dense.len(), mask.numel());
     let ind = mask.indices();
-    for (j, &i) in ind.iter().enumerate() {
-        dense[i as usize] = values[j];
-    }
+    let dense_ptr = SyncPtr(dense.as_mut_ptr());
+    let dense_ptr = &dense_ptr;
+    par_ranges(ind.len(), 64 * 1024, |s, e| {
+        for j in s..e {
+            // SAFETY: mask indices are strictly increasing, so each
+            // dense position is written by exactly one task.
+            unsafe {
+                *dense_ptr.0.add(ind[j] as usize) = values[j];
+            }
+        }
+    });
 }
 
 /// Gathers half-precision values at the mask positions.
 pub fn compress_f16(dense: &[F16], mask: &Mask) -> Vec<F16> {
     assert_eq!(dense.len(), mask.numel());
     let ind = mask.indices();
-    ind.iter().map(|&i| dense[i as usize]).collect()
+    let mut out = vec![F16::ZERO; ind.len()];
+    let out_ptr = SyncPtr(out.as_mut_slice().as_mut_ptr());
+    let out_ptr = &out_ptr;
+    par_ranges(ind.len(), 64 * 1024, |s, e| {
+        for j in s..e {
+            // SAFETY: each j is written by exactly one task.
+            unsafe {
+                *out_ptr.0.add(j) = dense[ind[j] as usize];
+            }
+        }
+    });
+    out
 }
 
 /// Scatters compressed half-precision values into an existing dense
 /// buffer, zeroing pruned positions — the "expand" of the paper's
 /// parameter-downcast step.
 pub fn expand_f16_into(values: &[F16], mask: &Mask, dense: &mut [F16]) {
-    assert_eq!(values.len(), mask.nnz());
     assert_eq!(dense.len(), mask.numel());
     dense.fill(F16::ZERO);
+    expand_f16_over_zeroed(values, mask, dense);
+}
+
+/// Scatter-only half-precision expansion; same zero-precondition as
+/// [`expand_f32_over_zeroed`].
+pub fn expand_f16_over_zeroed(values: &[F16], mask: &Mask, dense: &mut [F16]) {
+    assert_eq!(values.len(), mask.nnz());
+    assert_eq!(dense.len(), mask.numel());
     let ind = mask.indices();
-    for (j, &i) in ind.iter().enumerate() {
-        dense[i as usize] = values[j];
-    }
+    let dense_ptr = SyncPtr(dense.as_mut_ptr());
+    let dense_ptr = &dense_ptr;
+    par_ranges(ind.len(), 64 * 1024, |s, e| {
+        for j in s..e {
+            // SAFETY: mask indices are strictly increasing, so each
+            // dense position is written by exactly one task.
+            unsafe {
+                *dense_ptr.0.add(ind[j] as usize) = values[j];
+            }
+        }
+    });
 }
 
 /// Allocating variant of [`expand_f16_into`].
@@ -84,9 +127,12 @@ pub fn expand_f16(values: &[F16], mask: &Mask) -> Vec<F16> {
     out
 }
 
-struct SyncPtr(*mut f32);
-unsafe impl Send for SyncPtr {}
-unsafe impl Sync for SyncPtr {}
+/// Raw-pointer wrapper asserting that cross-thread use is safe; only
+/// ever used for provably disjoint writes (compressed index `j` ranges,
+/// or strictly increasing mask indices).
+pub(crate) struct SyncPtr<T>(pub(crate) *mut T);
+unsafe impl<T: Send> Send for SyncPtr<T> {}
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
 
 #[cfg(test)]
 mod tests {

@@ -77,7 +77,7 @@ impl<M: Layer> DataParallelSamo<M> {
                     rank,
                     d,
                 );
-                p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+                st.write_dense_f32_params_into(p.value.as_mut_slice());
                 rank_states.push(st);
             }
             states.push(rank_states);
@@ -220,7 +220,7 @@ impl<M: Layer> DataParallelSamo<M> {
         // 5. Write the updated dense parameters into every replica.
         for (model, rank_states) in self.replicas.iter_mut().zip(&self.states) {
             for (p, st) in model.params_mut().into_iter().zip(rank_states) {
-                p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+                st.write_dense_f32_params_into(p.value.as_mut_slice());
                 p.zero_grad();
             }
         }
@@ -284,7 +284,7 @@ impl<M: Layer> DataParallelSamo<M> {
                 .zip(model.params_mut())
             {
                 *st = ShardedSamoLayerState::from_full_layer(layer, &self.opt, rank, d);
-                p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+                st.write_dense_f32_params_into(p.value.as_mut_slice());
                 p.zero_grad();
             }
         }
@@ -325,7 +325,7 @@ impl<M: Layer> DataParallelSamo<M> {
             .zip(model.params_mut())
         {
             *st = ShardedSamoLayerState::from_full_layer(layer, &self.opt, rank, d);
-            p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+            st.write_dense_f32_params_into(p.value.as_mut_slice());
             p.zero_grad();
         }
         if telemetry::enabled() {

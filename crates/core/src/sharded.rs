@@ -241,7 +241,16 @@ impl ShardedSamoLayerState {
 
     /// Dense fp32 view of the current parameters.
     pub fn dense_f32_params(&self) -> Vec<f32> {
-        self.theta16.iter().map(|v| v.to_f32()).collect()
+        let mut out = vec![0.0f32; self.theta16.len()];
+        self.write_dense_f32_params_into(&mut out);
+        out
+    }
+
+    /// Writes the dense fp32 parameter view into an existing buffer
+    /// (table-based widen, no allocation).
+    pub fn write_dense_f32_params_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.theta16.len());
+        tensor::ops::widen_into(&self.theta16, out);
     }
 
     /// Measured model-state bytes held by this rank.

@@ -14,11 +14,18 @@
 //! | `∇θ32`   | compressed  | `4fφ` B   |
 //! | `os`     | compressed  | `8fφ` B   |
 
-use crate::compressed::{compress_f32, expand_f16_into};
+use crate::compressed::{compress_f32, expand_f16_into, expand_f16_over_zeroed, SyncPtr};
 use crate::memory::SamoBreakdown;
 use nn::mixed::{OptState, Optimizer};
+use nn::optim::{adam_bias_corrections, adam_update, sgd_update};
 use prune::Mask;
-use tensor::f16::F16;
+use std::sync::atomic::{AtomicBool, Ordering};
+use tensor::f16::{to_f32_table, F16};
+use tensor::pool::par_ranges;
+
+/// `par_ranges` granularity for the fused step kernels: enough work per
+/// chunk that fork–join overhead stays negligible.
+const STEP_MIN_CHUNK: usize = 32 * 1024;
 
 /// SAMO-compressed mixed-precision model state for one layer.
 #[derive(Clone, Debug)]
@@ -44,9 +51,10 @@ impl SamoLayerState {
     pub fn from_params(values: &[f32], mask: Mask, opt: &Optimizer) -> SamoLayerState {
         assert_eq!(values.len(), mask.numel());
         let theta32 = compress_f32(values, &mask);
+        let mut temp16 = vec![F16::ZERO; theta32.len()];
+        tensor::f16::narrow_slice(&theta32, &mut temp16);
         let mut theta16 = vec![F16::ZERO; values.len()];
-        let temp16: Vec<F16> = theta32.iter().map(|&v| F16::from_f32(v)).collect();
-        expand_f16_into(&temp16, &mask, &mut theta16);
+        expand_f16_over_zeroed(&temp16, &mask, &mut theta16);
         let nnz = mask.nnz();
         SamoLayerState {
             mask,
@@ -69,9 +77,10 @@ impl SamoLayerState {
     ) -> SamoLayerState {
         assert_eq!(theta32.len(), mask.nnz());
         assert_eq!(grad16.len(), mask.nnz());
+        let mut temp16 = vec![F16::ZERO; theta32.len()];
+        tensor::f16::narrow_slice(&theta32, &mut temp16);
         let mut theta16 = vec![F16::ZERO; mask.numel()];
-        let temp16: Vec<F16> = theta32.iter().map(|&v| F16::from_f32(v)).collect();
-        expand_f16_into(&temp16, &mask, &mut theta16);
+        expand_f16_over_zeroed(&temp16, &mask, &mut theta16);
         let nnz = mask.nnz();
         SamoLayerState {
             theta16,
@@ -122,6 +131,116 @@ impl SamoLayerState {
         self.grad16.iter().any(|g| !g.is_finite())
     }
 
+    /// Fused step kernel (a): gather + f16-round + overflow-detect in one
+    /// parallel pass over `nnz`. Equivalent to [`Self::compress_grad`]
+    /// followed by [`Self::grads_non_finite`] (bitwise-identical `∇θ16`,
+    /// property tested against that three-phase oracle), but reads the
+    /// dense gradient once and never re-scans the compressed buffer.
+    ///
+    /// Returns `true` when every stored gradient is finite (i.e. `false`
+    /// signals loss-scale overflow).
+    pub fn compress_grad_fused(&mut self, dense_scaled_grad: &[f32]) -> bool {
+        assert_eq!(dense_scaled_grad.len(), self.numel());
+        let ind = self.mask.indices();
+        let all_finite = AtomicBool::new(true);
+        let g16 = SyncPtr(self.grad16.as_mut_ptr());
+        let (g16, all_finite_ref) = (&g16, &all_finite);
+        par_ranges(ind.len(), STEP_MIN_CHUNK, |s, e| {
+            let mut finite = true;
+            for j in s..e {
+                let h = F16::from_f32_fast(dense_scaled_grad[ind[j] as usize]);
+                finite &= h.is_finite();
+                // SAFETY: each compressed position j is written by
+                // exactly one task.
+                unsafe {
+                    *g16.0.add(j) = h;
+                }
+            }
+            if !finite {
+                all_finite_ref.store(false, Ordering::Relaxed);
+            }
+        });
+        all_finite.into_inner()
+    }
+
+    /// Fused step kernel (b): upscale + optimizer + downcast +
+    /// scatter-into-θ16 in one parallel pass over `nnz`, writing the
+    /// model's dense f32 parameter view into `dense_out` in place.
+    /// Equivalent to [`Self::optimizer_step`] followed by copying
+    /// [`Self::dense_f32_params`] out (bitwise for `θ32`/`∇θ32`/`os`,
+    /// exact for `θ16` — property tested against that oracle), without
+    /// the transient compressed fp16 copy or the dense `Vec` per layer
+    /// per step.
+    ///
+    /// Precondition: `dense_out` and `θ16` are already zero at every
+    /// pruned position. Both are only ever produced by this type's
+    /// constructors or step kernels, which maintain that invariant, so
+    /// only the unpruned positions need to be rewritten here.
+    pub fn optimizer_step_fused(
+        &mut self,
+        opt: &Optimizer,
+        inv_loss_scale: f32,
+        dense_out: &mut [f32],
+    ) {
+        assert_eq!(dense_out.len(), self.numel());
+        let nnz = self.mask.nnz();
+        let SamoLayerState { mask, theta16, theta32, grad16, grad32, os } = self;
+        let ind = mask.indices();
+        let table = to_f32_table();
+        let grad16 = &grad16[..];
+        let t16 = SyncPtr(theta16.as_mut_ptr());
+        let t32 = SyncPtr(theta32.as_mut_ptr());
+        let g32 = SyncPtr(grad32.as_mut_ptr());
+        let out = SyncPtr(dense_out.as_mut_ptr());
+        let (t16, t32, g32, out) = (&t16, &t32, &g32, &out);
+        match (os, opt) {
+            (OptState::Adam(st), Optimizer::Adam(cfg)) => {
+                st.step += 1;
+                let (bc1, bc2) = adam_bias_corrections(cfg, st.step);
+                let m = SyncPtr(st.m.as_mut_ptr());
+                let v = SyncPtr(st.v.as_mut_ptr());
+                let (m, v) = (&m, &v);
+                par_ranges(nnz, STEP_MIN_CHUNK, |s, e| {
+                    for j in s..e {
+                        // SAFETY: compressed position j and dense
+                        // position ind[j] (strictly increasing) are each
+                        // touched by exactly one task.
+                        unsafe {
+                            let g = table[grad16[j].0 as usize] * inv_loss_scale;
+                            *g32.0.add(j) = g;
+                            let p = &mut *t32.0.add(j);
+                            adam_update(cfg, bc1, bc2, &mut *m.0.add(j), &mut *v.0.add(j), p, g);
+                            let h = F16::from_f32_fast(*p);
+                            let i = ind[j] as usize;
+                            *t16.0.add(i) = h;
+                            *out.0.add(i) = table[h.0 as usize];
+                        }
+                    }
+                });
+            }
+            (OptState::Sgd(st), Optimizer::Sgd(cfg)) => {
+                let vel = SyncPtr(st.velocity.as_mut_ptr());
+                let vel = &vel;
+                par_ranges(nnz, STEP_MIN_CHUNK, |s, e| {
+                    for j in s..e {
+                        // SAFETY: as above — disjoint j and ind[j].
+                        unsafe {
+                            let g = table[grad16[j].0 as usize] * inv_loss_scale;
+                            *g32.0.add(j) = g;
+                            let p = &mut *t32.0.add(j);
+                            sgd_update(cfg, &mut *vel.0.add(j), p, g);
+                            let h = F16::from_f32_fast(*p);
+                            let i = ind[j] as usize;
+                            *t16.0.add(i) = h;
+                            *out.0.add(i) = table[h.0 as usize];
+                        }
+                    }
+                });
+            }
+            _ => panic!("optimizer/optimizer-state kind mismatch"),
+        }
+    }
+
     /// The three-phase SAMO optimizer step (Sec. III-C):
     ///
     /// 1. upscale `∇θ16 → ∇θ32` directly on compressed tensors,
@@ -129,6 +248,10 @@ impl SamoLayerState {
     ///    kernels,
     /// 3. downcast: make a compressed fp16 copy of `θ32`, then *expand*
     ///    it through `ind` into the dense `θ16`.
+    ///
+    /// This is the reference path the fused kernels are property-tested
+    /// against; the training hot loop uses [`Self::compress_grad_fused`]
+    /// and [`Self::optimizer_step_fused`] instead.
     pub fn optimizer_step(&mut self, opt: &Optimizer, inv_loss_scale: f32) {
         // Phase 1: upscale on compressed data.
         for (g32, g16) in self.grad32.iter_mut().zip(&self.grad16) {
@@ -171,7 +294,18 @@ impl SamoLayerState {
     /// Dense fp32 view of the current parameters (for loading into a
     /// compute layer): widened θ16, zeros at pruned positions.
     pub fn dense_f32_params(&self) -> Vec<f32> {
-        self.theta16.iter().map(|v| v.to_f32()).collect()
+        let mut out = vec![0.0f32; self.theta16.len()];
+        self.write_dense_f32_params_into(&mut out);
+        out
+    }
+
+    /// Writes the dense fp32 parameter view directly into an existing
+    /// buffer (table-based widen, no allocation) — used by the trainer's
+    /// build/restore paths instead of round-tripping through
+    /// [`Self::dense_f32_params`].
+    pub fn write_dense_f32_params_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.theta16.len());
+        tensor::ops::widen_into(&self.theta16, out);
     }
 }
 

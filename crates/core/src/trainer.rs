@@ -35,7 +35,7 @@ impl SamoTrainer {
             let st = SamoLayerState::from_params(p.value.as_slice(), mask, &opt);
             // Load the (pruned, fp16-rounded) parameters back into the
             // compute model — forward/backward run on widened θ16.
-            p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+            st.write_dense_f32_params_into(p.value.as_mut_slice());
             layers.push(st);
         }
         SamoTrainer {
@@ -121,7 +121,7 @@ impl SamoTrainer {
             if p.numel() != st.numel() {
                 return Err(format!("parameter {} size mismatch", p.name));
             }
-            p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+            st.write_dense_f32_params_into(p.value.as_mut_slice());
             p.zero_grad();
         }
         if let Some(meta) = meta {
@@ -158,50 +158,61 @@ impl SamoTrainer {
     }
 
     /// Completes a training step after `model` has run forward/backward
-    /// with the loss multiplied by [`Self::loss_scale`]: compresses each
-    /// parameter gradient (layer granularity), checks for overflow,
-    /// applies the optimizer on compressed state, and expands the updated
-    /// θ16 back into the model. Returns `false` if the step was skipped.
+    /// with the loss multiplied by [`Self::loss_scale`], using the two
+    /// fused single-pass kernels: gather + f16-round + overflow-detect
+    /// ([`SamoLayerState::compress_grad_fused`]), then upscale +
+    /// optimizer + downcast + scatter writing the model's dense f32
+    /// parameters in place ([`SamoLayerState::optimizer_step_fused`]).
+    /// Returns `false` if the step was skipped.
     ///
-    /// With telemetry enabled, each phase is timed (`samo.step.compress`,
-    /// `samo.step.optimizer`, `samo.step.expand`) and one [`telemetry::StepEvent`]
-    /// line is appended to `metrics.jsonl`; disabled, the only overhead
-    /// is one atomic load.
+    /// The steady-state path performs no heap allocation: both kernels
+    /// work in place, and the skipped-step path only zeroes gradients
+    /// (asserted by `tests/zero_alloc.rs`).
+    ///
+    /// With telemetry enabled, each fused kernel is timed
+    /// (`samo.step.compress`, `samo.step.optimizer`) and one
+    /// [`telemetry::StepEvent`] line is appended to `metrics.jsonl`;
+    /// disabled, the only overhead is one atomic load.
     pub fn step(&mut self, model: &mut impl Layer) -> bool {
         let tel = telemetry::enabled();
-        let params = model.params_mut();
-        assert_eq!(params.len(), self.layers.len());
-        // Backward pass hook: compress gradients layer by layer.
+        // Backward pass hook: compress gradients layer by layer, folding
+        // the overflow scan into the same pass. The allocation-free
+        // `for_each_param_mut` traversal (not `params_mut`, which builds
+        // a Vec) keeps the whole step off the heap.
         let sp = tel.then(|| telemetry::span("samo.step.compress"));
-        for (p, st) in params.iter().zip(&mut self.layers) {
-            st.compress_grad(p.grad.as_slice());
+        let mut finite = true;
+        {
+            let layers = &mut self.layers;
+            let mut i = 0;
+            model.for_each_param_mut(&mut |p| {
+                finite &= layers[i].compress_grad_fused(p.grad.as_slice());
+                i += 1;
+            });
+            assert_eq!(i, layers.len());
         }
         let t_compress = sp.map(telemetry::SpanGuard::finish);
-        let finite = !self.layers.iter().any(|l| l.grads_non_finite());
         let scale = self.scaler.scale();
         let proceed = self.scaler.check_and_update(finite);
-        let (mut t_optimizer, mut t_expand) = (None, None);
+        let mut t_optimizer = None;
         if proceed {
             let sp = tel.then(|| telemetry::span("samo.step.optimizer"));
-            for st in &mut self.layers {
-                st.optimizer_step(&self.opt, 1.0 / scale);
-            }
-            t_optimizer = sp.map(telemetry::SpanGuard::finish);
-            let sp = tel.then(|| telemetry::span("samo.step.expand"));
-            for (p, st) in params.into_iter().zip(&self.layers) {
-                p.value.as_mut_slice().copy_from_slice(&st.dense_f32_params());
+            let opt = &self.opt;
+            let layers = &mut self.layers;
+            let inv_scale = 1.0 / scale;
+            let mut i = 0;
+            model.for_each_param_mut(&mut |p| {
+                layers[i].optimizer_step_fused(opt, inv_scale, p.value.as_mut_slice());
                 p.zero_grad();
-            }
-            t_expand = sp.map(telemetry::SpanGuard::finish);
+                i += 1;
+            });
+            t_optimizer = sp.map(telemetry::SpanGuard::finish);
             self.steps_taken += 1;
         } else {
-            for p in params {
-                p.zero_grad();
-            }
+            model.for_each_param_mut(&mut |p| p.zero_grad());
             self.steps_skipped += 1;
         }
         if tel {
-            self.record_step(proceed, scale, t_compress, t_optimizer, t_expand);
+            self.record_step(proceed, scale, t_compress, t_optimizer, None);
         }
         proceed
     }

@@ -119,6 +119,13 @@ impl Layer for TransformerBlock {
         v.extend(self.mlp.params_mut());
         v
     }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.ln1.for_each_param_mut(f);
+        self.attn.for_each_param_mut(f);
+        self.ln2.for_each_param_mut(f);
+        self.mlp.for_each_param_mut(f);
+    }
 }
 
 /// The tiny GPT: token + position embeddings, `layers` transformer
@@ -271,6 +278,16 @@ impl Layer for TinyGpt {
         v.extend(self.ln_f.params_mut());
         v.extend(self.head.params_mut());
         v
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.tok.for_each_param_mut(f);
+        self.pos.for_each_param_mut(f);
+        for b in &mut self.blocks {
+            b.for_each_param_mut(f);
+        }
+        self.ln_f.for_each_param_mut(f);
+        self.head.for_each_param_mut(f);
     }
 }
 

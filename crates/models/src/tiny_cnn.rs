@@ -111,6 +111,14 @@ impl Layer for TinyCnn {
         v
     }
 
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.conv1.for_each_param_mut(f);
+        self.bn1.for_each_param_mut(f);
+        self.conv2.for_each_param_mut(f);
+        self.bn2.for_each_param_mut(f);
+        self.head.for_each_param_mut(f);
+    }
+
     fn clear_caches(&mut self) {
         self.conv1.clear_caches();
         self.bn1.clear_caches();

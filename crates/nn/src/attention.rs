@@ -220,6 +220,11 @@ impl Layer for CausalSelfAttention {
         v
     }
 
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.qkv.for_each_param_mut(f);
+        self.proj.for_each_param_mut(f);
+    }
+
     fn clear_caches(&mut self) {
         self.cache = None;
         self.qkv.clear_caches();

@@ -217,6 +217,13 @@ impl Layer for Conv2d {
         v
     }
 
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
     fn clear_caches(&mut self) {
         self.cache = None;
     }

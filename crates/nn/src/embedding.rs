@@ -102,6 +102,10 @@ impl Layer for Embedding {
         vec![&mut self.table]
     }
 
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.table);
+    }
+
     fn clear_caches(&mut self) {
         self.cached_ids = None;
     }

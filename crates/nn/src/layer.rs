@@ -23,6 +23,18 @@ pub trait Layer {
     /// Mutable views of the layer's parameters.
     fn params_mut(&mut self) -> Vec<&mut Parameter>;
 
+    /// Visits every parameter mutably, in the same order as
+    /// [`Self::params_mut`], without materializing a `Vec`. The training
+    /// hot loop uses this traversal; the default routes through
+    /// `params_mut` (one allocation per call), so parameter-bearing
+    /// layers and containers override it to keep `SamoTrainer::step`
+    /// allocation-free (asserted by `tests/zero_alloc.rs`).
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
+
     /// Zeroes all parameter gradients.
     fn zero_grad(&mut self) {
         for p in self.params_mut() {
@@ -108,6 +120,12 @@ impl Layer for Sequential {
 
     fn params_mut(&mut self) -> Vec<&mut Parameter> {
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        for l in &mut self.layers {
+            l.for_each_param_mut(f);
+        }
     }
 
     fn clear_caches(&mut self) {

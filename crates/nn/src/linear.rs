@@ -163,6 +163,13 @@ impl Layer for Linear {
         v
     }
 
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
     fn clear_caches(&mut self) {
         self.cached_input = None;
     }

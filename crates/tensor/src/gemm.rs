@@ -109,6 +109,28 @@ struct SendPtr(*mut f32);
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
+thread_local! {
+    /// Reusable per-thread packing scratch for [`gemm_panel`]:
+    /// `(packed_a, packed_b)`. Grown on demand and never shrunk, so
+    /// steady-state GEMM calls perform no heap allocation — crucial for
+    /// workloads like attention that issue thousands of small GEMMs per
+    /// training step. Each pool worker (and the caller thread) owns its
+    /// copy, so no synchronization is needed, and `gemm_panel` never
+    /// re-enters itself on a thread (panels do not spawn nested GEMMs),
+    /// so the `RefCell` borrow cannot conflict.
+    static PACK_SCRATCH: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Rows of C updated per microkernel invocation: four accumulator rows
+/// share each sweep over the packed B panel, quartering B traffic.
+const MR: usize = 4;
+
+/// Columns of C kept in register accumulators per k-sweep. An `MR × NR`
+/// f32 tile is 8 AVX2 vectors, leaving room for the B tile and the four
+/// broadcast A values.
+const NR: usize = 16;
+
 /// Multiplies rows [row0, row1) of op(A) into the C panel (whose row 0
 /// corresponds to global row `row0`).
 #[allow(clippy::too_many_arguments)]
@@ -127,45 +149,148 @@ fn gemm_panel(
     c_panel: &mut [f32],
     ldc: usize,
 ) {
-    let mut packed_b = vec![0.0f32; KC * NC.min(n)];
-    let mut packed_a = vec![0.0f32; MC * KC];
-
-    let mut kk = 0;
-    while kk < k {
-        let kb = KC.min(k - kk);
-        let mut jj = 0;
-        while jj < n {
-            let nb = NC.min(n - jj);
-            // Pack the KC×NC panel of op(B) contiguously (row-major kb×nb).
-            pack_b(transb, b, ldb, kk, jj, kb, nb, &mut packed_b);
-
-            let mut ii = row0;
-            while ii < row1 {
-                let mb = MC.min(row1 - ii);
-                // Pack the MC×KC panel of op(A) (row-major mb×kb), with
-                // alpha folded in so the inner loop is multiply-add only.
-                pack_a(transa, a, lda, ii, kk, mb, kb, alpha, &mut packed_a);
-
-                for i in 0..mb {
-                    let arow = &packed_a[i * kb..(i + 1) * kb];
-                    let crow = &mut c_panel[(ii - row0 + i) * ldc + jj
-                        ..(ii - row0 + i) * ldc + jj + nb];
-                    for (p, &aval) in arow.iter().enumerate() {
-                        if aval == 0.0 {
-                            continue;
-                        }
-                        let brow = &packed_b[p * nb..(p + 1) * nb];
-                        // Unit-stride FMA loop: vectorized by LLVM.
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += aval * bv;
-                        }
-                    }
-                }
-                ii += mb;
-            }
-            jj += nb;
+    PACK_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let (packed_a, packed_b) = &mut *scratch;
+        let need_a = MC.min(row1 - row0) * KC.min(k);
+        let need_b = KC.min(k) * NC.min(n);
+        if packed_a.len() < need_a {
+            packed_a.resize(need_a, 0.0);
         }
-        kk += kb;
+        if packed_b.len() < need_b {
+            packed_b.resize(need_b, 0.0);
+        }
+
+        let mut kk = 0;
+        while kk < k {
+            let kb = KC.min(k - kk);
+            let mut jj = 0;
+            while jj < n {
+                let nb = NC.min(n - jj);
+                // Pack the KC×NC panel of op(B) contiguously (row-major kb×nb).
+                pack_b(transb, b, ldb, kk, jj, kb, nb, packed_b);
+
+                let mut ii = row0;
+                while ii < row1 {
+                    let mb = MC.min(row1 - ii);
+                    // Pack the MC×KC panel of op(A) (row-major mb×kb), with
+                    // alpha folded in so the inner loop is multiply-add only.
+                    pack_a(transa, a, lda, ii, kk, mb, kb, alpha, packed_a);
+
+                    microkernel(packed_a, packed_b, c_panel, ii - row0, mb, kb, nb, jj, ldc);
+                    ii += mb;
+                }
+                jj += nb;
+            }
+            kk += kb;
+        }
+    });
+}
+
+/// Register-blocked inner kernel: updates `mb` rows of the C panel
+/// (panel-local row offset `crow0`, columns `[jj, jj + nb)`) from the
+/// packed `mb×kb` A block and packed `kb×nb` B panel, `MR` rows of C per
+/// k-sweep so each loaded B row feeds four accumulator rows.
+#[allow(clippy::too_many_arguments)]
+fn microkernel(
+    packed_a: &[f32],
+    packed_b: &[f32],
+    c_panel: &mut [f32],
+    crow0: usize,
+    mb: usize,
+    kb: usize,
+    nb: usize,
+    jj: usize,
+    ldc: usize,
+) {
+    let cp = c_panel.as_mut_ptr();
+    let mut i = 0;
+    while i + MR <= mb {
+        let a0 = &packed_a[i * kb..(i + 1) * kb];
+        let a1 = &packed_a[(i + 1) * kb..(i + 2) * kb];
+        let a2 = &packed_a[(i + 2) * kb..(i + 3) * kb];
+        let a3 = &packed_a[(i + 3) * kb..(i + 4) * kb];
+        // SAFETY: the four C rows start `ldc` apart with `jj + nb <= n
+        // <= ldc`, so the `nb`-long row slices are pairwise disjoint and
+        // in bounds (the caller's `c_panel` covers rows `crow0..crow0+mb`).
+        let base = (crow0 + i) * ldc + jj;
+        let (c0, c1, c2, c3) = unsafe {
+            (
+                std::slice::from_raw_parts_mut(cp.add(base), nb),
+                std::slice::from_raw_parts_mut(cp.add(base + ldc), nb),
+                std::slice::from_raw_parts_mut(cp.add(base + 2 * ldc), nb),
+                std::slice::from_raw_parts_mut(cp.add(base + 3 * ldc), nb),
+            )
+        };
+        // Full NR-wide tiles: the MR×NR C tile lives in register
+        // accumulators for the whole k-sweep, so C is loaded and stored
+        // once per tile instead of once per k iteration.
+        let mut jt = 0;
+        while jt + NR <= nb {
+            let mut acc0 = [0.0f32; NR];
+            let mut acc1 = [0.0f32; NR];
+            let mut acc2 = [0.0f32; NR];
+            let mut acc3 = [0.0f32; NR];
+            acc0.copy_from_slice(&c0[jt..jt + NR]);
+            acc1.copy_from_slice(&c1[jt..jt + NR]);
+            acc2.copy_from_slice(&c2[jt..jt + NR]);
+            acc3.copy_from_slice(&c3[jt..jt + NR]);
+            for p in 0..kb {
+                let (av0, av1, av2, av3) = (a0[p], a1[p], a2[p], a3[p]);
+                // Pruned θ16 rows are exact zeros: skip the sweep when
+                // the whole register block contributes nothing.
+                if av0 == 0.0 && av1 == 0.0 && av2 == 0.0 && av3 == 0.0 {
+                    continue;
+                }
+                let bt = &packed_b[p * nb + jt..p * nb + jt + NR];
+                // Fixed-trip-count FMA loops: vectorized by LLVM, with
+                // each B element reused across the four accumulator rows.
+                for j in 0..NR {
+                    acc0[j] += av0 * bt[j];
+                    acc1[j] += av1 * bt[j];
+                    acc2[j] += av2 * bt[j];
+                    acc3[j] += av3 * bt[j];
+                }
+            }
+            c0[jt..jt + NR].copy_from_slice(&acc0);
+            c1[jt..jt + NR].copy_from_slice(&acc1);
+            c2[jt..jt + NR].copy_from_slice(&acc2);
+            c3[jt..jt + NR].copy_from_slice(&acc3);
+            jt += NR;
+        }
+        // Tail columns (nb not a multiple of NR): per-k row sweeps.
+        if jt < nb {
+            for p in 0..kb {
+                let (av0, av1, av2, av3) = (a0[p], a1[p], a2[p], a3[p]);
+                if av0 == 0.0 && av1 == 0.0 && av2 == 0.0 && av3 == 0.0 {
+                    continue;
+                }
+                let brow = &packed_b[p * nb..(p + 1) * nb];
+                for j in jt..nb {
+                    let bv = brow[j];
+                    c0[j] += av0 * bv;
+                    c1[j] += av1 * bv;
+                    c2[j] += av2 * bv;
+                    c3[j] += av3 * bv;
+                }
+            }
+        }
+        i += MR;
+    }
+    // Remainder rows (mb not a multiple of MR): single-row sweeps.
+    while i < mb {
+        let arow = &packed_a[i * kb..(i + 1) * kb];
+        let crow = &mut c_panel[(crow0 + i) * ldc + jj..(crow0 + i) * ldc + jj + nb];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &packed_b[p * nb..(p + 1) * nb];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aval * bv;
+            }
+        }
+        i += 1;
     }
 }
 

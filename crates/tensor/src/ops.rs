@@ -175,23 +175,21 @@ pub fn mean_var_rows(data: &[f32], rows: usize, cols: usize) -> Vec<(f32, f32)> 
         .collect()
 }
 
-/// Widens a half-precision slice into an existing f32 buffer.
+/// Widens a half-precision slice into an existing f32 buffer (parallel,
+/// table-based — see [`crate::f16::to_f32_table`]).
 pub fn widen_into(src: &[F16], dst: &mut [f32]) {
     assert_eq!(src.len(), dst.len());
     par_chunks_mut(dst, PAR_THRESHOLD, |offset, chunk| {
-        for (i, v) in chunk.iter_mut().enumerate() {
-            *v = src[offset + i].to_f32();
-        }
+        crate::f16::widen_slice(&src[offset..offset + chunk.len()], chunk);
     });
 }
 
-/// Rounds an f32 slice into an existing half-precision buffer.
+/// Rounds an f32 slice into an existing half-precision buffer (parallel,
+/// vectorizable — see [`crate::f16::narrow_slice`]).
 pub fn narrow_into(src: &[f32], dst: &mut [F16]) {
     assert_eq!(src.len(), dst.len());
     par_chunks_mut(dst, PAR_THRESHOLD, |offset, chunk| {
-        for (i, v) in chunk.iter_mut().enumerate() {
-            *v = F16::from_f32(src[offset + i]);
-        }
+        crate::f16::narrow_slice(&src[offset..offset + chunk.len()], chunk);
     });
 }
 

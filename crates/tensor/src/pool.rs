@@ -129,19 +129,12 @@ impl ThreadPool {
         ThreadPool { sender, workers }
     }
 
-    /// The process-global pool, sized to the number of available CPUs
-    /// (overridable with the `SAMO_NUM_THREADS` environment variable).
+    /// The process-global pool, sized to the number of available CPUs.
+    /// Overridable with the `SAMO_THREADS` environment variable
+    /// (`SAMO_NUM_THREADS` is honored as a legacy alias).
     pub fn global() -> &'static ThreadPool {
         static GLOBAL: std::sync::OnceLock<ThreadPool> = std::sync::OnceLock::new();
-        GLOBAL.get_or_init(|| {
-            let n = std::env::var("SAMO_NUM_THREADS")
-                .ok()
-                .and_then(|s| s.parse::<usize>().ok())
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-                });
-            ThreadPool::new(n)
-        })
+        GLOBAL.get_or_init(|| ThreadPool::new(configured_workers()))
     }
 
     /// Number of worker threads in the pool.
@@ -169,9 +162,22 @@ impl ThreadPool {
     }
 }
 
+/// Worker count for the global pool: `SAMO_THREADS` if set (then the
+/// legacy `SAMO_NUM_THREADS`), else the number of available CPUs.
+pub fn configured_workers() -> usize {
+    std::env::var("SAMO_THREADS")
+        .ok()
+        .or_else(|| std::env::var("SAMO_NUM_THREADS").ok())
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+}
+
 /// Splits `0..len` into roughly equal contiguous ranges, one per worker
 /// (but no smaller than `min_chunk`), and runs `f(start, end)` on each in
-/// parallel. Runs inline when a single chunk suffices.
+/// parallel. Runs inline when a single chunk suffices — in particular
+/// always on a one-worker pool, where dispatching through the channel
+/// would only add latency (and a per-job `Box` allocation).
 pub fn par_ranges<F>(len: usize, min_chunk: usize, f: F)
 where
     F: Fn(usize, usize) + Sync,
@@ -180,7 +186,7 @@ where
         return;
     }
     let pool = ThreadPool::global();
-    let max_chunks = pool.workers() * 2;
+    let max_chunks = if pool.workers() == 1 { 1 } else { pool.workers() * 2 };
     let min_chunk = min_chunk.max(1);
     let chunks = (len / min_chunk).clamp(1, max_chunks);
     if chunks == 1 {
@@ -211,7 +217,7 @@ where
         return;
     }
     let pool = ThreadPool::global();
-    let max_chunks = pool.workers() * 2;
+    let max_chunks = if pool.workers() == 1 { 1 } else { pool.workers() * 2 };
     let min_chunk = min_chunk.max(1);
     let chunks = (len / min_chunk).clamp(1, max_chunks);
     if chunks == 1 {

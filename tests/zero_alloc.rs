@@ -1,0 +1,119 @@
+//! Proves the DESIGN.md "hot-path kernels" claim directly: once warmed
+//! up, `SamoTrainer::step` and the GEMM kernels perform **zero heap
+//! allocations** per invocation. A counting `#[global_allocator]` wraps
+//! the system allocator; the assertion is an exact `== 0` on the number
+//! of `alloc`/`alloc_zeroed`/`realloc` events inside the measured
+//! window.
+//!
+//! Deliberately a single `#[test]` function: the default libtest harness
+//! runs tests on multiple threads and any concurrent test's allocations
+//! would bleed into the counter. One test, one thread, exact counts.
+
+use nn::layer::Layer;
+use nn::linear::Linear;
+use nn::loss::mse;
+use nn::mixed::Optimizer;
+use nn::optim::AdamConfig;
+use samo::SamoTrainer;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use tensor::gemm::matmul;
+use tensor::Tensor;
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Number of allocation events (alloc/alloc_zeroed/realloc) during `f`.
+fn alloc_events_during<F: FnOnce()>(f: F) -> u64 {
+    let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    f();
+    COUNTING.store(false, Ordering::Relaxed);
+    ALLOC_EVENTS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn hot_paths_allocate_nothing_in_steady_state() {
+    // Pin the pool to one worker *before* anything touches it: with a
+    // single worker `par_ranges`/`par_chunks_mut` run inline, so the
+    // counter sees the kernels themselves rather than job hand-off.
+    std::env::set_var("SAMO_THREADS", "1");
+
+    // --- SamoTrainer::step --------------------------------------------
+    let mut model = Linear::new(32, 32, false, 1);
+    let mask = prune::random_prune(&[32, 32], 0.75, 2);
+    let opt = Optimizer::Adam(AdamConfig::default());
+    let mut trainer = SamoTrainer::new(&mut model, vec![mask], opt);
+    let x = Tensor::randn(&[8, 32], 1.0, 3);
+    let target = Tensor::randn(&[8, 32], 1.0, 4);
+
+    let run_fwd_bwd = |model: &mut Linear, scale: f32| {
+        let y = model.forward(&x);
+        let (_, mut dy) = mse(&y, &target);
+        tensor::ops::scale(scale, dy.as_mut_slice());
+        model.backward(&dy);
+    };
+
+    // Warm-up: first steps populate the f16 conversion table, the global
+    // thread pool, and the GEMM packing scratch inside forward/backward.
+    for _ in 0..3 {
+        run_fwd_bwd(&mut model, trainer.loss_scale());
+        trainer.step(&mut model);
+    }
+
+    // Steady state: gradients produced outside the window, then the
+    // fused step measured alone (both the compress and optimizer
+    // kernels, the loss-scaler update, and zero_grad).
+    for _ in 0..3 {
+        run_fwd_bwd(&mut model, trainer.loss_scale());
+        let events = alloc_events_during(|| {
+            trainer.step(&mut model);
+        });
+        assert_eq!(events, 0, "SamoTrainer::step allocated {events} time(s)");
+    }
+
+    // --- GEMM (gemm_panel packing scratch is thread-local) ------------
+    let dim = 64;
+    let a = Tensor::randn(&[dim, dim], 1.0, 5);
+    let b = Tensor::randn(&[dim, dim], 1.0, 6);
+    let mut c = vec![0.0f32; dim * dim];
+    matmul(dim, dim, dim, a.as_slice(), b.as_slice(), &mut c); // warm scratch
+    let events = alloc_events_during(|| {
+        for _ in 0..4 {
+            matmul(dim, dim, dim, a.as_slice(), b.as_slice(), &mut c);
+        }
+    });
+    assert_eq!(events, 0, "matmul allocated {events} time(s) after warm-up");
+}
