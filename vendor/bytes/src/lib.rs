@@ -1,0 +1,144 @@
+//! Offline functional stand-in for `bytes` (subset used by this repo).
+
+use std::ops::Deref;
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes(Vec::new())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(n: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.buf)
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+pub trait BufMut {
+    fn put_slice(&mut self, s: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8>;
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.copy_bytes(1)[0]
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.copy_bytes(2).try_into().unwrap())
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.copy_bytes(4).try_into().unwrap())
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.copy_bytes(8).try_into().unwrap())
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.copy_bytes(4).try_into().unwrap())
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.copy_bytes(8).try_into().unwrap())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8> {
+        assert!(self.len() >= n, "buffer underrun");
+        let (head, tail) = self.split_at(n);
+        let out = head.to_vec();
+        *self = tail;
+        out
+    }
+}

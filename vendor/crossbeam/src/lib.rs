@@ -1,0 +1,66 @@
+//! Offline functional stand-in for `crossbeam` (subset used by this repo).
+
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
+
+    // mpsc::Receiver is !Sync; the mutex serializes access, making the
+    // clonable receiver safe to share the way crossbeam's is.
+    unsafe impl<T: Send> Sync for Receiver<T> {}
+    unsafe impl<T: Send> Send for Receiver<T> {}
+
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            self.0.send(t).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .try_recv()
+                .map_err(|_| RecvError)
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Offline functional stand-in for `proptest` (subset used by this repo).
+//!
+//! # What this is NOT
+//!
+//! Compared to the real `proptest` crate this stub provides **no shrinking**
+//! (a failing case is reported as-is, not minimized) and **no regression
+//! persistence** (no `proptest-regressions/` files). Coverage is therefore
+//! strictly weaker than real proptest at the same case count: a green run
+//! means the property held on the generated cases, nothing more.
+//!
+//! To partially compensate, the runner is tunable at runtime:
+//!
+//! * `PROPTEST_CASES=<n>` overrides every test's case count (use a large
+//!   value for a deeper soak, e.g. `PROPTEST_CASES=4096 cargo test`).
+//! * `PROPTEST_SEED=<n|0xhex>` re-bases the deterministic seed stream so
+//!   repeated runs explore different inputs. The default base seed is fixed
+//!   (`0xA5A5_0000`) so plain `cargo test` is reproducible.
+//!
+//! On failure the panic message includes the case index and exact seed, plus
+//! the `PROPTEST_SEED` value needed to replay the run — the stub's substitute
+//! for proptest's regression files.
+
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn uniform_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "whole domain" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        (rng.uniform_f64() * 2.0 - 1.0) as f32 * 1e6
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.uniform_f64() * 2.0 - 1.0) * 1e12
+    }
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Numeric types usable as `lo..hi` range strategies.
+pub trait RangeValue: Copy + PartialOrd {
+    fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample_range(lo: $t, hi: $t, rng: &mut TestRng) -> $t {
+                let span = (hi as i128 - lo as i128) as u64;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+range_int!(u8, u16, u32, u64, usize);
+
+macro_rules! range_sint {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample_range(lo: $t, hi: $t, rng: &mut TestRng) -> $t {
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_sint!(i8, i16, i32, i64, isize);
+
+impl RangeValue for f32 {
+    fn sample_range(lo: f32, hi: f32, rng: &mut TestRng) -> f32 {
+        lo + (hi - lo) * rng.uniform_f64() as f32
+    }
+}
+
+impl RangeValue for f64 {
+    fn sample_range(lo: f64, hi: f64, rng: &mut TestRng) -> f64 {
+        lo + (hi - lo) * rng.uniform_f64()
+    }
+}
+
+impl<T: RangeValue> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    pub trait IntoSizeRange {
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    pub fn vec<S: Strategy, R: IntoSizeRange>(elem: S, size: R) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { elem, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.hi - self.lo).max(1) as u64;
+            let n = self.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// In real proptest this is an enum; a plain message string suffices here.
+pub type TestCaseError = String;
+
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+const DEFAULT_BASE_SEED: u64 = 0xA5A5_0000;
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Base seed for this run: `PROPTEST_SEED` if set, else a fixed default so
+/// plain `cargo test` is reproducible.
+fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| parse_u64(&v))
+        .unwrap_or(DEFAULT_BASE_SEED)
+}
+
+/// Case-count override for this run (`PROPTEST_CASES`), if any.
+fn case_override() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| parse_u64(&v))
+        .map(|n| n.min(u64::from(u32::MAX)) as u32)
+}
+
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { config }
+    }
+
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), String>,
+    {
+        let base = base_seed();
+        let cases = case_override().unwrap_or(self.config.cases);
+        for i in 0..cases {
+            // SplitMix64-mix the per-case seed so consecutive cases start in
+            // decorrelated regions of the stream even though `base ^ i` only
+            // differs in the low bits.
+            let case_seed = TestRng::new(base ^ u64::from(i)).next_u64();
+            let mut rng = TestRng::new(case_seed);
+            if let Err(msg) = case(&mut rng) {
+                panic!(
+                    "proptest case {i}/{cases} (seed {case_seed:#018x}) failed: {msg}\n\
+                     replay this run with PROPTEST_SEED={base:#x}"
+                );
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {:?} != {:?}", lhs, rhs
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (@fns ($cfg:expr)) => {};
+    (@fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($cfg);
+            runner.run(|rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Any, Arbitrary, Just, ProptestConfig,
+        Strategy, TestCaseError, TestRng, TestRunner,
+    };
+    pub mod prop {
+        pub use crate::collection;
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline functional stand-in for `rand` 0.8 (subset used by this repo).
+//!
+//! # Semantics differ from the real `rand` crate — read before comparing runs
+//!
+//! This stub is API-compatible with the subset of `rand` 0.8 the workspace
+//! uses, but it is **not stream-compatible**:
+//!
+//! * `rngs::StdRng` is SplitMix64, not `rand` 0.8's ChaCha12. The same
+//!   `seed_from_u64` value produces a completely different random stream
+//!   than real `rand`, so seeded experiment outputs (loss curves, generated
+//!   masks, sampled data) are tied to *this* implementation and are not
+//!   comparable to runs built against crates-io `rand`.
+//! * `gen_range` on integer types reduces `next_u64()` with `rem_euclid`
+//!   (modulo). This carries the classic modulo bias; for the spans used in
+//!   this repo (≪ 2^32 out of a 64-bit draw) the bias is below ~2^-32 per
+//!   sample and irrelevant to the experiments, but it is not the unbiased
+//!   widening-multiply + rejection scheme real `rand` uses.
+//!
+//! The stub is vendored and versioned with the repository precisely so that
+//! recorded results (figures, golden baselines, golden tests) stay
+//! reproducible: every clone builds the same RNG. Do not "upgrade" this file
+//! to new constants or algorithms without regenerating recorded baselines.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution as _;
+        distributions::Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn unit_f32(x: u64) -> f32 {
+    (x >> 40) as f32 / (1u32 << 24) as f32
+}
+
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128) - (lo as i128);
+                assert!(span > 0, "empty range");
+                let v = (rng.next_u64() as i128).rem_euclid(span);
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + unit_f32(rng.next_u64()) * (hi - lo)
+    }
+}
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end)
+    }
+}
+
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    /// SplitMix64-based stand-in for rand's StdRng.
+    #[derive(Clone, Debug)]
+    pub struct StdRng(u64);
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            StdRng(state ^ 0xA5A5_5A5A_DEAD_BEEF)
+        }
+    }
+}
+
+pub mod distributions {
+    use crate::RngCore;
+
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    pub struct Standard;
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            crate::unit_f32(rng.next_u64())
+        }
+    }
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            crate::unit_f64(rng.next_u64())
+        }
+    }
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct Uniform<T: crate::SampleUniform> {
+        lo: T,
+        hi: T,
+    }
+
+    impl<T: crate::SampleUniform> Uniform<T> {
+        pub fn new(lo: T, hi: T) -> Uniform<T> {
+            Uniform { lo, hi }
+        }
+    }
+
+    impl<T: crate::SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_between(rng, self.lo, self.hi)
+        }
+    }
+}
+
+pub mod seq {
+    use crate::RngCore;
+
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
