@@ -5,6 +5,9 @@
 //!   experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all
 //!   extras:      bench   (hot-path microbenchmarks; NOT part of `all`,
 //!                         writes BENCH_hotpaths.json at the repo root)
+//!                comms   (threaded ring all-reduce bench, compressed vs
+//!                         dense; merges a `comms` section into
+//!                         BENCH_hotpaths.json; NOT part of `all`)
 //! ```
 //!
 //! Each experiment prints the regenerated rows/series and writes a CSV
@@ -111,9 +114,9 @@ fn main() {
         exp("cnn", "repro.cnn", &mut || cnn_accuracy(quick));
         exp("memorymap", "repro.memorymap", &mut memorymap);
         exp("faults", "repro.faults", &mut || faults(quick));
-        // `bench` is deliberately not part of `all`: it is a perf
-        // tracker, not a paper experiment, and writes into the repo
-        // root rather than `results/`.
+        // `bench` and `comms` are deliberately not part of `all`: they
+        // are perf trackers, not paper experiments, and write into the
+        // repo root rather than `results/`.
         if what == "bench" && failed.is_none() {
             let sp = telemetry::enabled().then(|| telemetry::span("repro.bench"));
             if let Err(e) = bench::hotpaths::run(quick) {
@@ -122,10 +125,18 @@ fn main() {
             drop(sp);
             ran = true;
         }
+        if what == "comms" && failed.is_none() {
+            let sp = telemetry::enabled().then(|| telemetry::span("repro.comms"));
+            if let Err(e) = bench::comms_bench::run(quick) {
+                failed = Some(format!("comms: {e}"));
+            }
+            drop(sp);
+            ran = true;
+        }
     }
     if !ran {
         eprintln!(
-            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench"
+            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench comms"
         );
         std::process::exit(2);
     }

@@ -212,44 +212,52 @@ pub fn run(quick: bool) -> Result<(), String> {
 }
 
 /// Serializes the results. Schema documented in EXPERIMENTS.md; bump
-/// `schema` on breaking changes.
+/// `schema` on breaking changes. Goes through the section-preserving
+/// merge so a `comms` section recorded by `repro comms` survives.
 fn write_json(results: &[KernelResult], quick: bool, best_of: usize) -> std::io::Result<String> {
+    use telemetry::json::Json;
     let threads = tensor::pool::ThreadPool::global().workers();
     let threads_env = std::env::var("SAMO_THREADS")
         .or_else(|_| std::env::var("SAMO_NUM_THREADS"))
-        .map(|v| format!("\"{v}\""))
-        .unwrap_or_else(|_| "null".to_string());
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"schema\": 1,\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
-    out.push_str(&format!("  \"best_of\": {best_of},\n"));
-    out.push_str(&format!("  \"threads\": {threads},\n"));
-    out.push_str(&format!("  \"threads_env\": {threads_env},\n"));
-    // Wall-clock trajectory of `repro fig4 --quick` (best of 3) measured
-    // at each PR boundary on the development machine; the anchor the
-    // per-kernel numbers below are tracked against.
-    out.push_str("  \"fig4_quick_best_of_3_ms\": {\"pre_pr3\": 11077, \"post_pr3\": 7914},\n");
-    out.push_str("  \"kernels\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let runs = r
-            .runs_ms
+        .map(Json::Str)
+        .unwrap_or(Json::Null);
+    let round6 = |v: f64| Json::Num((v * 1e6).round() / 1e6);
+    let kernels = Json::Arr(
+        results
             .iter()
-            .map(|m| format!("{m:.6}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n\": {}, \"reps\": {}, \"best_ms\": {:.6}, \"runs_ms\": [{}]}}{}\n",
-            r.name,
-            r.n,
-            r.reps,
-            r.best_ms,
-            runs,
-            if i + 1 == results.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
+            .map(|r| {
+                Json::Obj(vec![
+                    ("name".to_string(), Json::Str(r.name.to_string())),
+                    ("n".to_string(), Json::UInt(r.n as u64)),
+                    ("reps".to_string(), Json::UInt(r.reps as u64)),
+                    ("best_ms".to_string(), round6(r.best_ms)),
+                    (
+                        "runs_ms".to_string(),
+                        Json::Arr(r.runs_ms.iter().map(|&m| round6(m)).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let own = vec![
+        ("schema".to_string(), Json::UInt(1)),
+        ("quick".to_string(), Json::Bool(quick)),
+        ("best_of".to_string(), Json::UInt(best_of as u64)),
+        ("threads".to_string(), Json::UInt(threads as u64)),
+        ("threads_env".to_string(), threads_env),
+        // Wall-clock trajectory of `repro fig4 --quick` (best of 3)
+        // measured at each PR boundary on the development machine; the
+        // anchor the per-kernel numbers are tracked against.
+        (
+            "fig4_quick_best_of_3_ms".to_string(),
+            Json::Obj(vec![
+                ("pre_pr3".to_string(), Json::UInt(11077)),
+                ("post_pr3".to_string(), Json::UInt(7914)),
+            ]),
+        ),
+        ("kernels".to_string(), kernels),
+    ];
     let path = "BENCH_hotpaths.json";
-    std::fs::write(path, out)?;
+    crate::tracked::merge_tracked_json(path, own)?;
     Ok(path.to_string())
 }

@@ -2,7 +2,9 @@
 //! a tiny CSV writer and the experiment drivers behind `repro`.
 
 pub mod chart;
+pub mod comms_bench;
 pub mod hotpaths;
+pub mod tracked;
 
 use std::fs;
 use std::io::Write as _;

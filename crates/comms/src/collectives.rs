@@ -1,0 +1,861 @@
+//! The collectives: barrier, broadcast, all-gather, and the chunked
+//! ring all-reduce, implemented over any [`Transport`].
+//!
+//! # Ring all-reduce schedule
+//!
+//! A bucket of `n` f16 values is split into `G` contiguous segments
+//! ([`crate::segment_bounds`]). Rank `r` talks only to its ring
+//! neighbours `r±1 (mod G)`:
+//!
+//! * **Reduce-scatter** (`G−1` hops, f64 payloads): at hop 0 rank `r`
+//!   sends its own segment `r`, widened to f64. On receiving the
+//!   partial for segment `(r−s−1) mod G` at hop `s` it adds its own
+//!   values exactly and forwards; after the last hop it owns the full
+//!   exact sum of segment `(r+1) mod G`, divides by `G`, and rounds
+//!   once to f16.
+//! * **All-gather** (`G−1` hops, f16 payloads): the finished f16
+//!   segments rotate around the ring until every rank holds all of
+//!   them.
+//!
+//! Per-rank wire volume is `(G−1)/G · n` elements per phase — the
+//! bandwidth-optimal `2·(G−1)/G · n` total the byte-accounting formulas
+//! model. The f64 partials make the sum *exact*, hence order-free,
+//! hence bitwise equal to [`crate::reference`] no matter how threads
+//! interleave (see the crate docs for the argument).
+//!
+//! # Overlap
+//!
+//! Rings are asynchronous: [`Communicator::ring_start`] posts the first
+//! hop and returns, [`Communicator::ring_pump`] makes progress without
+//! blocking (called between gradient buckets while backward still
+//! runs), and [`Communicator::ring_finish`] blocks until every ring
+//! completes. Several rings may be in flight at once; messages are
+//! self-describing (tagged with a collective id every rank assigns in
+//! the same program order), and early arrivals — a fast neighbour
+//! already working on the next bucket or the next step — are stashed
+//! until this rank catches up, never misrouted.
+
+use crate::reference::f16_mean_from_exact_sum;
+use crate::transport::{Kind, Message, Payload, Tag, Transport};
+use crate::{ring_allreduce_model_bytes, segment_bounds, CommsError};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use telemetry::json::Json;
+use tensor::f16::F16;
+
+/// Default per-collective deadline. Generous for healthy in-process
+/// meshes; tests with injected faults shrink it.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One in-flight chunked ring all-reduce.
+struct RingState {
+    id: u64,
+    /// Input values; progressively overwritten with the mean.
+    data: Vec<F16>,
+    /// `G` contiguous segment bounds.
+    segs: Vec<(usize, usize)>,
+    /// Incoming hops processed so far (of `2·(G−1)`); doubles as the
+    /// next expected message `step`, since per-link FIFO order makes
+    /// hops of one ring arrive in schedule order.
+    hops_done: u32,
+}
+
+/// A rank's collective interface over a transport endpoint.
+pub struct Communicator<T: Transport> {
+    t: T,
+    epoch: u32,
+    next_id: u64,
+    timeout: Duration,
+    poisoned: bool,
+    /// Early arrivals keyed by `(source, tag)`: traffic for collectives
+    /// this rank has not reached yet.
+    stash: HashMap<(usize, Tag), Message>,
+    rings: Vec<RingState>,
+    completed: Vec<(u64, Vec<F16>)>,
+    model_allreduce_bytes: u64,
+}
+
+impl<T: Transport> Communicator<T> {
+    pub fn new(t: T) -> Communicator<T> {
+        Communicator {
+            t,
+            epoch: 0,
+            next_id: 0,
+            timeout: DEFAULT_TIMEOUT,
+            poisoned: false,
+            stash: HashMap::new(),
+            rings: Vec::new(),
+            completed: Vec::new(),
+            model_allreduce_bytes: 0,
+        }
+    }
+
+    /// Sets the per-collective deadline (builder style).
+    pub fn with_timeout(mut self, timeout: Duration) -> Communicator<T> {
+        self.timeout = timeout;
+        self
+    }
+
+    pub fn rank(&self) -> usize {
+        self.t.rank()
+    }
+
+    pub fn world(&self) -> usize {
+        self.t.world()
+    }
+
+    /// The underlying endpoint (byte counters etc.).
+    pub fn transport(&self) -> &T {
+        &self.t
+    }
+
+    /// Modeled f16 ring volume of every all-reduce issued so far
+    /// (`2·(G−1)/G · n · 2B` each) — the paper's Eq. 9 accounting.
+    pub fn model_allreduce_bytes(&self) -> u64 {
+        self.model_allreduce_bytes
+    }
+
+    /// Current recovery epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    fn prev(&self) -> usize {
+        let g = self.world();
+        (self.rank() + g - 1) % g
+    }
+
+    fn next(&self) -> usize {
+        (self.rank() + 1) % self.world()
+    }
+
+    fn deadline(&self) -> Instant {
+        Instant::now() + self.timeout
+    }
+
+    fn ready(&self) -> Result<(), CommsError> {
+        if self.poisoned {
+            Err(CommsError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn tag(&self, kind: Kind, id: u64, step: u32) -> Tag {
+        Tag { epoch: self.epoch, kind, id, step }
+    }
+
+    /// After any collective error the communicator refuses further work
+    /// ([`CommsError::Poisoned`]) until this runs: stale in-flight
+    /// traffic is filtered out by the epoch bump (messages from the new
+    /// epoch that already arrived are kept), in-flight rings are
+    /// abandoned, and the collective-id counter restarts. Every rank of
+    /// the group must bump together (same count of bumps) or tags stop
+    /// agreeing.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        self.next_id = 0;
+        self.poisoned = false;
+        self.rings.clear();
+        self.completed.clear();
+        let epoch = self.epoch;
+        self.stash.retain(|(_, tag), _| tag.epoch >= epoch);
+        for from in 0..self.world() {
+            if from == self.rank() {
+                continue;
+            }
+            while let Ok(Some(msg)) = self.t.try_recv_from(from) {
+                if msg.tag.epoch >= epoch {
+                    self.stash.insert((from, msg.tag), msg);
+                }
+            }
+        }
+    }
+
+    /// Receives from `from` until the wanted tag shows up, stashing
+    /// everything else and discarding stale-epoch traffic.
+    fn recv_match(
+        &mut self,
+        from: usize,
+        want: Tag,
+        deadline: Instant,
+    ) -> Result<Message, CommsError> {
+        if let Some(m) = self.stash.remove(&(from, want)) {
+            return Ok(m);
+        }
+        loop {
+            let msg = self.t.recv_from(from, deadline)?;
+            if msg.tag.epoch < self.epoch {
+                continue;
+            }
+            if msg.tag == want {
+                return Ok(msg);
+            }
+            self.stash.insert((from, msg.tag), msg);
+        }
+    }
+
+    // --- Barrier ------------------------------------------------------
+
+    /// Dissemination barrier: `⌈log₂ G⌉` rounds, in round `k` rank `r`
+    /// signals `r + 2ᵏ` and waits on `r − 2ᵏ`. Returns only after every
+    /// rank has entered the barrier.
+    pub fn barrier(&mut self) -> Result<(), CommsError> {
+        self.ready()?;
+        let res = self.barrier_inner();
+        self.poisoned |= res.is_err();
+        res
+    }
+
+    fn barrier_inner(&mut self) -> Result<(), CommsError> {
+        let g = self.world();
+        if g == 1 {
+            return Ok(());
+        }
+        let sp = telemetry::enabled().then(|| telemetry::span("comms.barrier"));
+        let id = self.fresh_id();
+        let deadline = self.deadline();
+        let r = self.rank();
+        let mut k = 1usize;
+        let mut round = 0u32;
+        while k < g {
+            let to = (r + k) % g;
+            let from = (r + g - k) % g;
+            let tag = self.tag(Kind::Barrier, id, round);
+            self.t.send(to, Message { tag, payload: Payload::Bytes(Vec::new()) })?;
+            self.recv_match(from, tag, deadline)?;
+            k *= 2;
+            round += 1;
+        }
+        drop(sp);
+        Ok(())
+    }
+
+    // --- Broadcast ----------------------------------------------------
+
+    /// Broadcasts `root`'s buffer to every rank (ring chain). Buffer
+    /// lengths must agree across ranks.
+    pub fn broadcast_f16(&mut self, root: usize, buf: &mut [F16]) -> Result<(), CommsError> {
+        self.ready()?;
+        let res = self.broadcast_inner(root, &mut |payload| match payload {
+            None => Some(Payload::F16(buf.to_vec())),
+            Some(Payload::F16(v)) if v.len() == buf.len() => {
+                buf.copy_from_slice(&v);
+                None
+            }
+            Some(_) => Some(Payload::Bytes(Vec::new())), // signals mismatch below
+        });
+        self.poisoned |= res.is_err();
+        res
+    }
+
+    /// Broadcasts `root`'s bytes to every rank; non-root inputs are
+    /// replaced.
+    pub fn broadcast_bytes(&mut self, root: usize, data: &mut Vec<u8>) -> Result<(), CommsError> {
+        self.ready()?;
+        let res = self.broadcast_inner(root, &mut |payload| match payload {
+            None => Some(Payload::Bytes(data.clone())),
+            Some(Payload::Bytes(v)) => {
+                *data = v;
+                None
+            }
+            Some(_) => Some(Payload::Bytes(Vec::new())),
+        });
+        self.poisoned |= res.is_err();
+        res
+    }
+
+    /// Chain broadcast from `root`. `exchange(None)` yields the local
+    /// payload to forward (root, or mismatch sentinel); `exchange(Some)`
+    /// installs a received payload and returns `None`, or a sentinel on
+    /// type/length mismatch.
+    fn broadcast_inner(
+        &mut self,
+        root: usize,
+        exchange: &mut dyn FnMut(Option<Payload>) -> Option<Payload>,
+    ) -> Result<(), CommsError> {
+        let g = self.world();
+        if root >= g {
+            return Err(CommsError::Mismatch(format!("broadcast root {root} out of range")));
+        }
+        let id = self.fresh_id();
+        if g == 1 {
+            return Ok(());
+        }
+        let sp = telemetry::enabled().then(|| telemetry::span("comms.broadcast"));
+        let deadline = self.deadline();
+        let r = self.rank();
+        let pos = (r + g - root) % g; // position along the chain
+        let tag = self.tag(Kind::Broadcast, id, pos as u32);
+        let payload = if pos == 0 {
+            exchange(None).expect("root yields its payload")
+        } else {
+            let prev_tag = Tag { step: pos as u32 - 1, ..tag };
+            let msg = self.recv_match(self.prev(), prev_tag, deadline)?;
+            if exchange(Some(msg.payload.clone())).is_some() {
+                return Err(CommsError::Mismatch(
+                    "broadcast payload type/length disagrees across ranks".into(),
+                ));
+            }
+            msg.payload
+        };
+        if pos < g - 1 {
+            self.t.send(self.next(), Message { tag, payload })?;
+        }
+        drop(sp);
+        Ok(())
+    }
+
+    // --- All-gather ---------------------------------------------------
+
+    /// Ring all-gather: rank `r` contributes `mine` (whose length must
+    /// equal `counts[r]`); returns the concatenation of every rank's
+    /// contribution in rank order.
+    pub fn all_gather_f16(
+        &mut self,
+        mine: &[F16],
+        counts: &[usize],
+    ) -> Result<Vec<F16>, CommsError> {
+        self.ready()?;
+        let res = self.all_gather_inner(mine, counts);
+        self.poisoned |= res.is_err();
+        res
+    }
+
+    fn all_gather_inner(
+        &mut self,
+        mine: &[F16],
+        counts: &[usize],
+    ) -> Result<Vec<F16>, CommsError> {
+        let g = self.world();
+        let r = self.rank();
+        if counts.len() != g {
+            return Err(CommsError::Mismatch(format!(
+                "all_gather counts has {} entries for world {g}",
+                counts.len()
+            )));
+        }
+        if mine.len() != counts[r] {
+            return Err(CommsError::Mismatch(format!(
+                "rank {r} contributes {} elements, counts says {}",
+                mine.len(),
+                counts[r]
+            )));
+        }
+        let mut offsets = Vec::with_capacity(g + 1);
+        let mut total = 0usize;
+        for &c in counts {
+            offsets.push(total);
+            total += c;
+        }
+        offsets.push(total);
+        let mut out = vec![F16::ZERO; total];
+        out[offsets[r]..offsets[r] + mine.len()].copy_from_slice(mine);
+        if g == 1 {
+            return Ok(out);
+        }
+        let sp = telemetry::enabled().then(|| telemetry::span("comms.allgather"));
+        let id = self.fresh_id();
+        let deadline = self.deadline();
+        for s in 0..g - 1 {
+            let send_seg = (r + g - s) % g;
+            let tag = self.tag(Kind::AllGather, id, s as u32);
+            let chunk = out[offsets[send_seg]..offsets[send_seg + 1]].to_vec();
+            self.t.send(self.next(), Message { tag, payload: Payload::F16(chunk) })?;
+            let recv_seg = (r + g - s - 1) % g;
+            let msg = self.recv_match(self.prev(), tag, deadline)?;
+            let Payload::F16(vals) = msg.payload else {
+                return Err(CommsError::Mismatch("all_gather expects f16 payloads".into()));
+            };
+            if vals.len() != counts[recv_seg] {
+                return Err(CommsError::Mismatch(format!(
+                    "all_gather segment {recv_seg}: got {} elements, want {}",
+                    vals.len(),
+                    counts[recv_seg]
+                )));
+            }
+            out[offsets[recv_seg]..offsets[recv_seg + 1]].copy_from_slice(&vals);
+        }
+        drop(sp);
+        Ok(out)
+    }
+
+    // --- Chunked ring all-reduce -------------------------------------
+
+    /// Starts an asynchronous ring all-reduce (mean) over `data`,
+    /// returning its collective id. Post the first hop and return;
+    /// drive with [`Self::ring_pump`] / [`Self::ring_finish`], collect
+    /// with [`Self::take_completed`].
+    pub fn ring_start(&mut self, data: Vec<F16>) -> Result<u64, CommsError> {
+        self.ready()?;
+        let res = self.ring_start_inner(data);
+        self.poisoned |= res.is_err();
+        res
+    }
+
+    fn ring_start_inner(&mut self, mut data: Vec<F16>) -> Result<u64, CommsError> {
+        let g = self.world();
+        let r = self.rank();
+        let id = self.fresh_id();
+        self.model_allreduce_bytes += ring_allreduce_model_bytes(data.len() as u64, g as u64, 2);
+        if g == 1 {
+            // Mean over one rank still goes through the shared rounding
+            // so G=1 matches the oracle bit-for-bit.
+            for v in &mut data {
+                *v = f16_mean_from_exact_sum(f64::from(v.to_f32()), 1.0);
+            }
+            self.completed.push((id, data));
+            return Ok(id);
+        }
+        let segs = segment_bounds(data.len(), g);
+        let (lo, hi) = segs[r];
+        let partial: Vec<f64> = data[lo..hi].iter().map(|v| f64::from(v.to_f32())).collect();
+        let tag = self.tag(Kind::AllReduce, id, 0);
+        self.t.send(self.next(), Message { tag, payload: Payload::F64(partial) })?;
+        self.rings.push(RingState { id, data, segs, hops_done: 0 });
+        // A fast neighbour may already have sent hops for this id.
+        self.ring_drain_stash()?;
+        Ok(id)
+    }
+
+    /// Makes progress on every in-flight ring without blocking. Call
+    /// between gradient buckets to overlap communication with compute.
+    pub fn ring_pump(&mut self) -> Result<(), CommsError> {
+        self.ready()?;
+        let res = self.ring_pump_inner();
+        self.poisoned |= res.is_err();
+        res
+    }
+
+    fn ring_pump_inner(&mut self) -> Result<(), CommsError> {
+        self.ring_drain_stash()?;
+        let prev = self.prev();
+        while !self.rings.is_empty() {
+            match self.t.try_recv_from(prev)? {
+                Some(msg) => self.handle_from_prev(msg)?,
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks until every in-flight ring completes (or the deadline
+    /// passes — a cut link surfaces here as `Timeout`, never a hang).
+    pub fn ring_finish(&mut self) -> Result<(), CommsError> {
+        self.ready()?;
+        let res = self.ring_finish_inner();
+        self.poisoned |= res.is_err();
+        res
+    }
+
+    fn ring_finish_inner(&mut self) -> Result<(), CommsError> {
+        let deadline = self.deadline();
+        let prev = self.prev();
+        self.ring_drain_stash()?;
+        while !self.rings.is_empty() {
+            let msg = self.t.recv_from(prev, deadline)?;
+            self.handle_from_prev(msg)?;
+        }
+        Ok(())
+    }
+
+    /// Drains finished rings as `(id, mean)` pairs, in completion order.
+    pub fn take_completed(&mut self) -> Vec<(u64, Vec<F16>)> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Blocking convenience: full ring all-reduce of one buffer in
+    /// place. Equivalent to start + finish + take.
+    pub fn allreduce_mean_f16(&mut self, buf: &mut [F16]) -> Result<(), CommsError> {
+        let sp = telemetry::enabled().then(|| telemetry::span("comms.allreduce"));
+        let id = self.ring_start(buf.to_vec())?;
+        self.ring_finish()?;
+        let pos = self
+            .completed
+            .iter()
+            .position(|(cid, _)| *cid == id)
+            .expect("finished ring must be in completed");
+        let (_, data) = self.completed.swap_remove(pos);
+        buf.copy_from_slice(&data);
+        drop(sp);
+        Ok(())
+    }
+
+    /// Routes one message that arrived from the ring predecessor.
+    fn handle_from_prev(&mut self, msg: Message) -> Result<(), CommsError> {
+        if msg.tag.epoch < self.epoch {
+            return Ok(());
+        }
+        if msg.tag.epoch == self.epoch && msg.tag.kind == Kind::AllReduce {
+            if let Some(idx) = self.rings.iter().position(|ring| ring.id == msg.tag.id) {
+                if msg.tag.step == self.rings[idx].hops_done {
+                    self.ring_process(idx, msg)?;
+                    return self.ring_drain_stash();
+                }
+            }
+        }
+        self.stash.insert((self.prev(), msg.tag), msg);
+        Ok(())
+    }
+
+    /// Applies stashed hops to every ring that can advance (early
+    /// arrivals for rings we started late, or hops pulled in while
+    /// matching another collective).
+    fn ring_drain_stash(&mut self) -> Result<(), CommsError> {
+        let prev = self.prev();
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < self.rings.len() {
+                let want = Tag {
+                    epoch: self.epoch,
+                    kind: Kind::AllReduce,
+                    id: self.rings[i].id,
+                    step: self.rings[i].hops_done,
+                };
+                if let Some(msg) = self.stash.remove(&(prev, want)) {
+                    // May advance or complete ring `i`; re-examine the
+                    // same index either way.
+                    self.ring_process(i, msg)?;
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Executes one ring hop: accumulate-and-forward (reduce-scatter),
+    /// finalize-and-seed (last reduce-scatter hop), or install-and-
+    /// forward (all-gather).
+    fn ring_process(&mut self, idx: usize, msg: Message) -> Result<(), CommsError> {
+        let g = self.world();
+        let r = self.rank();
+        let tel = telemetry::enabled();
+        let t0 = tel.then(crate::trace::now_us);
+        let step = msg.tag.step as usize;
+        let id = msg.tag.id;
+
+        enum Outgoing {
+            None,
+            F64(u32, Vec<f64>),
+            F16(u32, Vec<F16>),
+        }
+        let outgoing;
+        let done;
+        let seg;
+        let phase;
+        {
+            let ring = &mut self.rings[idx];
+            if step != ring.hops_done as usize {
+                return Err(CommsError::Mismatch(format!(
+                    "ring {id}: hop {step} arrived, expected {}",
+                    ring.hops_done
+                )));
+            }
+            if step <= g - 2 {
+                phase = "rs";
+                seg = (r + g - 1 - step) % g;
+                let (lo, hi) = ring.segs[seg];
+                let Payload::F64(mut partial) = msg.payload else {
+                    return Err(CommsError::Mismatch(
+                        "reduce-scatter hop expects f64 partial sums".into(),
+                    ));
+                };
+                if partial.len() != hi - lo {
+                    return Err(CommsError::Mismatch(format!(
+                        "ring {id} segment {seg}: got {} elements, want {}",
+                        partial.len(),
+                        hi - lo
+                    )));
+                }
+                for (a, x) in partial.iter_mut().zip(&ring.data[lo..hi]) {
+                    *a += f64::from(x.to_f32());
+                }
+                if step < g - 2 {
+                    outgoing = Outgoing::F64(step as u32 + 1, partial);
+                } else {
+                    // Last reduce-scatter hop: this rank now owns the
+                    // exact sum of segment (r+1) mod G.
+                    let w = g as f64;
+                    for (slot, &sum) in ring.data[lo..hi].iter_mut().zip(&partial) {
+                        *slot = f16_mean_from_exact_sum(sum, w);
+                    }
+                    outgoing = Outgoing::F16(g as u32 - 1, ring.data[lo..hi].to_vec());
+                }
+            } else {
+                phase = "ag";
+                let sa = step - (g - 1);
+                seg = (r + g - sa) % g;
+                let (lo, hi) = ring.segs[seg];
+                let Payload::F16(vals) = msg.payload else {
+                    return Err(CommsError::Mismatch("all-gather hop expects f16 values".into()));
+                };
+                if vals.len() != hi - lo {
+                    return Err(CommsError::Mismatch(format!(
+                        "ring {id} segment {seg}: got {} elements, want {}",
+                        vals.len(),
+                        hi - lo
+                    )));
+                }
+                ring.data[lo..hi].copy_from_slice(&vals);
+                if sa < g - 2 {
+                    outgoing = Outgoing::F16(step as u32 + 1, vals);
+                } else {
+                    outgoing = Outgoing::None;
+                }
+            }
+            ring.hops_done += 1;
+            done = ring.hops_done as usize == 2 * (g - 1);
+        }
+        let next = self.next();
+        match outgoing {
+            Outgoing::F64(s, v) => {
+                let tag = self.tag(Kind::AllReduce, id, s);
+                self.t.send(next, Message { tag, payload: Payload::F64(v) })?;
+            }
+            Outgoing::F16(s, v) => {
+                let tag = self.tag(Kind::AllReduce, id, s);
+                self.t.send(next, Message { tag, payload: Payload::F16(v) })?;
+            }
+            Outgoing::None => {}
+        }
+        if done {
+            let ring = self.rings.swap_remove(idx);
+            self.completed.push((ring.id, ring.data));
+            if tel {
+                telemetry::global().counter("comms.allreduce.completed").inc();
+            }
+        }
+        if let Some(t0) = t0 {
+            crate::trace::record_hop(
+                r,
+                format!("ring{id} {phase} seg{seg}"),
+                t0,
+                crate::trace::now_us() - t0,
+                vec![("step".to_string(), Json::from(step))],
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcTransport;
+    use crate::FaultController;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Runs `f(communicator, rank)` on one OS thread per rank and
+    /// returns the results in rank order.
+    fn run_ranks<R: Send>(
+        world: usize,
+        faults: Arc<FaultController>,
+        timeout: Duration,
+        f: impl Fn(&mut Communicator<InProcTransport>, usize) -> R + Sync,
+    ) -> Vec<R> {
+        let mesh = InProcTransport::mesh_with_faults(world, faults);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = mesh
+                .into_iter()
+                .enumerate()
+                .map(|(rank, t)| {
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut comm = Communicator::new(t).with_timeout(timeout);
+                        f(&mut comm, rank)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        })
+    }
+
+    fn vals(seed: u64, n: usize) -> Vec<F16> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                F16::from_f32(((s >> 40) as f32) / (1 << 22) as f32 - 2.0)
+            })
+            .collect()
+    }
+
+    fn oracle(world: usize, n: usize, seed: u64) -> Vec<F16> {
+        let mut copies: Vec<Vec<F16>> = (0..world).map(|r| vals(seed + r as u64, n)).collect();
+        let mut bufs: Vec<&mut [F16]> = copies.iter_mut().map(|c| c.as_mut_slice()).collect();
+        crate::reference::allreduce_mean_f16(&mut bufs).unwrap();
+        copies.pop().unwrap()
+    }
+
+    #[test]
+    fn barrier_orders_a_shared_counter() {
+        let entered = AtomicUsize::new(0);
+        run_ranks(4, Arc::default(), DEFAULT_TIMEOUT, |comm, _| {
+            entered.fetch_add(1, Ordering::SeqCst);
+            comm.barrier().unwrap();
+            // After the barrier every rank must see all 4 entries.
+            assert_eq!(entered.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn broadcast_delivers_roots_buffer() {
+        let want = vals(9, 37);
+        let got = run_ranks(3, Arc::default(), DEFAULT_TIMEOUT, |comm, rank| {
+            let mut buf = if rank == 1 { want.clone() } else { vec![F16::ZERO; 37] };
+            comm.broadcast_f16(1, &mut buf).unwrap();
+            let mut bytes = if rank == 1 { vec![7u8, 8, 9] } else { Vec::new() };
+            if rank != 1 {
+                bytes.clear();
+            }
+            comm.broadcast_bytes(1, &mut bytes).unwrap();
+            (buf, bytes)
+        });
+        for (buf, bytes) in got {
+            assert_eq!(buf, want);
+            assert_eq!(bytes, vec![7, 8, 9]);
+        }
+    }
+
+    #[test]
+    fn all_gather_assembles_uneven_contributions() {
+        let counts = [3usize, 0, 5, 2];
+        let per_rank: Vec<Vec<F16>> =
+            (0..4).map(|r| vals(100 + r as u64, counts[r as usize])).collect();
+        let want: Vec<F16> = per_rank.iter().flatten().copied().collect();
+        let got = run_ranks(4, Arc::default(), DEFAULT_TIMEOUT, |comm, rank| {
+            comm.all_gather_f16(&per_rank[rank], &counts).unwrap()
+        });
+        for g in got {
+            assert_eq!(g, want);
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_matches_oracle_across_world_sizes() {
+        // Sizes straddle the divisible/remainder boundary; world 1 hits
+        // the degenerate path.
+        for world in 1..=5usize {
+            for n in [0usize, 1, 7, 64, 65] {
+                let want = oracle(world, n, 7000);
+                let got = run_ranks(world, Arc::default(), DEFAULT_TIMEOUT, |comm, rank| {
+                    let mut buf = vals(7000 + rank as u64, n);
+                    comm.allreduce_mean_f16(&mut buf).unwrap();
+                    buf
+                });
+                for (r, g) in got.iter().enumerate() {
+                    assert_eq!(g, &want, "world {world} n {n} rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_is_timing_independent() {
+        // Jittered links perturb thread interleaving; the result must
+        // not move by a single bit.
+        let want = oracle(4, 131, 42);
+        for trial in 0..3u64 {
+            let faults = Arc::new(FaultController::new());
+            for link in 0..4usize {
+                faults.jitter_link(
+                    link,
+                    (link + 1) % 4,
+                    trial * 97 + link as u64,
+                    summit_sim::StragglerModel { prob: 0.4, slowdown: 3.0 },
+                    Duration::from_micros(300),
+                );
+            }
+            let got = run_ranks(4, faults, DEFAULT_TIMEOUT, |comm, rank| {
+                let mut buf = vals(42 + rank as u64, 131);
+                comm.allreduce_mean_f16(&mut buf).unwrap();
+                buf
+            });
+            for g in got {
+                assert_eq!(g, want, "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_rings_complete_out_of_lockstep() {
+        // Three buckets in flight at once, finished together; results
+        // must match per-bucket oracles.
+        let sizes = [33usize, 8, 50];
+        let wants: Vec<Vec<F16>> =
+            (0..3).map(|b| oracle(3, sizes[b], 500 + 10 * b as u64)).collect();
+        let got = run_ranks(3, Arc::default(), DEFAULT_TIMEOUT, |comm, rank| {
+            let mut ids = Vec::new();
+            for (b, &n) in sizes.iter().enumerate() {
+                ids.push(comm.ring_start(vals(500 + 10 * b as u64 + rank as u64, n)).unwrap());
+                comm.ring_pump().unwrap();
+            }
+            comm.ring_finish().unwrap();
+            let mut done = comm.take_completed();
+            done.sort_by_key(|(id, _)| *id);
+            (ids, done)
+        });
+        for (ids, done) in got {
+            assert_eq!(done.len(), 3);
+            for (b, (id, data)) in done.into_iter().enumerate() {
+                assert_eq!(id, ids[b]);
+                assert_eq!(data, wants[b], "bucket {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_link_times_out_poisons_and_recovers() {
+        let faults = Arc::new(FaultController::new());
+        faults.cut_link(1, 2);
+        let faults2 = Arc::clone(&faults);
+        let results = run_ranks(3, faults, Duration::from_millis(200), move |comm, rank| {
+            let mut buf = vals(rank as u64, 48);
+            let first = comm.allreduce_mean_f16(&mut buf);
+            if first.is_err() {
+                // Whatever failed must now refuse further collectives.
+                assert_eq!(comm.barrier(), Err(CommsError::Poisoned));
+            }
+            // Heal + recover: every rank bumps its epoch together.
+            if rank == 0 {
+                faults2.heal_link(1, 2);
+            }
+            comm.bump_epoch();
+            let mut buf = vals(rank as u64, 48);
+            let second = comm.allreduce_mean_f16(&mut buf);
+            (first, second)
+        });
+        assert!(
+            results.iter().any(|(first, _)| matches!(first, Err(CommsError::Timeout { .. }))),
+            "a cut ring link must surface a timeout: {results:?}"
+        );
+        for (rank, (_, second)) in results.iter().enumerate() {
+            assert_eq!(second, &Ok(()), "rank {rank} must work after recovery");
+        }
+    }
+
+    #[test]
+    fn model_byte_counter_tracks_ring_volume() {
+        let got = run_ranks(4, Arc::default(), DEFAULT_TIMEOUT, |comm, rank| {
+            let mut buf = vals(rank as u64, 1000);
+            comm.allreduce_mean_f16(&mut buf).unwrap();
+            (comm.model_allreduce_bytes(), comm.transport().bytes_sent())
+        });
+        for (model, wire) in got {
+            assert_eq!(model, ring_allreduce_model_bytes(1000, 4, 2));
+            assert!(wire > 0);
+        }
+    }
+}

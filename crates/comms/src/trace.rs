@@ -1,0 +1,56 @@
+//! Perfetto trace of the ring schedule.
+//!
+//! Every ring hop a rank processes is recorded as one Chrome
+//! `trace_event` complete event on **pid 2** (pid 0 is the simulated
+//! pipeline schedule, pid 1 the live span timers), one `tid` lane per
+//! rank — load the combined file from `repro comms --trace` in
+//! <https://ui.perfetto.dev> and the reduce-scatter / all-gather wave
+//! moving around the ring is directly visible. Recording is gated on
+//! `telemetry::enabled()` so the hot path pays one branch when off.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+use telemetry::json::Json;
+use telemetry::trace::TraceEvent;
+
+/// The pid lane for comms rank events in combined trace files.
+pub const COMMS_TRACE_PID: u64 = 2;
+
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+
+/// Microseconds since the first comms trace observation in the process.
+pub fn now_us() -> f64 {
+    ORIGIN.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e6
+}
+
+/// Records one ring hop (or collective phase) on the rank's lane.
+pub fn record_hop(rank: usize, name: String, ts_us: f64, dur_us: f64, args: Vec<(String, Json)>) {
+    EVENTS.lock().unwrap().push(TraceEvent {
+        name,
+        cat: "comms".into(),
+        pid: COMMS_TRACE_PID,
+        tid: rank as u64,
+        ts_us,
+        dur_us,
+        args,
+    });
+}
+
+/// Drains every recorded comms event (for trace-file assembly).
+pub fn take_events() -> Vec<TraceEvent> {
+    std::mem::take(&mut EVENTS.lock().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_drain_once() {
+        record_hop(3, "rs b0 s1".into(), now_us(), 1.0, vec![]);
+        let evs = take_events();
+        assert!(evs.iter().any(|e| e.tid == 3 && e.pid == COMMS_TRACE_PID));
+        assert!(take_events().is_empty());
+    }
+}

@@ -14,7 +14,7 @@
 //!    expanded into every replica's dense θ16.
 
 use crate::sharded::ShardedSamoLayerState;
-use crate::trainer::{allreduce_mean_f16, samo_allreduce_bytes};
+use crate::trainer::{allreduce_mean_f16, samo_ring_allreduce_bytes};
 use nn::layer::Layer;
 use nn::mixed::{LossScaler, Optimizer};
 use prune::Mask;
@@ -125,8 +125,9 @@ impl<M: Layer> DataParallelSamo<M> {
     }
 
     /// Cumulative compressed-gradient bytes this group has moved through
-    /// its all-reduce (`2·fφ` per step — skipped steps included, since
-    /// the collective runs before the overflow check).
+    /// its all-reduce: the ring formula `2·(G−1)/G · fφ` fp16 values per
+    /// step (skipped steps included, since the collective runs before
+    /// the overflow check). At G = 2 this equals the old flat `2·fφ`.
     pub fn allreduce_bytes(&self) -> u64 {
         self.allreduce_bytes
     }
@@ -179,7 +180,12 @@ impl<M: Layer> DataParallelSamo<M> {
         }
         let t_allreduce = sp.map(telemetry::SpanGuard::finish);
         // The collective has run by now whether or not the step applies.
-        let step_allreduce_bytes = samo_allreduce_bytes(self.nnz() as u64);
+        // Accounted with the bandwidth-optimal ring formula
+        // `2·(G−1)/G · fφ` values — what a real ring all-reduce moves
+        // per rank (and what `comms` implements), not the flat `fφ`
+        // payload model.
+        let step_allreduce_bytes =
+            samo_ring_allreduce_bytes(self.nnz() as u64, self.replicas.len() as u64);
         self.allreduce_bytes += step_allreduce_bytes;
 
         // Overflow check on the reduced gradients.

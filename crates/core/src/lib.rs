@@ -44,6 +44,7 @@ pub mod sentinel;
 pub mod serialize;
 pub mod sharded;
 pub mod state;
+pub mod threaded;
 pub mod trainer;
 
 pub use checkpoint::{CheckpointConfig, CheckpointManager};
@@ -54,4 +55,5 @@ pub use sentinel::{DivergenceSentinel, SentinelConfig, Verdict};
 pub use serialize::TrainerMeta;
 pub use sharded::{m_samo_zero_bytes, ShardedSamoLayerState};
 pub use state::SamoLayerState;
+pub use threaded::ThreadedDataParallelSamo;
 pub use trainer::{DenseMaskedTrainer, SamoTrainer};

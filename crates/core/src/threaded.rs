@@ -1,0 +1,678 @@
+//! Thread-per-rank data-parallel SAMO training over the real
+//! message-passing collectives runtime in the `comms` crate.
+//!
+//! Where [`crate::data_parallel::DataParallelSamo`] loops over replicas
+//! inside one thread and reduces gradients with the sequential oracle,
+//! this runtime gives every rank its own OS thread owning its replica,
+//! sharded optimizer state, loss-scaler copy, and a
+//! [`comms::Communicator`] endpoint of an in-process mesh. Gradients
+//! move through the chunked **ring all-reduce**, and the reduction is
+//! started per parameter bucket from inside backward
+//! ([`Layer::backward_with_ready`]), so communication overlaps the rest
+//! of the backward pass exactly as on a real cluster.
+//!
+//! # Bitwise equivalence with the in-process trainer
+//!
+//! The ring computes the same exact-f64-sum mean as
+//! [`comms::reference::allreduce_mean_f16`], which is also what the
+//! in-process trainer calls — so both runtimes take bitwise-identical
+//! optimizer steps from identical seeds, regardless of thread timing
+//! (`tests/data_parallel_threaded.rs` asserts this). Loss-scale
+//! decisions need no extra collective: every rank scans the *reduced*
+//! (identical) gradient bits, so every scaler replica reaches the same
+//! verdict independently.
+//!
+//! # Failure handling
+//!
+//! Injected link faults ([`ThreadedDataParallelSamo::faults`]) surface
+//! as a step `Err` within the communicator timeout — never a hang. A
+//! failed group refuses further steps (poisoned) until
+//! [`ThreadedDataParallelSamo::restore`] reloads a
+//! checkpoint on every rank, bumps the comms epoch (discarding stale
+//! in-flight traffic), and barriers the group back together.
+
+use crate::sharded::ShardedSamoLayerState;
+use crate::trainer::samo_ring_allreduce_bytes;
+use comms::{CommsError, Communicator, FaultController, InProcTransport, Transport};
+use nn::layer::Layer;
+use nn::mixed::{LossScaler, LossScalerState, Optimizer};
+use prune::Mask;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tensor::Tensor;
+
+/// The per-step work a rank thread runs before the collective phase:
+/// forward on this rank's batch, loss, and backward seed — returns the
+/// **scaled** output gradient `d(scale·loss)/d(output)` for backward.
+pub type StepFn<M> = Arc<dyn Fn(usize, &mut M, f32) -> Tensor + Send + Sync>;
+
+/// Per-rank transport statistics, via [`ThreadedDataParallelSamo::comm_stats`].
+#[derive(Debug, Clone, Copy)]
+pub struct CommStats {
+    /// Bytes actually pushed into this rank's links (headers included).
+    pub wire_bytes: u64,
+    /// Modeled f16 ring volume (`2·(G−1)/G · fφ · 2B` per step).
+    pub model_allreduce_bytes: u64,
+    /// Messages lost to injected faults on this rank's outgoing links.
+    pub msgs_dropped: u64,
+}
+
+type InspectFn<M> = Box<dyn FnOnce(&mut M, &Vec<ShardedSamoLayerState>) + Send>;
+
+enum Cmd<M> {
+    Step(StepFn<M>),
+    SetScaler(LossScaler),
+    Snapshot,
+    Restore(Arc<Vec<u8>>),
+    Inspect(InspectFn<M>),
+    Shutdown,
+}
+
+struct StepOutcome {
+    applied: bool,
+    finite: bool,
+}
+
+struct SnapshotData {
+    states: Vec<ShardedSamoLayerState>,
+    stats: CommStats,
+}
+
+enum Resp {
+    Step(Result<StepOutcome, CommsError>),
+    Snapshot(Box<SnapshotData>),
+    Restored(Result<(), String>),
+    Ack,
+}
+
+/// Everything one rank thread owns.
+struct Rank<M: Layer> {
+    rank: usize,
+    model: M,
+    states: Vec<ShardedSamoLayerState>,
+    opt: Optimizer,
+    scaler: LossScaler,
+    comm: Communicator<InProcTransport>,
+    poisoned: bool,
+    steps_taken: u64,
+    steps_skipped: u64,
+}
+
+impl<M: Layer> Rank<M> {
+    fn step(&mut self, f: &StepFn<M>) -> Result<StepOutcome, CommsError> {
+        if self.poisoned {
+            return Err(CommsError::Poisoned);
+        }
+        let res = self.step_inner(f);
+        self.poisoned |= res.is_err();
+        res
+    }
+
+    fn step_inner(&mut self, f: &StepFn<M>) -> Result<StepOutcome, CommsError> {
+        // Telemetry once per group, from rank 0's thread.
+        let tel = telemetry::enabled() && self.rank == 0;
+        let scale_used = self.scaler.scale();
+        let dy = f(self.rank, &mut self.model, scale_used);
+
+        // Backward with overlapped all-reduce: as each parameter group
+        // reports its gradient ready (reverse execution order —
+        // identical on every rank, so ring ids line up), compress it
+        // and start its ring; pump in-flight rings between groups.
+        let sp = tel.then(|| telemetry::span("samo.dp_threaded.backward_allreduce"));
+        let mut order: Vec<(u64, usize)> = Vec::with_capacity(self.states.len());
+        let mut comm_err: Option<CommsError> = None;
+        {
+            let states = &mut self.states;
+            let comm = &mut self.comm;
+            let order = &mut order;
+            let comm_err = &mut comm_err;
+            self.model.backward_with_ready(&dy, &mut |off, params| {
+                if comm_err.is_some() {
+                    return; // finish backward, but stop talking
+                }
+                for (i, p) in params.iter().enumerate() {
+                    let pi = off + i;
+                    states[pi].compress_grad(p.grad.as_slice());
+                    match comm.ring_start(states[pi].grad16.clone()) {
+                        Ok(id) => order.push((id, pi)),
+                        Err(e) => {
+                            *comm_err = Some(e);
+                            return;
+                        }
+                    }
+                }
+                if let Err(e) = comm.ring_pump() {
+                    *comm_err = Some(e);
+                }
+            });
+        }
+        if let Some(e) = comm_err {
+            return Err(e);
+        }
+        self.comm.ring_finish()?;
+        for (id, mean) in self.comm.take_completed() {
+            let pi = order
+                .iter()
+                .find(|(rid, _)| *rid == id)
+                .expect("completed ring was started by this step")
+                .1;
+            self.states[pi].grad16.copy_from_slice(&mean);
+        }
+        let t_comm = sp.map(telemetry::SpanGuard::finish);
+
+        // The reduced bits are identical on every rank, so a local
+        // overflow scan and scaler update reach the same verdict
+        // everywhere — no extra collective needed.
+        let finite = !self
+            .states
+            .iter()
+            .any(|st| st.grad16.iter().any(|g| !g.is_finite()));
+        let proceed = self.scaler.check_and_update(finite);
+        if !proceed {
+            self.model.zero_grad();
+            self.steps_skipped += 1;
+            if tel {
+                self.record_step(false, scale_used, t_comm, None);
+            }
+            return Ok(StepOutcome { applied: false, finite });
+        }
+
+        // Shard-step, then all-gather the updated fp16 shards.
+        let sp = tel.then(|| telemetry::span("samo.dp_threaded.shard_step"));
+        let world = self.comm.world();
+        let inv = 1.0 / scale_used;
+        for pi in 0..self.states.len() {
+            let shard16 = self.states[pi].optimizer_step_shard(&self.opt, inv);
+            let counts: Vec<usize> = comms::segment_bounds(self.states[pi].nnz(), world)
+                .iter()
+                .map(|(lo, hi)| hi - lo)
+                .collect();
+            debug_assert_eq!(
+                {
+                    let (lo, hi) = self.states[pi].shard_range();
+                    hi - lo
+                },
+                counts[self.rank],
+                "comms::segment_bounds must match the optimizer shard partition"
+            );
+            let gathered = self.comm.all_gather_f16(&shard16, &counts)?;
+            self.states[pi].install_gathered(&gathered);
+        }
+        for (p, st) in self.model.params_mut().into_iter().zip(&self.states) {
+            st.write_dense_f32_params_into(p.value.as_mut_slice());
+            p.zero_grad();
+        }
+        let t_shard = sp.map(telemetry::SpanGuard::finish);
+        self.steps_taken += 1;
+        if tel {
+            self.record_step(true, scale_used, t_comm, t_shard);
+        }
+        Ok(StepOutcome { applied: true, finite })
+    }
+
+    /// Reloads the rank's slice of a full checkpoint, then rejoins the
+    /// group on a fresh comms epoch.
+    fn restore(&mut self, checkpoint: &[u8]) -> Result<(), String> {
+        let (layers, meta) = crate::serialize::load_checkpoint(checkpoint, &self.opt)?;
+        if layers.len() != self.states.len() {
+            return Err(format!(
+                "checkpoint has {} layers, group has {}",
+                layers.len(),
+                self.states.len()
+            ));
+        }
+        for (layer, st) in layers.iter().zip(&self.states) {
+            if layer.mask().shape() != st.mask().shape() {
+                return Err("checkpoint mask shape mismatch".into());
+            }
+        }
+        let d = self.comm.world();
+        for ((st, layer), p) in self
+            .states
+            .iter_mut()
+            .zip(&layers)
+            .zip(self.model.params_mut())
+        {
+            *st = ShardedSamoLayerState::from_full_layer(layer, &self.opt, self.rank, d);
+            st.write_dense_f32_params_into(p.value.as_mut_slice());
+            p.zero_grad();
+        }
+        if let Some(meta) = meta {
+            self.scaler.restore_state(LossScalerState {
+                scale: meta.loss_scale,
+                good_steps: meta.good_steps,
+            });
+            self.steps_taken = meta.steps_taken;
+            self.steps_skipped = meta.steps_skipped;
+        }
+        // Discard any stale in-flight traffic and re-synchronize: every
+        // rank restores together, so epochs advance in lockstep.
+        self.comm.bump_epoch();
+        self.poisoned = false;
+        if let Err(e) = self.comm.barrier() {
+            self.poisoned = true;
+            return Err(format!("post-restore barrier failed: {e}"));
+        }
+        if telemetry::enabled() && self.rank == 0 {
+            telemetry::global()
+                .counter("samo.dp_threaded.recoveries")
+                .inc();
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> CommStats {
+        let t = self.comm.transport();
+        CommStats {
+            wire_bytes: t.bytes_sent(),
+            model_allreduce_bytes: self.comm.model_allreduce_bytes(),
+            msgs_dropped: t.msgs_dropped(),
+        }
+    }
+
+    /// Cold path: rank 0's metric/JSONL bookkeeping for one step.
+    fn record_step(
+        &self,
+        applied: bool,
+        scale_used: f32,
+        t_comm: Option<f64>,
+        t_shard: Option<f64>,
+    ) {
+        let reg = telemetry::global();
+        reg.counter(if applied {
+            "samo.dp_threaded.steps_taken"
+        } else {
+            "samo.dp_threaded.steps_skipped"
+        })
+        .inc();
+        let nnz: usize = self.states.iter().map(|s| s.nnz()).sum();
+        let step_bytes = samo_ring_allreduce_bytes(nnz as u64, self.comm.world() as u64);
+        reg.counter("samo.dp_threaded.allreduce_bytes").add(step_bytes);
+        reg.gauge("samo.dp_threaded.loss_scale")
+            .set(f64::from(self.scaler.scale()));
+        let bytes: u64 = self.states.iter().map(|s| s.measured_bytes(true)).sum();
+        let mut phases = Vec::new();
+        if let Some(t) = t_comm {
+            phases.push(("backward_allreduce", t));
+        }
+        if let Some(t) = t_shard {
+            phases.push(("shard_step", t));
+        }
+        telemetry::jsonl::emit_step(&telemetry::StepEvent {
+            kind: "samo_dp_threaded",
+            step: self.steps_taken + self.steps_skipped - 1,
+            applied,
+            loss_scale: scale_used,
+            steps_taken: self.steps_taken,
+            steps_skipped: self.steps_skipped,
+            numel: self.states.iter().map(|s| s.numel()).sum::<usize>() as u64,
+            nnz: nnz as u64,
+            model_state_bytes: bytes,
+            formula_state_bytes: None,
+            allreduce_bytes: step_bytes,
+            phases,
+        });
+    }
+}
+
+fn rank_loop<M: Layer>(mut rk: Rank<M>, rx: Receiver<Cmd<M>>, tx: Sender<Resp>) {
+    while let Ok(cmd) = rx.recv() {
+        let resp = match cmd {
+            Cmd::Step(f) => Resp::Step(rk.step(&f)),
+            Cmd::SetScaler(s) => {
+                rk.scaler = s;
+                Resp::Ack
+            }
+            Cmd::Snapshot => Resp::Snapshot(Box::new(SnapshotData {
+                states: rk.states.clone(),
+                stats: rk.stats(),
+            })),
+            Cmd::Restore(ck) => Resp::Restored(rk.restore(&ck)),
+            Cmd::Inspect(f) => {
+                f(&mut rk.model, &rk.states);
+                Resp::Ack
+            }
+            Cmd::Shutdown => {
+                let _ = tx.send(Resp::Ack);
+                return;
+            }
+        };
+        if tx.send(resp).is_err() {
+            return;
+        }
+    }
+}
+
+/// A data-parallel SAMO group where every rank is a real OS thread and
+/// gradients move through the `comms` ring all-reduce. Drop-in peer of
+/// [`crate::DataParallelSamo`] (same step semantics, same bits).
+pub struct ThreadedDataParallelSamo<M: Layer + Send + 'static> {
+    world: usize,
+    cmd: Vec<Sender<Cmd<M>>>,
+    resp: Vec<Receiver<Resp>>,
+    handles: Vec<JoinHandle<()>>,
+    faults: Arc<FaultController>,
+    opt: Optimizer,
+    /// Mirror of the rank scalers (updated with the same verdicts), so
+    /// `loss_scale()` answers without a round-trip.
+    scaler: LossScaler,
+    steps_taken: u64,
+    steps_skipped: u64,
+    allreduce_bytes: u64,
+    numel: usize,
+    nnz: usize,
+}
+
+impl<M: Layer + Send + 'static> ThreadedDataParallelSamo<M> {
+    /// Builds the group from identically initialized replicas and one
+    /// mask per parameter tensor, and spawns one thread per rank.
+    pub fn new(replicas: Vec<M>, masks: Vec<Mask>, opt: Optimizer) -> ThreadedDataParallelSamo<M> {
+        Self::with_comm_timeout(replicas, masks, opt, comms::collectives::DEFAULT_TIMEOUT)
+    }
+
+    /// Like [`Self::new`] with an explicit collective deadline (tests
+    /// with injected faults want a short one).
+    pub fn with_comm_timeout(
+        mut replicas: Vec<M>,
+        masks: Vec<Mask>,
+        opt: Optimizer,
+        timeout: Duration,
+    ) -> ThreadedDataParallelSamo<M> {
+        assert!(
+            !replicas.is_empty(),
+            "ThreadedDataParallelSamo needs at least one replica"
+        );
+        let d = replicas.len();
+        {
+            let first: Vec<Vec<f32>> = replicas[0]
+                .params()
+                .iter()
+                .map(|p| p.value.as_slice().to_vec())
+                .collect();
+            for (r, m) in replicas.iter().enumerate().skip(1) {
+                for (p, expect) in m.params().iter().zip(&first) {
+                    assert_eq!(
+                        p.value.as_slice(),
+                        &expect[..],
+                        "replica {r} differs at init ({})",
+                        p.name
+                    );
+                }
+            }
+        }
+        let faults = Arc::new(FaultController::new());
+        let mesh = InProcTransport::mesh_with_faults(d, Arc::clone(&faults));
+        let scaler = LossScaler::default();
+        let mut numel = 0;
+        let mut nnz = 0;
+        let mut cmd = Vec::with_capacity(d);
+        let mut resp = Vec::with_capacity(d);
+        let mut handles = Vec::with_capacity(d);
+        for (rank, (mut model, t)) in replicas.drain(..).zip(mesh).enumerate() {
+            let params = model.params_mut();
+            assert_eq!(params.len(), masks.len(), "one mask per parameter");
+            let mut states = Vec::with_capacity(params.len());
+            for (p, mask) in params.into_iter().zip(&masks) {
+                let st = ShardedSamoLayerState::from_params(
+                    p.value.as_slice(),
+                    mask.clone(),
+                    &opt,
+                    rank,
+                    d,
+                );
+                st.write_dense_f32_params_into(p.value.as_mut_slice());
+                states.push(st);
+            }
+            if rank == 0 {
+                numel = states.iter().map(|s| s.numel()).sum();
+                nnz = states.iter().map(|s| s.nnz()).sum();
+            }
+            let rk = Rank {
+                rank,
+                model,
+                states,
+                opt: opt.clone(),
+                scaler: scaler.clone(),
+                comm: Communicator::new(t).with_timeout(timeout),
+                poisoned: false,
+                steps_taken: 0,
+                steps_skipped: 0,
+            };
+            let (ctx, crx) = channel::<Cmd<M>>();
+            let (rtx, rrx) = channel::<Resp>();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("samo-dp-rank{rank}"))
+                    .spawn(move || rank_loop(rk, crx, rtx))
+                    .expect("spawn rank thread"),
+            );
+            cmd.push(ctx);
+            resp.push(rrx);
+        }
+        ThreadedDataParallelSamo {
+            world: d,
+            cmd,
+            resp,
+            handles,
+            faults,
+            opt,
+            scaler,
+            steps_taken: 0,
+            steps_skipped: 0,
+            allreduce_bytes: 0,
+            numel,
+            nnz,
+        }
+    }
+
+    /// Number of rank threads.
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// Fault injection handle for every link of the mesh.
+    pub fn faults(&self) -> &Arc<FaultController> {
+        &self.faults
+    }
+
+    /// Current loss scale (multiply the loss before backward — the
+    /// step closure receives it as its third argument).
+    pub fn loss_scale(&self) -> f32 {
+        self.scaler.scale()
+    }
+
+    /// Applied steps.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Steps skipped on gradient overflow (every rank skips together).
+    pub fn steps_skipped(&self) -> u64 {
+        self.steps_skipped
+    }
+
+    /// Cumulative modeled ring all-reduce bytes, same formula as
+    /// [`crate::DataParallelSamo::allreduce_bytes`].
+    pub fn allreduce_bytes(&self) -> u64 {
+        self.allreduce_bytes
+    }
+
+    /// Total parameters φ (per replica).
+    pub fn numel(&self) -> usize {
+        self.numel
+    }
+
+    /// Unpruned parameters fφ (per replica).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Replaces the loss scaler on every rank (and the mirror).
+    pub fn set_scaler(&mut self, scaler: LossScaler) {
+        self.scaler = scaler.clone();
+        for tx in &self.cmd {
+            tx.send(Cmd::SetScaler(scaler.clone()))
+                .expect("rank thread alive");
+        }
+        for rx in &self.resp {
+            let Ok(Resp::Ack) = rx.recv() else {
+                panic!("rank thread died during set_scaler");
+            };
+        }
+    }
+
+    /// Runs one concurrent training step: every rank thread executes
+    /// `f(rank, model, loss_scale)` (forward + scaled backward seed),
+    /// backward with overlapped ring all-reduce, shard-step, and
+    /// all-gather. Returns `Ok(true)` if applied, `Ok(false)` if
+    /// skipped on overflow, and `Err` if any rank's collective failed
+    /// (the group then needs [`Self::restore`]).
+    pub fn step(
+        &mut self,
+        f: impl Fn(usize, &mut M, f32) -> Tensor + Send + Sync + 'static,
+    ) -> Result<bool, String> {
+        let f: StepFn<M> = Arc::new(f);
+        for tx in &self.cmd {
+            tx.send(Cmd::Step(Arc::clone(&f)))
+                .map_err(|_| "a rank thread died".to_string())?;
+        }
+        let mut outcomes = Vec::with_capacity(self.world);
+        let mut errors = Vec::new();
+        for (rank, rx) in self.resp.iter().enumerate() {
+            match rx.recv() {
+                Ok(Resp::Step(Ok(o))) => outcomes.push(o),
+                Ok(Resp::Step(Err(e))) => errors.push(format!("rank {rank}: {e}")),
+                Ok(_) => errors.push(format!("rank {rank}: protocol confusion")),
+                Err(_) => errors.push(format!("rank {rank}: thread died")),
+            }
+        }
+        if !errors.is_empty() {
+            return Err(errors.join("; "));
+        }
+        let applied = outcomes[0].applied;
+        let finite = outcomes[0].finite;
+        debug_assert!(
+            outcomes.iter().all(|o| o.applied == applied && o.finite == finite),
+            "ranks must agree on the step verdict"
+        );
+        // Keep the mirror scaler in lockstep with the rank replicas.
+        let _ = self.scaler.check_and_update(finite);
+        if applied {
+            self.steps_taken += 1;
+        } else {
+            self.steps_skipped += 1;
+        }
+        self.allreduce_bytes +=
+            samo_ring_allreduce_bytes(self.nnz as u64, self.world as u64);
+        Ok(applied)
+    }
+
+    /// Serializes the group as one rank-count-independent v2 checkpoint
+    /// (same format as [`crate::DataParallelSamo::save`]).
+    pub fn save(&mut self) -> bytes::Bytes {
+        let snaps = self.snapshot_all();
+        let nparams = snaps[0].states.len();
+        let layers: Vec<crate::state::SamoLayerState> = (0..nparams)
+            .map(|pi| {
+                let ranks: Vec<&ShardedSamoLayerState> =
+                    snaps.iter().map(|s| &s.states[pi]).collect();
+                ShardedSamoLayerState::to_full_layer(&ranks, &self.opt)
+            })
+            .collect();
+        let snap = self.scaler.snapshot();
+        let meta = crate::serialize::TrainerMeta {
+            loss_scale: snap.scale,
+            good_steps: snap.good_steps,
+            steps_taken: self.steps_taken,
+            steps_skipped: self.steps_skipped,
+        };
+        crate::serialize::save_checkpoint(&layers, &meta)
+    }
+
+    /// Restores a checkpoint on every rank and re-synchronizes the
+    /// group (fresh comms epoch + barrier). This is the recovery path
+    /// after a failed step: heal the faulted links first, then restore.
+    pub fn restore(&mut self, checkpoint: &[u8]) -> Result<(), String> {
+        let ck = Arc::new(checkpoint.to_vec());
+        for tx in &self.cmd {
+            tx.send(Cmd::Restore(Arc::clone(&ck)))
+                .map_err(|_| "a rank thread died".to_string())?;
+        }
+        let mut errors = Vec::new();
+        for (rank, rx) in self.resp.iter().enumerate() {
+            match rx.recv() {
+                Ok(Resp::Restored(Ok(()))) => {}
+                Ok(Resp::Restored(Err(e))) => errors.push(format!("rank {rank}: {e}")),
+                Ok(_) => errors.push(format!("rank {rank}: protocol confusion")),
+                Err(_) => errors.push(format!("rank {rank}: thread died")),
+            }
+        }
+        if !errors.is_empty() {
+            return Err(errors.join("; "));
+        }
+        // Re-sync the mirror from the checkpoint's own metadata.
+        let (_, meta) = crate::serialize::load_checkpoint(checkpoint, &self.opt)?;
+        if let Some(meta) = meta {
+            self.scaler.restore_state(LossScalerState {
+                scale: meta.loss_scale,
+                good_steps: meta.good_steps,
+            });
+            self.steps_taken = meta.steps_taken;
+            self.steps_skipped = meta.steps_skipped;
+        }
+        Ok(())
+    }
+
+    /// Per-rank transport statistics (wire bytes, modeled ring bytes,
+    /// fault-dropped messages), in rank order.
+    pub fn comm_stats(&mut self) -> Vec<CommStats> {
+        self.snapshot_all().into_iter().map(|s| s.stats).collect()
+    }
+
+    /// Runs `f` on rank `rank`'s thread with exclusive access to its
+    /// replica and sharded states, and returns the result — the
+    /// inspection hook tests use to compare bits across runtimes.
+    pub fn with_rank<R, F>(&mut self, rank: usize, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut M, &[ShardedSamoLayerState]) -> R + Send + 'static,
+    {
+        let (tx, rx) = channel();
+        self.cmd[rank]
+            .send(Cmd::Inspect(Box::new(move |model, states| {
+                let _ = tx.send(f(model, states));
+            })))
+            .expect("rank thread alive");
+        let out = rx.recv().expect("inspect reply");
+        let Ok(Resp::Ack) = self.resp[rank].recv() else {
+            panic!("rank thread died during inspect");
+        };
+        out
+    }
+
+    fn snapshot_all(&mut self) -> Vec<SnapshotData> {
+        for tx in &self.cmd {
+            tx.send(Cmd::Snapshot).expect("rank thread alive");
+        }
+        self.resp
+            .iter()
+            .map(|rx| match rx.recv() {
+                Ok(Resp::Snapshot(s)) => *s,
+                _ => panic!("rank thread died during snapshot"),
+            })
+            .collect()
+    }
+}
+
+impl<M: Layer + Send + 'static> Drop for ThreadedDataParallelSamo<M> {
+    fn drop(&mut self) {
+        for tx in &self.cmd {
+            let _ = tx.send(Cmd::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

@@ -462,9 +462,14 @@ pub fn grad_l2_norm(model: &impl Layer) -> f64 {
 }
 
 /// In-place mean all-reduce over per-replica compressed fp16 gradient
-/// buffers (one buffer per data-parallel rank), with fp32 accumulation —
-/// the collective SAMO issues instead of a dense `φ`-sized all-reduce
-/// (paper Sec. IV-A). All buffers end up holding the mean.
+/// buffers (one buffer per data-parallel rank) — the collective SAMO
+/// issues instead of a dense `φ`-sized all-reduce (paper Sec. IV-A).
+/// All buffers end up holding the mean.
+///
+/// Delegates to [`comms::reference::allreduce_mean_f16`], the exact-sum
+/// sequential oracle: the chunked ring all-reduce in `comms` computes
+/// the same function bit-for-bit, which is what lets the threaded
+/// data-parallel runtime match the in-process one exactly.
 ///
 /// Degenerate inputs are rejected instead of reduced nonsensically: an
 /// empty replica set is a no-op `Ok` (a zero-rank collective has no
@@ -472,35 +477,11 @@ pub fn grad_l2_norm(model: &impl Layer) -> f64 {
 /// lengths — ranks disagreeing about the compressed layout — are a real
 /// collective error and return `Err`.
 pub fn allreduce_mean_f16(replicas: &mut [&mut [F16]]) -> Result<(), String> {
-    let Some(first) = replicas.first() else {
-        return Ok(());
-    };
-    let n = first.len();
-    if let Some(bad) = replicas.iter().position(|r| r.len() != n) {
-        return Err(format!(
-            "allreduce length mismatch: rank 0 has {n} elements, rank {bad} has {}",
-            replicas[bad].len()
-        ));
-    }
-    let count = replicas.len() as f32;
-    let mut acc = vec![0.0f32; n];
-    for r in replicas.iter() {
-        for (a, g) in acc.iter_mut().zip(r.iter()) {
-            *a += g.to_f32();
-        }
-    }
-    for a in &mut acc {
-        *a /= count;
-    }
-    for r in replicas.iter_mut() {
-        for (g, &a) in r.iter_mut().zip(&acc) {
-            *g = F16::from_f32(a);
-        }
-    }
-    Ok(())
+    comms::reference::allreduce_mean_f16(replicas).map_err(|e| e.to_string())
 }
 
-/// Message bytes of a dense fp16 gradient all-reduce for `phi` params.
+/// Message bytes of a dense fp16 gradient all-reduce for `phi` params
+/// (flat payload model, Eq. 9: every parameter crosses the wire once).
 pub fn dense_allreduce_bytes(phi: u64) -> u64 {
     2 * phi
 }
@@ -508,6 +489,20 @@ pub fn dense_allreduce_bytes(phi: u64) -> u64 {
 /// Message bytes of SAMO's compressed all-reduce: only `fφ` values move.
 pub fn samo_allreduce_bytes(nnz: u64) -> u64 {
     2 * nnz
+}
+
+/// Per-rank wire bytes of a dense fp16 *ring* all-reduce across `world`
+/// ranks: `2·(G−1)/G · φ` values of 2 bytes (reduce-scatter plus
+/// all-gather, each moving `(G−1)/G` of the buffer).
+pub fn dense_ring_allreduce_bytes(phi: u64, world: u64) -> u64 {
+    comms::ring_allreduce_model_bytes(phi, world, 2)
+}
+
+/// Per-rank wire bytes of SAMO's compressed fp16 ring all-reduce: the
+/// same ring factor over the `fφ` surviving coordinates, so the
+/// compressed/dense ratio stays `f` at every world size.
+pub fn samo_ring_allreduce_bytes(nnz: u64, world: u64) -> u64 {
+    comms::ring_allreduce_model_bytes(nnz, world, 2)
 }
 
 #[cfg(test)]
@@ -860,5 +855,28 @@ mod tests {
         assert_eq!(samo_allreduce_bytes(100), 200);
         // 10x reduction at 90% sparsity.
         assert_eq!(dense_allreduce_bytes(1000) / samo_allreduce_bytes(100), 10);
+    }
+
+    #[test]
+    fn ring_allreduce_message_sizes() {
+        // Ring factor 2·(G−1)/G of the fp16 payload, degenerate at G≤1.
+        assert_eq!(dense_ring_allreduce_bytes(1000, 1), 0);
+        assert_eq!(dense_ring_allreduce_bytes(1000, 2), 2000); // = flat model at G=2
+        assert_eq!(dense_ring_allreduce_bytes(1000, 4), 3000);
+        assert_eq!(samo_ring_allreduce_bytes(100, 4), 300);
+
+        // Compressed/dense ratio ≈ 1/f = nnz/φ at every world size: the
+        // ring factor cancels (satellite check for Eq. 9 at density
+        // f = 0.1 → a 10× wire-volume reduction).
+        for world in [2u64, 3, 4, 8] {
+            let dense = dense_ring_allreduce_bytes(1000, world) as f64;
+            let samo = samo_ring_allreduce_bytes(100, world) as f64;
+            let ratio = samo / dense;
+            // Within 1%: integer byte counts truncate when G ∤ 2·n·(G−1).
+            assert!(
+                (ratio - 0.1).abs() < 1e-3,
+                "world {world}: compressed/dense = {ratio}, want 1/f = 0.1"
+            );
+        }
     }
 }

@@ -56,11 +56,31 @@ pub trait Layer {
     fn cached_bytes(&self) -> usize {
         0
     }
+
+    /// Backward with a gradient-readiness callback, the hook data-parallel
+    /// trainers use to overlap all-reduce with the rest of backward:
+    /// `on_ready(param_offset, params)` fires as soon as a group of
+    /// parameters has its final gradient, where `param_offset` is the
+    /// group's starting index in [`Self::params`] order. Leaf layers get
+    /// the default (whole layer ready after its backward); containers
+    /// override it to fire once per child, in reverse execution order.
+    fn backward_with_ready(
+        &mut self,
+        dy: &Tensor,
+        on_ready: &mut dyn FnMut(usize, &[&Parameter]),
+    ) -> Tensor {
+        let dx = self.backward(dy);
+        on_ready(0, &self.params());
+        dx
+    }
 }
 
 /// A straight-through composition of layers.
+///
+/// Children are `Send` so a whole model can move onto a worker thread —
+/// the thread-per-rank data-parallel runtime owns one replica per rank.
 pub struct Sequential {
-    layers: Vec<Box<dyn Layer>>,
+    layers: Vec<Box<dyn Layer + Send>>,
 }
 
 impl Sequential {
@@ -70,7 +90,7 @@ impl Sequential {
     }
 
     /// Appends a layer (builder style).
-    pub fn push(mut self, layer: impl Layer + 'static) -> Sequential {
+    pub fn push(mut self, layer: impl Layer + Send + 'static) -> Sequential {
         self.layers.push(Box::new(layer));
         self
     }
@@ -86,7 +106,7 @@ impl Sequential {
     }
 
     /// Access to the contained layers.
-    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer + Send>] {
         &mut self.layers
     }
 }
@@ -136,5 +156,67 @@ impl Layer for Sequential {
 
     fn cached_bytes(&self) -> usize {
         self.layers.iter().map(|l| l.cached_bytes()).sum()
+    }
+
+    fn backward_with_ready(
+        &mut self,
+        dy: &Tensor,
+        on_ready: &mut dyn FnMut(usize, &[&Parameter]),
+    ) -> Tensor {
+        // Children finish their gradients in reverse execution order;
+        // report each with its parameter offset in `params()` order so
+        // the caller can start reducing it while earlier (in forward
+        // order) children are still running backward.
+        let offsets: Vec<usize> = self
+            .layers
+            .iter()
+            .scan(0usize, |off, l| {
+                let at = *off;
+                *off += l.params().len();
+                Some(at)
+            })
+            .collect();
+        let mut cur = dy.clone();
+        for (layer, off) in self.layers.iter_mut().zip(&offsets).rev() {
+            cur = layer.backward_with_ready(&cur, &mut |child_off, params| {
+                on_ready(off + child_off, params)
+            });
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+
+    #[test]
+    fn backward_with_ready_fires_per_child_in_reverse_order() {
+        let build = || {
+            Sequential::new()
+                .push(Linear::new(4, 3, true, 1))
+                .push(crate::activations::Relu::new())
+                .push(Linear::new(3, 2, false, 2))
+        };
+        let x = Tensor::randn(&[5, 4], 1.0, 3);
+        let dy = Tensor::randn(&[5, 2], 1.0, 4);
+
+        let mut plain = build();
+        plain.forward(&x);
+        let dx_plain = plain.backward(&dy);
+
+        let mut hooked = build();
+        hooked.forward(&x);
+        let mut groups: Vec<(usize, usize)> = Vec::new();
+        let dx_hooked = hooked.backward_with_ready(&dy, &mut |off, params| {
+            groups.push((off, params.len()));
+        });
+
+        assert_eq!(dx_plain.as_slice(), dx_hooked.as_slice(), "hook must not change math");
+        // Reverse execution order: last Linear (params 2..3), Relu
+        // (no params), first Linear (params 0..2). Offsets index into
+        // `params()` order; every parameter is reported exactly once.
+        assert_eq!(groups, vec![(2, 1), (2, 0), (0, 2)]);
     }
 }

@@ -1,0 +1,192 @@
+//! Integration: the thread-per-rank data-parallel runtime over the
+//! `comms` ring all-reduce is **bitwise interchangeable** with the
+//! in-process `DataParallelSamo`, and injected rank failures surface as
+//! timeouts (never hangs) with checkpoint-restore resynchronizing the
+//! group exactly.
+
+use nn::layer::{Layer, Sequential};
+use nn::linear::Linear;
+use nn::loss::mse;
+use nn::mixed::{LossScaler, Optimizer};
+use nn::optim::AdamConfig;
+use prune::Mask;
+use samo::data_parallel::DataParallelSamo;
+use samo::threaded::ThreadedDataParallelSamo;
+use std::time::{Duration, Instant};
+use tensor::Tensor;
+
+const IN: usize = 6;
+const HID: usize = 10;
+const OUT: usize = 4;
+const BATCH: usize = 5;
+
+fn model(seed: u64) -> Sequential {
+    Sequential::new()
+        .push(Linear::new(IN, HID, true, seed))
+        .push(nn::activations::Relu::new())
+        .push(Linear::new(HID, OUT, false, seed + 1))
+}
+
+fn masks() -> Vec<Mask> {
+    let m = model(1);
+    let ps = m.params();
+    vec![
+        prune::magnitude_prune(ps[0].value.as_slice(), ps[0].value.shape(), 0.6),
+        Mask::dense(ps[1].value.shape()), // bias dense
+        prune::magnitude_prune(ps[2].value.as_slice(), ps[2].value.shape(), 0.5),
+    ]
+}
+
+fn adam() -> Optimizer {
+    Optimizer::Adam(AdamConfig { lr: 0.02, ..Default::default() })
+}
+
+fn batch(step: u64, rank: usize) -> (Tensor, Tensor) {
+    let x = Tensor::randn(&[BATCH, IN], 1.0, 10_000 + step * 16 + rank as u64);
+    let t = Tensor::randn(&[BATCH, OUT], 1.0, 20_000 + step * 16 + rank as u64);
+    (x, t)
+}
+
+/// Drives one in-process step with the same math the threaded closure
+/// runs: forward, MSE, scale, backward.
+fn drive_inproc(dp: &mut DataParallelSamo<Sequential>, step: u64) {
+    for r in 0..dp.world_size() {
+        let scale = dp.loss_scale();
+        let (x, t) = batch(step, r);
+        let m = dp.replica_mut(r);
+        let y = m.forward(&x);
+        let (_, mut dy) = mse(&y, &t);
+        tensor::ops::scale(scale, dy.as_mut_slice());
+        m.backward(&dy);
+    }
+    dp.step();
+}
+
+fn threaded_step(th: &mut ThreadedDataParallelSamo<Sequential>, step: u64) -> Result<bool, String> {
+    th.step(move |rank, m, scale| {
+        let (x, t) = batch(step, rank);
+        let y = m.forward(&x);
+        let (_, mut dy) = mse(&y, &t);
+        tensor::ops::scale(scale, dy.as_mut_slice());
+        dy
+    })
+}
+
+/// Satellite #6: same seeds, same loss-scale schedule → the threaded
+/// runtime's full training state matches the in-process one bit for
+/// bit, step after step (checkpoint bytes are a complete, canonical
+/// encoding of θ16/∇θ16/θ32-shards/optimizer state + scaler + counters,
+/// so byte equality is state equality).
+#[test]
+fn threaded_matches_inproc_bitwise() {
+    let world = 3;
+    let mut dp =
+        DataParallelSamo::new((0..world).map(|_| model(7)).collect(), masks(), adam());
+    dp.set_scaler(LossScaler::new(1024.0));
+    let mut th =
+        ThreadedDataParallelSamo::new((0..world).map(|_| model(7)).collect(), masks(), adam());
+    th.set_scaler(LossScaler::new(1024.0));
+
+    for step in 0..10u64 {
+        drive_inproc(&mut dp, step);
+        threaded_step(&mut th, step).expect("healthy mesh");
+        assert_eq!(dp.loss_scale(), th.loss_scale(), "scale diverged at step {step}");
+        assert_eq!(
+            dp.save().as_ref(),
+            th.save().as_ref(),
+            "training state diverged at step {step}"
+        );
+    }
+    assert_eq!(dp.steps_taken(), th.steps_taken());
+    assert_eq!(dp.steps_skipped(), th.steps_skipped());
+    // Both account collective volume with the same ring formula.
+    assert_eq!(dp.allreduce_bytes(), th.allreduce_bytes());
+
+    // And the replicas themselves hold identical dense parameters.
+    for r in 0..world {
+        let want: Vec<Vec<f32>> =
+            dp.replica_mut(r).params().iter().map(|p| p.value.as_slice().to_vec()).collect();
+        let got = th.with_rank(r, |m, _| {
+            m.params().iter().map(|p| p.value.as_slice().to_vec()).collect::<Vec<_>>()
+        });
+        assert_eq!(got, want, "rank {r} replica diverged");
+    }
+}
+
+/// Satellite #3: killing a rank's links makes the step fail with a
+/// timeout within the deadline — no hang, no panic — the group then
+/// refuses further steps until restored, and a checkpoint restore
+/// resynchronizes it bitwise with an in-process trainer that never
+/// failed (the in-process side also runs its own `rank_failure_drill`).
+#[test]
+fn killed_rank_times_out_and_restore_resyncs_bitwise() {
+    let world = 3;
+    let fail_at = 4u64;
+    let total = 8u64;
+
+    let mut dp =
+        DataParallelSamo::new((0..world).map(|_| model(21)).collect(), masks(), adam());
+    dp.set_scaler(LossScaler::new(1024.0));
+    let mut th = ThreadedDataParallelSamo::with_comm_timeout(
+        (0..world).map(|_| model(21)).collect(),
+        masks(),
+        adam(),
+        Duration::from_millis(300),
+    );
+    th.set_scaler(LossScaler::new(1024.0));
+
+    for step in 0..fail_at {
+        drive_inproc(&mut dp, step);
+        threaded_step(&mut th, step).expect("healthy mesh");
+    }
+    let checkpoint = th.save();
+    assert_eq!(checkpoint.as_ref(), dp.save().as_ref(), "pre-failure state diverged");
+    // The in-process trainer survives its own drill without state drift.
+    dp.rank_failure_drill(1).expect("in-process drill");
+
+    // Node 1 dies: every link in and out goes dark.
+    th.faults().kill_rank(1, world);
+    let t0 = Instant::now();
+    let err = threaded_step(&mut th, fail_at).expect_err("cut links must fail the step");
+    assert!(
+        err.contains("timed out"),
+        "failure should surface as a rank timeout: {err}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "timeout must be bounded, took {:?}",
+        t0.elapsed()
+    );
+    let dropped: u64 = th.comm_stats().iter().map(|s| s.msgs_dropped).sum();
+    assert!(dropped > 0, "the dead rank's traffic was dropped, not delivered");
+
+    // Poisoned until recovery: further steps refuse to run.
+    let err2 = threaded_step(&mut th, fail_at).expect_err("group must stay poisoned");
+    assert!(err2.contains("poisoned"), "got: {err2}");
+
+    // Heal the node, restore the checkpoint, replay the failed step.
+    th.faults().heal_rank(1, world);
+    th.restore(&checkpoint).expect("restore after heal");
+    for step in fail_at..total {
+        drive_inproc(&mut dp, step);
+        threaded_step(&mut th, step).expect("healed mesh");
+    }
+    assert_eq!(
+        th.save().as_ref(),
+        dp.save().as_ref(),
+        "restored threaded group must match the never-failed in-process trainer bitwise"
+    );
+}
+
+/// A rank-1 "group" degenerates to plain SAMO semantics and must not
+/// deadlock on self-communication.
+#[test]
+fn world_of_one_still_steps() {
+    let mut th = ThreadedDataParallelSamo::new(vec![model(3)], masks(), adam());
+    th.set_scaler(LossScaler::new(256.0));
+    for step in 0..3 {
+        assert_eq!(threaded_step(&mut th, step), Ok(true));
+    }
+    assert_eq!(th.steps_taken(), 3);
+    assert_eq!(th.allreduce_bytes(), 0, "no wire traffic at world 1");
+}

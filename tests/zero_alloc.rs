@@ -8,6 +8,11 @@
 //! Deliberately a single `#[test]` function: the default libtest harness
 //! runs tests on multiple threads and any concurrent test's allocations
 //! would bleed into the counter. One test, one thread, exact counts.
+//! Counting is additionally scoped to the measuring thread (a
+//! const-initialized thread-local flag, safe to read from the
+//! allocator): background threads that happen to live in the process —
+//! pool workers, the libtest main thread — cannot perturb the count
+//! even when system load stretches the measured window.
 
 use nn::layer::Layer;
 use nn::linear::Linear;
@@ -25,25 +30,32 @@ struct CountingAlloc;
 static COUNTING: AtomicBool = AtomicBool::new(false);
 static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// True only on the thread whose window is being measured. Const
+    /// initialization means reading it never recurses into the
+    /// allocator (no lazy TLS constructor, no drop).
+    static COUNT_THIS_THREAD: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn count_event() {
+    if COUNTING.load(Ordering::Relaxed) && COUNT_THIS_THREAD.with(|c| c.get()) {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
-        }
+        count_event();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
-        }
+        count_event();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
-        }
+        count_event();
         System.realloc(ptr, layout, new_size)
     }
 
@@ -55,12 +67,18 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Number of allocation events (alloc/alloc_zeroed/realloc) during `f`.
+/// Number of allocation events (alloc/alloc_zeroed/realloc) performed by
+/// *this thread* during `f`. The kernels under test run inline on the
+/// calling thread (the pool is pinned to one worker below), so
+/// thread-scoped counting loses nothing and gains immunity to background
+/// threads.
 fn alloc_events_during<F: FnOnce()>(f: F) -> u64 {
     let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+    COUNT_THIS_THREAD.with(|c| c.set(true));
     COUNTING.store(true, Ordering::Relaxed);
     f();
     COUNTING.store(false, Ordering::Relaxed);
+    COUNT_THIS_THREAD.with(|c| c.set(false));
     ALLOC_EVENTS.load(Ordering::Relaxed) - before
 }
 
