@@ -333,7 +333,12 @@ fn run_gpt_deepspeed(machine: &Machine, cfg: &GptConfig, gpus: usize) -> Option<
     let tp_comm = m * layers_per_stage * tp_comm_per_layer;
     // 1F1B bubble.
     let bubble = (pc.g_inter - 1) as f64 * (tf_stage + tb_stage);
-    // Synchronous stage-boundary p2p: 2 messages per microbatch exposed.
+    // Synchronous stage-boundary p2p: of the four message events that
+    // touch an interior stage per microbatch (Eq. 9–10: activation
+    // in/out, gradient in/out), only the 2 *sends* are billed to the
+    // GPU's own timeline — receives are the neighbour's sends. See the
+    // message-accounting note in `pipeline.rs` and the test pinning
+    // the 4-events/2-sends ratio there.
     let msg =
         machine.mpi_p2p_time(cfg.boundary_activation_bytes(mbs) / tp as u64, 0, machine.gpus_per_node);
     let p2p = if pc.g_inter > 1 { 2.0 * m * msg } else { 0.0 };

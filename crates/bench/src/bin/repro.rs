@@ -8,6 +8,9 @@
 //!                comms   (threaded ring all-reduce bench, compressed vs
 //!                         dense; merges a `comms` section into
 //!                         BENCH_hotpaths.json; NOT part of `all`)
+//!                pipeline (threaded inter-layer pipeline bubble bench,
+//!                         measured vs Eq. 7; merges a `pipeline` section
+//!                         into BENCH_hotpaths.json; NOT part of `all`)
 //! ```
 //!
 //! Each experiment prints the regenerated rows/series and writes a CSV
@@ -133,10 +136,18 @@ fn main() {
             drop(sp);
             ran = true;
         }
+        if what == "pipeline" && failed.is_none() {
+            let sp = telemetry::enabled().then(|| telemetry::span("repro.pipeline"));
+            if let Err(e) = bench::pipeline_bench::run(quick) {
+                failed = Some(format!("pipeline: {e}"));
+            }
+            drop(sp);
+            ran = true;
+        }
     }
     if !ran {
         eprintln!(
-            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench comms"
+            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench comms pipeline"
         );
         std::process::exit(2);
     }
@@ -155,8 +166,11 @@ fn main() {
 }
 
 /// Writes the Chrome trace: the Fig. 3 simulated pipeline schedule on
-/// pid 0 (one tid lane per GPU) plus every live span recorded during
-/// this run on pid 1.
+/// pid 0 (one tid lane per GPU), every live span recorded during this
+/// run on pid 1, ring hops from the threaded comms runtime on pid 2,
+/// and per-stage F/B slices from the threaded pipeline runtime on
+/// pid 3 (`repro pipeline --trace` makes the real 1F1B schedule and
+/// its bubble directly visible in Perfetto).
 fn write_trace(path: &str) -> Result<(), String> {
     let spec = axonn_sim::PipelineSpec {
         stages: 3,
@@ -170,6 +184,8 @@ fn write_trace(path: &str) -> Result<(), String> {
     let mut events =
         axonn_sim::chrome_trace_events(&axonn_sim::pipeline::trace_schedule(&SUMMIT, &spec));
     events.extend(telemetry::trace::span_trace_events(&telemetry::take_spans()));
+    events.extend(comms::trace::take_events());
+    events.extend(samo::pipeline::trace::take_events());
     telemetry::trace::write_chrome_trace(std::path::Path::new(path), &events)
         .map_err(|e| format!("write chrome trace {path}: {e}"))?;
     telemetry::log_info!("repro: wrote Chrome trace ({} events) to {path}", events.len());

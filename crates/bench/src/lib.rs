@@ -4,6 +4,7 @@
 pub mod chart;
 pub mod comms_bench;
 pub mod hotpaths;
+pub mod pipeline_bench;
 pub mod tracked;
 
 use std::fs;

@@ -386,6 +386,106 @@ impl<T: Transport> Communicator<T> {
         Ok(out)
     }
 
+    // --- Point-to-point (pipeline boundary traffic) -------------------
+
+    /// Sends `data` to rank `to` as a tagged point-to-point message —
+    /// the inter-layer (pipeline) primitive carrying boundary
+    /// activations forward and activation-gradients backward.
+    ///
+    /// Unlike collectives, p2p tags are **caller-supplied**: both
+    /// endpoints derive the same `(id, step)` from `(training step,
+    /// microbatch, direction)` without consuming the shared collective
+    /// counter, so pipeline stages that exchange different message
+    /// counts still agree on every subsequent collective's id.
+    pub fn send_p2p(
+        &mut self,
+        to: usize,
+        id: u64,
+        step: u32,
+        data: Vec<f32>,
+    ) -> Result<(), CommsError> {
+        self.ready()?;
+        let tag = self.tag(Kind::P2p, id, step);
+        let res = self.t.send(to, Message { tag, payload: Payload::F32(data) });
+        self.poisoned |= res.is_err();
+        res
+    }
+
+    /// Blocks until the p2p message tagged `(id, step)` arrives from
+    /// `from`, or the communicator deadline passes (a killed stage
+    /// surfaces as a bounded [`CommsError::Timeout`], never a hang).
+    /// Early arrivals with other tags are stashed, never misrouted.
+    pub fn recv_p2p(&mut self, from: usize, id: u64, step: u32) -> Result<Vec<f32>, CommsError> {
+        self.ready()?;
+        let deadline = self.deadline();
+        let res = self.recv_p2p_inner(from, id, step, deadline);
+        self.poisoned |= res.is_err();
+        res
+    }
+
+    fn recv_p2p_inner(
+        &mut self,
+        from: usize,
+        id: u64,
+        step: u32,
+        deadline: Instant,
+    ) -> Result<Vec<f32>, CommsError> {
+        let want = self.tag(Kind::P2p, id, step);
+        let msg = self.recv_match(from, want, deadline)?;
+        let Payload::F32(v) = msg.payload else {
+            return Err(CommsError::Mismatch("p2p expects f32 payloads".into()));
+        };
+        Ok(v)
+    }
+
+    /// Non-blocking variant of [`Self::recv_p2p`]: returns `Ok(None)`
+    /// when the wanted message has not arrived yet. The message-driven
+    /// pipeline scheduler polls this to prefer backward work over
+    /// forward without committing to a blocking wait on either link.
+    pub fn try_recv_p2p(
+        &mut self,
+        from: usize,
+        id: u64,
+        step: u32,
+    ) -> Result<Option<Vec<f32>>, CommsError> {
+        self.ready()?;
+        let res = self.try_recv_p2p_inner(from, id, step);
+        self.poisoned |= res.is_err();
+        res
+    }
+
+    fn try_recv_p2p_inner(
+        &mut self,
+        from: usize,
+        id: u64,
+        step: u32,
+    ) -> Result<Option<Vec<f32>>, CommsError> {
+        let want = self.tag(Kind::P2p, id, step);
+        if let Some(msg) = self.stash.remove(&(from, want)) {
+            let Payload::F32(v) = msg.payload else {
+                return Err(CommsError::Mismatch("p2p expects f32 payloads".into()));
+            };
+            return Ok(Some(v));
+        }
+        loop {
+            match self.t.try_recv_from(from)? {
+                None => return Ok(None),
+                Some(msg) => {
+                    if msg.tag.epoch < self.epoch {
+                        continue;
+                    }
+                    if msg.tag == want {
+                        let Payload::F32(v) = msg.payload else {
+                            return Err(CommsError::Mismatch("p2p expects f32 payloads".into()));
+                        };
+                        return Ok(Some(v));
+                    }
+                    self.stash.insert((from, msg.tag), msg);
+                }
+            }
+        }
+    }
+
     // --- Chunked ring all-reduce -------------------------------------
 
     /// Starts an asynchronous ring all-reduce (mean) over `data`,
@@ -844,6 +944,110 @@ mod tests {
         for (rank, (_, second)) in results.iter().enumerate() {
             assert_eq!(second, &Ok(()), "rank {rank} must work after recovery");
         }
+    }
+
+    #[test]
+    fn p2p_delivers_by_tag_even_out_of_order() {
+        // Rank 0 sends three tagged messages; rank 1 asks for them in a
+        // different order — the stash must route them, never misdeliver.
+        let got = run_ranks(2, Arc::default(), DEFAULT_TIMEOUT, |comm, rank| {
+            if rank == 0 {
+                for (id, step) in [(7u64, 0u32), (7, 1), (9, 0)] {
+                    comm.send_p2p(1, id, step, vec![id as f32, f32::from(step as u16)]).unwrap();
+                }
+                Vec::new()
+            } else {
+                let mut out = Vec::new();
+                for (id, step) in [(9u64, 0u32), (7, 1), (7, 0)] {
+                    out.push(comm.recv_p2p(0, id, step).unwrap());
+                }
+                out
+            }
+        });
+        assert_eq!(
+            got[1],
+            vec![vec![9.0, 0.0], vec![7.0, 1.0], vec![7.0, 0.0]],
+            "p2p messages must be matched by tag, not arrival order"
+        );
+    }
+
+    #[test]
+    fn p2p_survives_interleaved_collectives() {
+        // A p2p message already in flight while both ranks run a
+        // barrier must be stashed by the barrier's matcher and still be
+        // retrievable afterwards (and via try_recv_p2p's stash path).
+        let got = run_ranks(2, Arc::default(), DEFAULT_TIMEOUT, |comm, rank| {
+            if rank == 0 {
+                comm.send_p2p(1, 3, 0, vec![1.25, -2.5]).unwrap();
+            }
+            comm.barrier().unwrap();
+            if rank == 1 {
+                // Arrived before the barrier traffic; may be stashed.
+                comm.try_recv_p2p(0, 3, 0).unwrap()
+            } else {
+                None
+            }
+        });
+        assert_eq!(got[1], Some(vec![1.25, -2.5]));
+    }
+
+    #[test]
+    fn p2p_cut_link_times_out_bounded_then_recovers() {
+        let faults = Arc::new(FaultController::new());
+        faults.cut_link(0, 1);
+        let faults2 = Arc::clone(&faults);
+        let got = run_ranks(2, faults, Duration::from_millis(150), move |comm, rank| {
+            if rank == 0 {
+                comm.send_p2p(1, 0, 0, vec![4.0]).unwrap();
+                comm.bump_epoch();
+                // Wait for rank 1's go-ahead (the 1→0 link is healthy)
+                // so the retry happens strictly after the heal. Rank 1
+                // spends its own timeout discovering the cut first, so
+                // poll rather than risk a timeout of our own.
+                let wait = Instant::now() + DEFAULT_TIMEOUT;
+                while comm.try_recv_p2p(1, 99, 0).unwrap().is_none() {
+                    assert!(Instant::now() < wait, "go-ahead never arrived");
+                    std::thread::yield_now();
+                }
+                comm.send_p2p(1, 0, 0, vec![5.0]).unwrap();
+                Ok(vec![])
+            } else {
+                let t0 = Instant::now();
+                let first = comm.recv_p2p(0, 0, 0);
+                assert_eq!(first, Err(CommsError::Timeout { rank: 1, from: 0 }));
+                assert!(t0.elapsed() < Duration::from_secs(5), "bounded wait");
+                // Failure poisons until recovery.
+                assert_eq!(comm.recv_p2p(0, 0, 0), Err(CommsError::Poisoned));
+                faults2.heal_link(0, 1);
+                comm.bump_epoch();
+                comm.send_p2p(0, 99, 0, vec![]).unwrap();
+                comm.recv_p2p(0, 0, 0)
+            }
+        });
+        assert_eq!(got[1], Ok(vec![5.0]), "post-heal epoch must deliver fresh traffic");
+    }
+
+    #[test]
+    fn try_recv_p2p_is_nonblocking_and_eventually_sees_the_message() {
+        let got = run_ranks(2, Arc::default(), DEFAULT_TIMEOUT, |comm, rank| {
+            if rank == 0 {
+                // Give rank 1 time to observe the empty link first.
+                std::thread::sleep(Duration::from_millis(30));
+                comm.send_p2p(1, 11, 2, vec![0.5]).unwrap();
+                (None, None)
+            } else {
+                let early = comm.try_recv_p2p(0, 11, 2).unwrap();
+                let deadline = Instant::now() + DEFAULT_TIMEOUT;
+                let mut late = None;
+                while late.is_none() && Instant::now() < deadline {
+                    late = comm.try_recv_p2p(0, 11, 2).unwrap();
+                    std::thread::yield_now();
+                }
+                (early, late)
+            }
+        });
+        assert_eq!(got[1].0, None, "nothing sent yet: try_recv must not block or invent data");
+        assert_eq!(got[1].1, Some(vec![0.5]));
     }
 
     #[test]

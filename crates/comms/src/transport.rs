@@ -20,6 +20,11 @@ use tensor::f16::F16;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     F16(Vec<F16>),
+    /// Full-precision boundary activations / activation-gradients for
+    /// inter-layer (pipeline) point-to-point traffic, which must move
+    /// bit-exact f32 values to keep the pipelined backward bitwise
+    /// identical to the single-process trainer.
+    F32(Vec<f32>),
     F64(Vec<f64>),
     Bytes(Vec<u8>),
 }
@@ -32,6 +37,7 @@ impl Payload {
     pub fn data_bytes(&self) -> u64 {
         match self {
             Payload::F16(v) => 2 * v.len() as u64,
+            Payload::F32(v) => 4 * v.len() as u64,
             Payload::F64(v) => 8 * v.len() as u64,
             Payload::Bytes(v) => v.len() as u64,
         }
@@ -50,6 +56,13 @@ pub enum Kind {
     AllGather,
     Broadcast,
     Barrier,
+    /// Point-to-point pipeline traffic (boundary activations and
+    /// activation-gradients). Unlike the collectives above, p2p tags
+    /// are caller-supplied — both endpoints derive the same
+    /// `(id, step)` from `(training step, microbatch, direction)`
+    /// instead of consuming the shared monotonic collective counter,
+    /// so stages exchanging different message counts stay aligned.
+    P2p,
 }
 
 /// Self-describing routing header. `(epoch, kind, id, step)` is unique

@@ -30,7 +30,7 @@ pub struct CheckpointConfig {
     /// How many most-recent checkpoints to retain (older ones are
     /// pruned after a successful write). 0 means keep everything.
     pub keep_last: usize,
-    /// File-name prefix, e.g. `"ckpt"` → `ckpt-000042.samo`.
+    /// File-name prefix, e.g. `"ckpt"` → `ckpt-000000000042.samo`.
     pub prefix: String,
 }
 
@@ -54,14 +54,19 @@ pub struct CheckpointManager {
 }
 
 impl CheckpointManager {
-    /// Creates the manager, creating the directory if needed.
+    /// Creates the manager, creating the directory if needed. Orphaned
+    /// temp files from a previous crash are swept immediately — they
+    /// are invisible to [`Self::list`]/retention and would otherwise
+    /// leak forever.
     pub fn new(cfg: CheckpointConfig) -> Result<CheckpointManager, String> {
         fs::create_dir_all(&cfg.dir)
             .map_err(|e| format!("create checkpoint dir {:?}: {e}", cfg.dir))?;
-        Ok(CheckpointManager {
+        let mgr = CheckpointManager {
             cfg,
             last_saved_step: None,
-        })
+        };
+        mgr.sweep_stale_tmps()?;
+        Ok(mgr)
     }
 
     /// The active configuration.
@@ -70,7 +75,48 @@ impl CheckpointManager {
     }
 
     fn file_name(&self, step: u64) -> PathBuf {
-        self.cfg.dir.join(format!("{}-{:09}.samo", self.cfg.prefix, step))
+        // 12-digit zero-padding keeps lexicographic directory listings
+        // readable; ordering correctness never depends on it because
+        // `parse_step` compares the step numbers numerically.
+        self.cfg.dir.join(format!("{}-{:012}.samo", self.cfg.prefix, step))
+    }
+
+    /// The step number encoded in a checkpoint file name this manager
+    /// (or an older, narrower-padded version of it) wrote; `None` for
+    /// foreign files.
+    fn parse_step(&self, path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        let digits = name
+            .strip_prefix(&format!("{}-", self.cfg.prefix))?
+            .strip_suffix(".samo")?;
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse().ok()
+    }
+
+    /// Removes orphaned `{prefix}-*.samo.tmp` files — the leftovers of
+    /// a crash that landed between the temp write and the rename.
+    /// Returns how many were removed and bumps `samo.ckpt.tmp_swept`.
+    pub fn sweep_stale_tmps(&self) -> Result<usize, String> {
+        let mut swept = 0usize;
+        let entries = fs::read_dir(&self.cfg.dir)
+            .map_err(|e| format!("read checkpoint dir {:?}: {e}", self.cfg.dir))?;
+        for entry in entries {
+            let path = entry.map_err(|e| format!("read dir entry: {e}"))?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.starts_with(&format!("{}-", self.cfg.prefix)) && name.ends_with(".samo.tmp") {
+                fs::remove_file(&path).map_err(|e| format!("sweep stale tmp {path:?}: {e}"))?;
+                telemetry::log_debug!("checkpoint: swept stale temp file {path:?}");
+                swept += 1;
+            }
+        }
+        if swept > 0 && telemetry::enabled() {
+            telemetry::global().counter("samo.ckpt.tmp_swept").add(swept as u64);
+        }
+        Ok(swept)
     }
 
     /// Whether the cadence policy calls for a save at `steps_taken`.
@@ -134,27 +180,29 @@ impl CheckpointManager {
             reg.gauge("samo.ckpt.last_bytes").set(bytes.len() as f64);
             reg.histogram("samo.ckpt.write_seconds").record(elapsed);
         }
+        self.sweep_stale_tmps()?;
         self.prune_old()?;
         Ok(final_path)
     }
 
-    /// All retained checkpoints, oldest first.
+    /// All retained checkpoints, oldest first **by step number** — a
+    /// numeric sort on the parsed step, not a lexicographic one on the
+    /// file name, so checkpoints written with narrower zero-padding
+    /// (older builds, or runs past the padding width) still order by
+    /// step. Files whose name doesn't parse as `{prefix}-<digits>.samo`
+    /// are not ours and are ignored.
     pub fn list(&self) -> Result<Vec<PathBuf>, String> {
-        let mut found = Vec::new();
+        let mut found: Vec<(u64, PathBuf)> = Vec::new();
         let entries = fs::read_dir(&self.cfg.dir)
             .map_err(|e| format!("read checkpoint dir {:?}: {e}", self.cfg.dir))?;
         for entry in entries {
             let path = entry.map_err(|e| format!("read dir entry: {e}"))?.path();
-            let name = match path.file_name().and_then(|n| n.to_str()) {
-                Some(n) => n,
-                None => continue,
-            };
-            if name.starts_with(&format!("{}-", self.cfg.prefix)) && name.ends_with(".samo") {
-                found.push(path);
+            if let Some(step) = self.parse_step(&path) {
+                found.push((step, path));
             }
         }
         found.sort();
-        Ok(found)
+        Ok(found.into_iter().map(|(_, p)| p).collect())
     }
 
     /// The newest retained checkpoint, if any — the resume point after a
@@ -277,6 +325,80 @@ mod tests {
         let kept = mgr.list().unwrap();
         assert_eq!(kept.len(), 2, "retention prunes to keep_last");
         assert!(kept[1].to_str().unwrap().contains("000000040"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keep_last_zero_retains_every_checkpoint() {
+        let dir = tmpdir("keepall");
+        let mut cfg = CheckpointConfig::new(&dir);
+        cfg.keep_last = 0;
+        let mut mgr = CheckpointManager::new(cfg).unwrap();
+        for step in 1..=7u64 {
+            mgr.save_now(step, &sample_bytes(step)).unwrap();
+        }
+        assert_eq!(mgr.list().unwrap().len(), 7, "keep_last == 0 means keep everything");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_construction_and_after_saves() {
+        let dir = tmpdir("tmpsweep");
+        fs::create_dir_all(&dir).unwrap();
+        // A crash between temp write and rename leaves exactly this.
+        let orphan = dir.join("ckpt-000000000003.samo.tmp");
+        fs::write(&orphan, b"torn write").unwrap();
+        // Foreign files must survive the sweep untouched.
+        let foreign_tmp = dir.join("other-000000000003.samo.tmp");
+        let foreign = dir.join("notes.txt");
+        fs::write(&foreign_tmp, b"not ours").unwrap();
+        fs::write(&foreign, b"keep me").unwrap();
+
+        let mut mgr = CheckpointManager::new(CheckpointConfig::new(&dir)).unwrap();
+        assert!(!orphan.exists(), "construction must sweep orphaned tmp files");
+        assert!(foreign_tmp.exists() && foreign.exists(), "sweep only matches our prefix");
+        // The orphan is invisible to list() either way — that's the leak.
+        assert!(mgr.list().unwrap().is_empty());
+
+        // And after a successful save: plant another orphan, then save.
+        let orphan2 = dir.join("ckpt-000000000004.samo.tmp");
+        fs::write(&orphan2, b"torn again").unwrap();
+        mgr.save_now(5, &sample_bytes(5)).unwrap();
+        assert!(!orphan2.exists(), "save_now must sweep stale tmp files");
+        assert_eq!(mgr.list().unwrap().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ordering_is_numeric_not_lexicographic_across_padding_rollover() {
+        let dir = tmpdir("rollover");
+        let mut cfg = CheckpointConfig::new(&dir);
+        cfg.keep_last = 2;
+        let mut mgr = CheckpointManager::new(cfg).unwrap();
+        // A checkpoint from an older build with 9-digit padding: step
+        // 999,999,999. Lexicographically "ckpt-999999999.samo" sorts
+        // *after* the 12-padded "ckpt-001000000000.samo" even though
+        // its step is smaller — the bug this fix pins down.
+        let legacy = dir.join("ckpt-999999999.samo");
+        fs::write(&legacy, sample_bytes(999_999_999)).unwrap();
+        // Junk that matches prefix+suffix but isn't a step-numbered
+        // checkpoint must be ignored, not pruned or returned.
+        let junk = dir.join("ckpt-abc.samo");
+        fs::write(&junk, b"junk").unwrap();
+
+        let newer = mgr.save_now(1_000_000_000, &sample_bytes(0)).unwrap();
+        assert_eq!(
+            mgr.latest().unwrap().unwrap(),
+            newer,
+            "latest() must pick the numerically largest step, not the lexicographic max"
+        );
+        assert_eq!(mgr.list().unwrap(), vec![legacy.clone(), newer.clone()]);
+
+        // Retention prunes the numerically oldest (the legacy file).
+        let newest = mgr.save_now(1_000_000_001, &sample_bytes(1)).unwrap();
+        assert!(!legacy.exists(), "prune_old must drop the numerically oldest step");
+        assert_eq!(mgr.list().unwrap(), vec![newer, newest]);
+        assert!(junk.exists(), "foreign files are not the manager's to prune");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -40,6 +40,7 @@ pub mod checkpoint;
 pub mod compressed;
 pub mod data_parallel;
 pub mod memory;
+pub mod pipeline;
 pub mod sentinel;
 pub mod serialize;
 pub mod sharded;
@@ -51,6 +52,7 @@ pub use checkpoint::{CheckpointConfig, CheckpointManager};
 pub use compressed::{compress_f16, compress_f32, expand_f16, expand_f32};
 pub use memory::{m_default_bytes, m_samo_bytes, samo_savings_fraction, SamoBreakdown};
 pub use data_parallel::DataParallelSamo;
+pub use pipeline::{PipelineConfig, StageStats, ThreadedPipelineSamo};
 pub use sentinel::{DivergenceSentinel, SentinelConfig, Verdict};
 pub use serialize::TrainerMeta;
 pub use sharded::{m_samo_zero_bytes, ShardedSamoLayerState};

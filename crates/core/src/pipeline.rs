@@ -1,0 +1,1071 @@
+//! Thread-per-stage inter-layer (pipeline) SAMO training over the real
+//! message-passing runtime in the `comms` crate — the hybrid
+//! `G_inter × G_data` decomposition of AxoNN (paper Sec. III) running
+//! on OS threads instead of the event-driven simulator in `axonn-sim`.
+//!
+//! A [`Sequential`] model is partitioned into `G_inter` contiguous
+//! stage blocks ([`comms::segment_bounds`] over the layer list, the
+//! same split the simulator and the analytic model use). Each of the
+//! `G_inter × G_data` ranks owns one stage block of one data replica
+//! on its own thread, plus two communicator endpoints:
+//!
+//! * a **pipeline mesh** per data replica (`world = G_inter`) carrying
+//!   boundary activations forward and activation-gradients backward as
+//!   tagged p2p messages ([`comms::Communicator::send_p2p`]), and the
+//!   per-step cross-stage overflow verdict;
+//! * a **data mesh** per stage (`world = G_data`) running the
+//!   compressed-`∇θ16` chunked ring all-reduce and the sharded
+//!   parameter all-gather, exactly as
+//!   [`crate::ThreadedDataParallelSamo`] does.
+//!
+//! # Scheduling
+//!
+//! The per-rank scheduler is message-driven with **backward preferred
+//! over forward** (AxoNN's rule, mirrored from `axonn-sim`'s
+//! event-driven simulator): each loop iteration first polls the
+//! downstream link for the next activation-gradient, and only when no
+//! backward work is ready does it admit the next forward microbatch.
+//! Stage 0 additionally enforces the `max_in_flight` activation-memory
+//! cap (`next_fwd < bwd_done + max_in_flight`), which bounds every
+//! stage's stash of boundary inputs. Backward executes in strict
+//! microbatch order, so gradient accumulation order — and therefore
+//! every f32 sum — matches the single-process trainer exactly.
+//!
+//! Layer activation caches are single-slot, so a stage whose cache no
+//! longer holds the microbatch being retired re-runs its forward from
+//! the stashed boundary input just in time (classic activation
+//! recomputation). The last stage never recomputes: under backward
+//! priority its backward always immediately follows the matching
+//! forward. [`PipelineConfig::force_recompute`] forces the recompute
+//! everywhere, which makes per-stage work uniform — the pipeline bench
+//! uses it to compare the measured bubble against Eq. 7.
+//!
+//! On the **last** microbatch the backward runs through
+//! [`Layer::backward_with_ready`], compressing each parameter bucket
+//! and starting its ring on the data mesh as soon as its gradient is
+//! final — the all-reduce overlaps the backward tail, as in the
+//! data-parallel runtime.
+//!
+//! # Bitwise equivalence with the single-process trainer
+//!
+//! For any `(G_inter, G_data)` and any thread timing, checkpoint bytes
+//! equal a single-process [`crate::SamoTrainer`] driven with the same
+//! microbatches step for step (`tests/pipeline_threaded.rs`):
+//! forward/backward compose the same deterministic kernels, backward
+//! order per parameter is microbatch order everywhere, recomputation
+//! reproduces identical activations (stage blocks must be
+//! recompute-safe, i.e. forward twice ≡ forward once — true of every
+//! stateless layer), the ring mean is the exact-f64-sum rounding which
+//! is the identity at `G_data = 1` and exact for identical replicas,
+//! and the sharded optimizer path is bitwise-equal to the fused
+//! single-process kernels (`crate::sharded` tests).
+//!
+//! # Failure handling
+//!
+//! A killed or cut stage surfaces as a bounded step `Err` — every rank
+//! carries a progress deadline in its scheduler loop, so a silent
+//! neighbour can never hang the group. The group then refuses further
+//! steps (poisoned) until [`ThreadedPipelineSamo::restore`] reloads a
+//! checkpoint on every rank, bumps both mesh epochs (discarding stale
+//! in-flight traffic) and barriers the group back together.
+
+use crate::sharded::ShardedSamoLayerState;
+use comms::{CommsError, Communicator, FaultController, InProcTransport, Transport};
+use nn::layer::{Layer, Sequential};
+use nn::mixed::{LossScaler, LossScalerState, Optimizer};
+use prune::Mask;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tensor::f16::F16;
+use tensor::Tensor;
+
+/// Produces stage 0's boundary input for `(data_idx, microbatch)`.
+pub type InputFn = Arc<dyn Fn(usize, usize) -> Tensor + Send + Sync>;
+
+/// Given the last stage's output for `(data_idx, microbatch)` and the
+/// current loss scale, returns the **scaled** output gradient
+/// `d(scale·loss)/d(output)` seeding backward.
+pub type LossGradFn = Arc<dyn Fn(usize, usize, &Tensor, f32) -> Tensor + Send + Sync>;
+
+/// Per-stage Perfetto trace rows: every forward/backward slice a stage
+/// executes is recorded as one Chrome `trace_event` complete event on
+/// **pid 3** (pid 0 is the simulated pipeline, pid 1 live spans, pid 2
+/// comms ring hops), one `tid` lane per `(data_idx, stage)` rank. The
+/// timeline origin is shared with the comms hops
+/// ([`comms::trace::now_us`]), so stage compute and ring traffic line
+/// up in one combined trace. Recording is gated on
+/// [`telemetry::enabled`].
+pub mod trace {
+    use std::sync::Mutex;
+    use telemetry::json::Json;
+    use telemetry::trace::TraceEvent;
+
+    /// The pid lane for live pipeline-stage events in combined traces.
+    pub const PIPELINE_TRACE_PID: u64 = 3;
+
+    static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+
+    /// Records one stage compute slice on the rank's lane.
+    pub fn record_slice(
+        lane: u64,
+        name: String,
+        ts_us: f64,
+        dur_us: f64,
+        args: Vec<(String, Json)>,
+    ) {
+        EVENTS.lock().unwrap().push(TraceEvent {
+            name,
+            cat: "pipeline".into(),
+            pid: PIPELINE_TRACE_PID,
+            tid: lane,
+            ts_us,
+            dur_us,
+            args,
+        });
+    }
+
+    /// Drains every recorded stage event (for trace-file assembly).
+    pub fn take_events() -> Vec<TraceEvent> {
+        std::mem::take(&mut EVENTS.lock().unwrap())
+    }
+}
+
+/// Pipeline decomposition and scheduling knobs.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Pipeline depth: number of contiguous stage blocks.
+    pub g_inter: usize,
+    /// Data-parallel width: replicas per stage.
+    pub g_data: usize,
+    /// Microbatches per training step (the paper's `M = B/(mbs·G_data)`).
+    pub microbatches: usize,
+    /// Rows per microbatch — boundary tensors travel flat over the
+    /// wire and are reshaped to `[mb_rows, features]` on arrival.
+    pub mb_rows: usize,
+    /// Activation-memory cap: at most this many microbatches may be
+    /// in flight (forwarded but not yet retired by backward) per stage.
+    pub max_in_flight: usize,
+    /// Progress deadline of the per-rank scheduler and deadline of
+    /// every collective — a dead neighbour surfaces as `Err` within it.
+    pub timeout: Duration,
+    /// Recompute the stage forward before *every* backward, even when
+    /// the activation cache is still valid. Keeps per-stage work
+    /// uniform for the Eq. 7 bubble cross-check.
+    pub force_recompute: bool,
+}
+
+impl PipelineConfig {
+    /// A conservative default: `g_inter` stages, no data parallelism,
+    /// `2·g_inter` microbatches, cap at pipeline depth.
+    pub fn new(g_inter: usize, microbatches: usize, mb_rows: usize) -> PipelineConfig {
+        PipelineConfig {
+            g_inter,
+            g_data: 1,
+            microbatches,
+            mb_rows,
+            max_in_flight: g_inter.max(1),
+            timeout: comms::collectives::DEFAULT_TIMEOUT,
+            force_recompute: false,
+        }
+    }
+}
+
+/// Per-rank scheduler statistics, cumulative across steps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageStats {
+    /// Seconds spent in stage forward compute (initial passes).
+    pub fwd_s: f64,
+    /// Seconds spent in backward compute, including any recompute.
+    pub bwd_s: f64,
+    /// Wall seconds inside the scheduler loop (excludes the collective
+    /// epilogue), summed over steps — `1 − (fwd_s+bwd_s)/sched_wall_s`
+    /// is this rank's measured bubble fraction.
+    pub sched_wall_s: f64,
+    /// Just-in-time activation recomputations performed.
+    pub recomputes: u64,
+    /// When this rank's scheduler loop last started/ended, microseconds
+    /// on the shared comms-trace clock ([`comms::trace::now_us`]) — the
+    /// bubble bench reconstructs the step makespan across ranks from
+    /// these (`max(end) − min(start)` over the group).
+    pub last_sched_start_us: f64,
+    /// See [`Self::last_sched_start_us`].
+    pub last_sched_end_us: f64,
+    /// Bytes this rank pushed into its pipeline-mesh links.
+    pub pipe_wire_bytes: u64,
+    /// Bytes this rank pushed into its data-mesh links.
+    pub data_wire_bytes: u64,
+    /// Messages lost to injected faults on either mesh.
+    pub msgs_dropped: u64,
+}
+
+const DIR_ACT: u64 = 0;
+const DIR_GRAD: u64 = 1;
+
+/// Tag id for one boundary message: microbatch in the high bits, the
+/// direction (activation vs gradient) in bit 0. The training step goes
+/// in the tag's separate `step` field, so ids never collide across
+/// steps, microbatches, or directions within an epoch.
+fn p2p_id(mb: usize, dir: u64) -> u64 {
+    ((mb as u64) << 1) | dir
+}
+
+type InspectFn = Box<dyn FnOnce(&mut Sequential, &Vec<ShardedSamoLayerState>) + Send>;
+
+enum Cmd {
+    Step {
+        input: InputFn,
+        loss_grad: LossGradFn,
+        step: u32,
+    },
+    SetScaler(LossScaler),
+    Snapshot,
+    Restore(Arc<Vec<u8>>),
+    Inspect(InspectFn),
+    Shutdown,
+}
+
+struct StepOutcome {
+    applied: bool,
+    finite: bool,
+}
+
+struct SnapshotData {
+    states: Vec<ShardedSamoLayerState>,
+    stats: StageStats,
+}
+
+enum Resp {
+    Step(Result<StepOutcome, CommsError>),
+    Snapshot(Box<SnapshotData>),
+    Restored(Result<(), String>),
+    Ack,
+}
+
+/// Everything one `(stage, data_idx)` rank thread owns.
+struct StageRank {
+    stage: usize,
+    data_idx: usize,
+    g_inter: usize,
+    /// Index of this stage's first parameter in whole-model order.
+    param_off: usize,
+    block: Sequential,
+    states: Vec<ShardedSamoLayerState>,
+    opt: Optimizer,
+    scaler: LossScaler,
+    /// Pipeline mesh of this data replica; rank = stage.
+    pipe: Communicator<InProcTransport>,
+    /// Data mesh of this stage; rank = data_idx.
+    data: Communicator<InProcTransport>,
+    microbatches: usize,
+    mb_rows: usize,
+    max_in_flight: usize,
+    timeout: Duration,
+    force_recompute: bool,
+    poisoned: bool,
+    steps_taken: u64,
+    steps_skipped: u64,
+    stats: StageStats,
+    /// Boundary input per in-flight microbatch (recompute source).
+    input_stash: Vec<Option<Tensor>>,
+    /// Last stage only: outputs awaiting their loss gradient.
+    y_stash: Vec<Option<Tensor>>,
+    /// Which microbatch the stage's activation caches belong to.
+    cache_mb: Option<usize>,
+}
+
+impl StageRank {
+    fn is_last(&self) -> bool {
+        self.stage + 1 == self.g_inter
+    }
+
+    fn trace_lane(&self) -> u64 {
+        (self.data_idx * self.g_inter + self.stage) as u64
+    }
+
+    fn tensor_from_wire(&self, v: Vec<f32>) -> Result<Tensor, CommsError> {
+        if self.mb_rows == 0 || !v.len().is_multiple_of(self.mb_rows) {
+            return Err(CommsError::Mismatch(format!(
+                "boundary payload of {} values does not divide into {} rows",
+                v.len(),
+                self.mb_rows
+            )));
+        }
+        let cols = v.len() / self.mb_rows;
+        Ok(Tensor::from_vec(&[self.mb_rows, cols], v))
+    }
+
+    fn step(&mut self, input: &InputFn, loss_grad: &LossGradFn, step: u32) -> Result<StepOutcome, CommsError> {
+        if self.poisoned {
+            return Err(CommsError::Poisoned);
+        }
+        let res = self.step_inner(input, loss_grad, step);
+        self.poisoned |= res.is_err();
+        res
+    }
+
+    fn step_inner(
+        &mut self,
+        input: &InputFn,
+        loss_grad: &LossGradFn,
+        step: u32,
+    ) -> Result<StepOutcome, CommsError> {
+        let tel = telemetry::enabled();
+        let m = self.microbatches;
+        let s = self.stage;
+        let last = self.is_last();
+        let scale_used = self.scaler.scale();
+        self.input_stash = (0..m).map(|_| None).collect();
+        self.y_stash = (0..m).map(|_| None).collect();
+        self.cache_mb = None;
+
+        // Message-driven schedule: backward preferred over forward.
+        self.stats.last_sched_start_us = comms::trace::now_us();
+        let wall0 = Instant::now();
+        let mut fwd_done = 0usize;
+        let mut bwd_done = 0usize;
+        let mut ring_order: Vec<(u64, usize)> = Vec::with_capacity(self.states.len());
+        let mut last_progress = Instant::now();
+        while bwd_done < m {
+            let mut progressed = false;
+
+            // 1. Backward, in strict microbatch order (keeps per-layer
+            //    gradient accumulation order identical to the oracle).
+            let dy = if last {
+                (fwd_done > bwd_done).then(|| {
+                    let y = self.y_stash[bwd_done].take().expect("output stashed");
+                    loss_grad(self.data_idx, bwd_done, &y, scale_used)
+                })
+            } else {
+                self.pipe
+                    .try_recv_p2p(s + 1, p2p_id(bwd_done, DIR_GRAD), step)?
+                    .map(|v| self.tensor_from_wire(v))
+                    .transpose()?
+            };
+            if let Some(dy) = dy {
+                self.backward_mb(bwd_done, &dy, bwd_done + 1 == m, step, &mut ring_order, tel)?;
+                bwd_done += 1;
+                progressed = true;
+            }
+
+            // 2. Forward, inside the activation-memory window.
+            if !progressed && fwd_done < m && fwd_done < bwd_done + self.max_in_flight {
+                let x = if s == 0 {
+                    Some(input(self.data_idx, fwd_done))
+                } else {
+                    self.pipe
+                        .try_recv_p2p(s - 1, p2p_id(fwd_done, DIR_ACT), step)?
+                        .map(|v| self.tensor_from_wire(v))
+                        .transpose()?
+                };
+                if let Some(x) = x {
+                    self.forward_mb(fwd_done, x, step, tel)?;
+                    fwd_done += 1;
+                    progressed = true;
+                }
+            }
+
+            if progressed {
+                last_progress = Instant::now();
+            } else {
+                // Keep any in-flight rings moving, then check the
+                // progress deadline: a dead neighbour must surface as a
+                // bounded Err, never a hang.
+                self.data.ring_pump()?;
+                if last_progress.elapsed() > self.timeout {
+                    let from = if last { s.saturating_sub(1) } else { s + 1 };
+                    return Err(CommsError::Timeout { rank: s, from });
+                }
+                std::thread::yield_now();
+            }
+        }
+        self.stats.sched_wall_s += wall0.elapsed().as_secs_f64();
+        self.stats.last_sched_end_us = comms::trace::now_us();
+
+        // Collective epilogue: finish the overlapped rings, install the
+        // reduced gradients, agree on the overflow verdict across
+        // stages, then shard-step + all-gather parameters.
+        self.data.ring_finish()?;
+        for (id, mean) in self.data.take_completed() {
+            let pi = ring_order
+                .iter()
+                .find(|(rid, _)| *rid == id)
+                .expect("completed ring was started by this step")
+                .1;
+            self.states[pi].grad16.copy_from_slice(&mean);
+        }
+        let local_finite = !self
+            .states
+            .iter()
+            .any(|st| st.grad16.iter().any(|g| !g.is_finite()));
+        // One f16 flag per stage; every stage of this replica sees the
+        // same flags, and replicas agree because the reduced gradient
+        // bits are identical — so every rank's scaler stays in lockstep.
+        let flag = F16::from_f32(if local_finite { 1.0 } else { 0.0 });
+        let flags = self
+            .pipe
+            .all_gather_f16(&[flag], &vec![1usize; self.g_inter])?;
+        let finite = flags.iter().all(|f| f.to_f32() == 1.0);
+        let proceed = self.scaler.check_and_update(finite);
+        if !proceed {
+            self.block.zero_grad();
+            self.steps_skipped += 1;
+            if tel {
+                self.record_step(false);
+            }
+            return Ok(StepOutcome { applied: false, finite });
+        }
+
+        let world = self.data.world();
+        let inv = 1.0 / scale_used;
+        for pi in 0..self.states.len() {
+            let shard16 = self.states[pi].optimizer_step_shard(&self.opt, inv);
+            let counts: Vec<usize> = comms::segment_bounds(self.states[pi].nnz(), world)
+                .iter()
+                .map(|(lo, hi)| hi - lo)
+                .collect();
+            let gathered = self.data.all_gather_f16(&shard16, &counts)?;
+            self.states[pi].install_gathered(&gathered);
+        }
+        for (p, st) in self.block.params_mut().into_iter().zip(&self.states) {
+            st.write_dense_f32_params_into(p.value.as_mut_slice());
+            p.zero_grad();
+        }
+        self.steps_taken += 1;
+        if tel {
+            self.record_step(true);
+        }
+        Ok(StepOutcome { applied: true, finite })
+    }
+
+    fn forward_mb(&mut self, mb: usize, x: Tensor, step: u32, tel: bool) -> Result<(), CommsError> {
+        let ts = tel.then(comms::trace::now_us);
+        let t0 = Instant::now();
+        let y = self.block.forward(&x);
+        let dt = t0.elapsed().as_secs_f64();
+        self.stats.fwd_s += dt;
+        if let Some(ts) = ts {
+            trace::record_slice(
+                self.trace_lane(),
+                format!("F{mb}"),
+                ts,
+                dt * 1e6,
+                vec![("mb".into(), telemetry::json::Json::UInt(mb as u64))],
+            );
+        }
+        self.cache_mb = Some(mb);
+        self.input_stash[mb] = Some(x);
+        if self.is_last() {
+            self.y_stash[mb] = Some(y);
+        } else {
+            self.pipe
+                .send_p2p(self.stage + 1, p2p_id(mb, DIR_ACT), step, y.as_slice().to_vec())?;
+        }
+        Ok(())
+    }
+
+    fn backward_mb(
+        &mut self,
+        mb: usize,
+        dy: &Tensor,
+        last_mb: bool,
+        step: u32,
+        ring_order: &mut Vec<(u64, usize)>,
+        tel: bool,
+    ) -> Result<(), CommsError> {
+        let ts = tel.then(comms::trace::now_us);
+        let t0 = Instant::now();
+        if self.force_recompute || self.cache_mb != Some(mb) {
+            // The activation caches belong to a different microbatch:
+            // re-run the stage forward from the stashed boundary input.
+            // Parameters are unchanged within a step, so the recompute
+            // reproduces the original activations bit for bit.
+            let x = self.input_stash[mb].take().expect("boundary input stashed");
+            let _ = self.block.forward(&x);
+            self.stats.recomputes += 1;
+        } else {
+            self.input_stash[mb] = None;
+        }
+        let dx = if last_mb {
+            // Final microbatch: every parameter's accumulated gradient
+            // becomes final as its layer finishes backward — compress
+            // and start its ring immediately so the all-reduce overlaps
+            // the rest of the backward tail.
+            let states = &mut self.states;
+            let data = &mut self.data;
+            let mut comm_err: Option<CommsError> = None;
+            let dx = {
+                let comm_err = &mut comm_err;
+                let ring_order = &mut *ring_order;
+                self.block.backward_with_ready(dy, &mut |off, params| {
+                    if comm_err.is_some() {
+                        return; // finish backward, but stop talking
+                    }
+                    for (i, p) in params.iter().enumerate() {
+                        let pi = off + i;
+                        states[pi].compress_grad(p.grad.as_slice());
+                        match data.ring_start(states[pi].grad16.clone()) {
+                            Ok(id) => ring_order.push((id, pi)),
+                            Err(e) => {
+                                *comm_err = Some(e);
+                                return;
+                            }
+                        }
+                    }
+                    if let Err(e) = data.ring_pump() {
+                        *comm_err = Some(e);
+                    }
+                })
+            };
+            if let Some(e) = comm_err {
+                return Err(e);
+            }
+            dx
+        } else {
+            self.block.backward(dy)
+        };
+        self.cache_mb = None;
+        let dt = t0.elapsed().as_secs_f64();
+        self.stats.bwd_s += dt;
+        if let Some(ts) = ts {
+            trace::record_slice(
+                self.trace_lane(),
+                format!("B{mb}"),
+                ts,
+                dt * 1e6,
+                vec![("mb".into(), telemetry::json::Json::UInt(mb as u64))],
+            );
+        }
+        if self.stage > 0 {
+            self.pipe
+                .send_p2p(self.stage - 1, p2p_id(mb, DIR_GRAD), step, dx.as_slice().to_vec())?;
+        }
+        Ok(())
+    }
+
+    /// Reloads this rank's stage slice of a full checkpoint, then
+    /// rejoins both meshes on fresh epochs.
+    fn restore(&mut self, checkpoint: &[u8]) -> Result<(), String> {
+        let (layers, meta) = crate::serialize::load_checkpoint(checkpoint, &self.opt)?;
+        let lo = self.param_off;
+        let hi = lo + self.states.len();
+        if layers.len() < hi {
+            return Err(format!(
+                "checkpoint has {} layers, stage {} needs {}..{}",
+                layers.len(),
+                self.stage,
+                lo,
+                hi
+            ));
+        }
+        let slice = &layers[lo..hi];
+        for (layer, st) in slice.iter().zip(&self.states) {
+            if layer.mask().shape() != st.mask().shape() {
+                return Err("checkpoint mask shape mismatch".into());
+            }
+        }
+        let d = self.data.world();
+        for ((st, layer), p) in self
+            .states
+            .iter_mut()
+            .zip(slice)
+            .zip(self.block.params_mut())
+        {
+            *st = ShardedSamoLayerState::from_full_layer(layer, &self.opt, self.data_idx, d);
+            st.write_dense_f32_params_into(p.value.as_mut_slice());
+            p.zero_grad();
+        }
+        if let Some(meta) = meta {
+            self.scaler.restore_state(LossScalerState {
+                scale: meta.loss_scale,
+                good_steps: meta.good_steps,
+            });
+            self.steps_taken = meta.steps_taken;
+            self.steps_skipped = meta.steps_skipped;
+        }
+        // Discard stale in-flight traffic on both meshes and
+        // re-synchronize: every rank restores together, so epochs
+        // advance in lockstep; the barriers run pipe-then-data on every
+        // rank, and the meshes are disjoint, so no ordering deadlock.
+        self.pipe.bump_epoch();
+        self.data.bump_epoch();
+        self.poisoned = false;
+        if let Err(e) = self.pipe.barrier() {
+            self.poisoned = true;
+            return Err(format!("post-restore pipeline barrier failed: {e}"));
+        }
+        if let Err(e) = self.data.barrier() {
+            self.poisoned = true;
+            return Err(format!("post-restore data barrier failed: {e}"));
+        }
+        if telemetry::enabled() && self.stage == 0 && self.data_idx == 0 {
+            telemetry::global().counter("samo.pipeline.recoveries").inc();
+        }
+        Ok(())
+    }
+
+    fn snapshot(&mut self) -> SnapshotData {
+        let mut stats = self.stats;
+        stats.pipe_wire_bytes = self.pipe.transport().bytes_sent();
+        stats.data_wire_bytes = self.data.transport().bytes_sent();
+        stats.msgs_dropped =
+            self.pipe.transport().msgs_dropped() + self.data.transport().msgs_dropped();
+        SnapshotData {
+            states: self.states.clone(),
+            stats,
+        }
+    }
+
+    /// Cold path: rank (0,0)'s metric bookkeeping for one step.
+    fn record_step(&self, applied: bool) {
+        if self.stage != 0 || self.data_idx != 0 {
+            return;
+        }
+        let reg = telemetry::global();
+        reg.counter(if applied {
+            "samo.pipeline.steps_taken"
+        } else {
+            "samo.pipeline.steps_skipped"
+        })
+        .inc();
+        reg.gauge("samo.pipeline.loss_scale")
+            .set(f64::from(self.scaler.scale()));
+    }
+}
+
+fn rank_loop(mut rk: StageRank, rx: Receiver<Cmd>, tx: Sender<Resp>) {
+    while let Ok(cmd) = rx.recv() {
+        let resp = match cmd {
+            Cmd::Step { input, loss_grad, step } => Resp::Step(rk.step(&input, &loss_grad, step)),
+            Cmd::SetScaler(s) => {
+                rk.scaler = s;
+                Resp::Ack
+            }
+            Cmd::Snapshot => Resp::Snapshot(Box::new(rk.snapshot())),
+            Cmd::Restore(ck) => Resp::Restored(rk.restore(&ck)),
+            Cmd::Inspect(f) => {
+                f(&mut rk.block, &rk.states);
+                Resp::Ack
+            }
+            Cmd::Shutdown => {
+                let _ = tx.send(Resp::Ack);
+                return;
+            }
+        };
+        if tx.send(resp).is_err() {
+            return;
+        }
+    }
+}
+
+/// A hybrid `G_inter × G_data` SAMO group: every rank is an OS thread
+/// owning one pipeline-stage block of one data replica, boundary
+/// tensors move as tagged p2p messages, and gradients ride the
+/// compressed ring all-reduce within each data-parallel group. Peer of
+/// [`crate::ThreadedDataParallelSamo`] (which is the `G_inter = 1`
+/// special case) and bitwise-equivalent to [`crate::SamoTrainer`].
+pub struct ThreadedPipelineSamo {
+    cfg: PipelineConfig,
+    cmd: Vec<Sender<Cmd>>,
+    resp: Vec<Receiver<Resp>>,
+    handles: Vec<JoinHandle<()>>,
+    /// One fault controller per data replica's pipeline mesh.
+    pipe_faults: Vec<Arc<FaultController>>,
+    /// One fault controller per stage's data mesh.
+    data_faults: Vec<Arc<FaultController>>,
+    opt: Optimizer,
+    /// Mirror of the rank scalers (updated with the same verdicts).
+    scaler: LossScaler,
+    /// Parameters per stage, in stage order (checkpoint reassembly).
+    params_per_stage: Vec<usize>,
+    steps_taken: u64,
+    steps_skipped: u64,
+    step_seq: u32,
+    numel: usize,
+    nnz: usize,
+}
+
+impl ThreadedPipelineSamo {
+    /// Builds the group from `g_data` identically initialized model
+    /// replicas (consumed and partitioned into `g_inter` stage blocks
+    /// each) and one mask per parameter tensor, then spawns one thread
+    /// per `(stage, data_idx)` rank.
+    pub fn new(replicas: Vec<Sequential>, masks: Vec<Mask>, opt: Optimizer, cfg: PipelineConfig) -> ThreadedPipelineSamo {
+        assert_eq!(replicas.len(), cfg.g_data, "one model replica per data rank");
+        assert!(cfg.g_inter >= 1 && cfg.g_data >= 1);
+        assert!(cfg.microbatches >= 1, "need at least one microbatch");
+        assert!(cfg.max_in_flight >= 1, "max_in_flight must admit one microbatch");
+        let n_layers = replicas[0].len();
+        assert!(
+            n_layers >= cfg.g_inter,
+            "cannot split {n_layers} layers into {} stages",
+            cfg.g_inter
+        );
+        {
+            let first: Vec<Vec<f32>> = replicas[0]
+                .params()
+                .iter()
+                .map(|p| p.value.as_slice().to_vec())
+                .collect();
+            assert_eq!(first.len(), masks.len(), "one mask per parameter");
+            for (r, m) in replicas.iter().enumerate().skip(1) {
+                assert_eq!(m.len(), n_layers, "replica {r} layer count differs");
+                for (p, expect) in m.params().iter().zip(&first) {
+                    assert_eq!(
+                        p.value.as_slice(),
+                        &expect[..],
+                        "replica {r} differs at init ({})",
+                        p.name
+                    );
+                }
+            }
+        }
+
+        // Meshes: one pipeline ring per data replica, one data ring per
+        // stage. Each rank takes endpoint [stage] of its replica's pipe
+        // mesh and endpoint [data_idx] of its stage's data mesh.
+        let pipe_faults: Vec<Arc<FaultController>> =
+            (0..cfg.g_data).map(|_| Arc::new(FaultController::new())).collect();
+        let data_faults: Vec<Arc<FaultController>> =
+            (0..cfg.g_inter).map(|_| Arc::new(FaultController::new())).collect();
+        let mut pipe_meshes: Vec<Vec<Option<InProcTransport>>> = pipe_faults
+            .iter()
+            .map(|f| {
+                InProcTransport::mesh_with_faults(cfg.g_inter, Arc::clone(f))
+                    .into_iter()
+                    .map(Some)
+                    .collect()
+            })
+            .collect();
+        let mut data_meshes: Vec<Vec<Option<InProcTransport>>> = data_faults
+            .iter()
+            .map(|f| {
+                InProcTransport::mesh_with_faults(cfg.g_data, Arc::clone(f))
+                    .into_iter()
+                    .map(Some)
+                    .collect()
+            })
+            .collect();
+
+        let bounds = comms::segment_bounds(n_layers, cfg.g_inter);
+        let scaler = LossScaler::default();
+        let mut params_per_stage = vec![0usize; cfg.g_inter];
+        let mut numel = 0usize;
+        let mut nnz = 0usize;
+        let mut cmd = Vec::with_capacity(cfg.g_inter * cfg.g_data);
+        let mut resp = Vec::with_capacity(cfg.g_inter * cfg.g_data);
+        let mut handles = Vec::with_capacity(cfg.g_inter * cfg.g_data);
+        for (data_idx, replica) in replicas.into_iter().enumerate() {
+            let mut layers = replica.into_layers();
+            // Split back-to-front so earlier bounds stay valid.
+            let mut blocks: Vec<Sequential> = Vec::with_capacity(cfg.g_inter);
+            for &(lo, _hi) in bounds.iter().rev() {
+                blocks.push(Sequential::from_layers(layers.split_off(lo)));
+            }
+            blocks.reverse();
+            let mut param_off = 0usize;
+            for (stage, mut block) in blocks.into_iter().enumerate() {
+                let n_params = block.params().len();
+                if data_idx == 0 {
+                    params_per_stage[stage] = n_params;
+                }
+                let stage_masks = &masks[param_off..param_off + n_params];
+                let mut states = Vec::with_capacity(n_params);
+                for (p, mask) in block.params_mut().into_iter().zip(stage_masks) {
+                    assert_eq!(p.numel(), mask.numel(), "mask shape mismatch for {}", p.name);
+                    let st = ShardedSamoLayerState::from_params(
+                        p.value.as_slice(),
+                        mask.clone(),
+                        &opt,
+                        data_idx,
+                        cfg.g_data,
+                    );
+                    st.write_dense_f32_params_into(p.value.as_mut_slice());
+                    states.push(st);
+                }
+                if data_idx == 0 {
+                    numel += states.iter().map(|s| s.numel()).sum::<usize>();
+                    nnz += states.iter().map(|s| s.nnz()).sum::<usize>();
+                }
+                let pipe_t = pipe_meshes[data_idx][stage].take().expect("pipe endpoint");
+                let data_t = data_meshes[stage][data_idx].take().expect("data endpoint");
+                let rk = StageRank {
+                    stage,
+                    data_idx,
+                    g_inter: cfg.g_inter,
+                    param_off,
+                    block,
+                    states,
+                    opt: opt.clone(),
+                    scaler: scaler.clone(),
+                    pipe: Communicator::new(pipe_t).with_timeout(cfg.timeout),
+                    data: Communicator::new(data_t).with_timeout(cfg.timeout),
+                    microbatches: cfg.microbatches,
+                    mb_rows: cfg.mb_rows,
+                    max_in_flight: cfg.max_in_flight,
+                    timeout: cfg.timeout,
+                    force_recompute: cfg.force_recompute,
+                    poisoned: false,
+                    steps_taken: 0,
+                    steps_skipped: 0,
+                    stats: StageStats::default(),
+                    input_stash: Vec::new(),
+                    y_stash: Vec::new(),
+                    cache_mb: None,
+                };
+                param_off += n_params;
+                let (ctx, crx) = channel::<Cmd>();
+                let (rtx, rrx) = channel::<Resp>();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("samo-pp-s{stage}d{data_idx}"))
+                        .spawn(move || rank_loop(rk, crx, rtx))
+                        .expect("spawn stage thread"),
+                );
+                cmd.push(ctx);
+                resp.push(rrx);
+            }
+        }
+        ThreadedPipelineSamo {
+            cfg,
+            cmd,
+            resp,
+            handles,
+            pipe_faults,
+            data_faults,
+            opt,
+            scaler,
+            params_per_stage,
+            steps_taken: 0,
+            steps_skipped: 0,
+            step_seq: 0,
+            numel,
+            nnz,
+        }
+    }
+
+    /// Pipeline depth.
+    pub fn g_inter(&self) -> usize {
+        self.cfg.g_inter
+    }
+
+    /// Data-parallel width.
+    pub fn g_data(&self) -> usize {
+        self.cfg.g_data
+    }
+
+    /// Fault injection handles, one per data replica's pipeline mesh
+    /// (index = `data_idx`; ranks within it are stage indices).
+    pub fn pipe_faults(&self) -> &[Arc<FaultController>] {
+        &self.pipe_faults
+    }
+
+    /// Fault injection handles, one per stage's data mesh
+    /// (index = `stage`; ranks within it are data indices).
+    pub fn data_faults(&self) -> &[Arc<FaultController>] {
+        &self.data_faults
+    }
+
+    /// Current loss scale (the loss-gradient closure receives it).
+    pub fn loss_scale(&self) -> f32 {
+        self.scaler.scale()
+    }
+
+    /// Applied steps.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Steps skipped on gradient overflow (all ranks skip together).
+    pub fn steps_skipped(&self) -> u64 {
+        self.steps_skipped
+    }
+
+    /// Total parameters φ (per replica).
+    pub fn numel(&self) -> usize {
+        self.numel
+    }
+
+    /// Unpruned parameters fφ (per replica).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Replaces the loss scaler on every rank (and the mirror).
+    pub fn set_scaler(&mut self, scaler: LossScaler) {
+        self.scaler = scaler.clone();
+        for tx in &self.cmd {
+            tx.send(Cmd::SetScaler(scaler.clone())).expect("rank thread alive");
+        }
+        for rx in &self.resp {
+            let Ok(Resp::Ack) = rx.recv() else {
+                panic!("rank thread died during set_scaler");
+            };
+        }
+    }
+
+    /// Runs one pipelined training step. `input(data_idx, mb)` feeds
+    /// stage 0; `loss_grad(data_idx, mb, y, scale)` turns the last
+    /// stage's output into the scaled backward seed. Returns `Ok(true)`
+    /// if applied, `Ok(false)` if skipped on overflow, `Err` if any
+    /// rank failed (the group then needs [`Self::restore`]).
+    pub fn step(
+        &mut self,
+        input: impl Fn(usize, usize) -> Tensor + Send + Sync + 'static,
+        loss_grad: impl Fn(usize, usize, &Tensor, f32) -> Tensor + Send + Sync + 'static,
+    ) -> Result<bool, String> {
+        let input: InputFn = Arc::new(input);
+        let loss_grad: LossGradFn = Arc::new(loss_grad);
+        let step = self.step_seq;
+        self.step_seq = self.step_seq.wrapping_add(1);
+        for tx in &self.cmd {
+            tx.send(Cmd::Step {
+                input: Arc::clone(&input),
+                loss_grad: Arc::clone(&loss_grad),
+                step,
+            })
+            .map_err(|_| "a rank thread died".to_string())?;
+        }
+        let mut outcomes = Vec::with_capacity(self.cmd.len());
+        let mut errors = Vec::new();
+        for (i, rx) in self.resp.iter().enumerate() {
+            let (stage, data_idx) = (i % self.cfg.g_inter, i / self.cfg.g_inter);
+            match rx.recv() {
+                Ok(Resp::Step(Ok(o))) => outcomes.push(o),
+                Ok(Resp::Step(Err(e))) => errors.push(format!("stage {stage} (data {data_idx}): {e}")),
+                Ok(_) => errors.push(format!("stage {stage} (data {data_idx}): protocol confusion")),
+                Err(_) => errors.push(format!("stage {stage} (data {data_idx}): thread died")),
+            }
+        }
+        if !errors.is_empty() {
+            return Err(errors.join("; "));
+        }
+        let applied = outcomes[0].applied;
+        let finite = outcomes[0].finite;
+        debug_assert!(
+            outcomes.iter().all(|o| o.applied == applied && o.finite == finite),
+            "ranks must agree on the step verdict"
+        );
+        // Keep the mirror scaler in lockstep with the rank replicas.
+        let _ = self.scaler.check_and_update(finite);
+        if applied {
+            self.steps_taken += 1;
+        } else {
+            self.steps_skipped += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Serializes the group as one topology-independent v2 checkpoint:
+    /// shards are gathered across data ranks and stage slices
+    /// concatenated in model order, so the bytes equal what a
+    /// single-process [`crate::SamoTrainer`] in the same state saves.
+    pub fn save(&mut self) -> bytes::Bytes {
+        let snaps = self.snapshot_all();
+        let g_inter = self.cfg.g_inter;
+        let mut layers: Vec<crate::state::SamoLayerState> = Vec::new();
+        for (stage, &n_params) in self.params_per_stage.iter().enumerate() {
+            for li in 0..n_params {
+                let ranks: Vec<&ShardedSamoLayerState> = (0..self.cfg.g_data)
+                    .map(|d| &snaps[d * g_inter + stage].states[li])
+                    .collect();
+                layers.push(ShardedSamoLayerState::to_full_layer(&ranks, &self.opt));
+            }
+        }
+        let snap = self.scaler.snapshot();
+        let meta = crate::serialize::TrainerMeta {
+            loss_scale: snap.scale,
+            good_steps: snap.good_steps,
+            steps_taken: self.steps_taken,
+            steps_skipped: self.steps_skipped,
+        };
+        crate::serialize::save_checkpoint(&layers, &meta)
+    }
+
+    /// Restores a checkpoint on every rank and re-synchronizes the
+    /// group (fresh epochs on both meshes + barriers). The recovery
+    /// path after a failed step: heal the faulted links first.
+    pub fn restore(&mut self, checkpoint: &[u8]) -> Result<(), String> {
+        let ck = Arc::new(checkpoint.to_vec());
+        for tx in &self.cmd {
+            tx.send(Cmd::Restore(Arc::clone(&ck)))
+                .map_err(|_| "a rank thread died".to_string())?;
+        }
+        let mut errors = Vec::new();
+        for (i, rx) in self.resp.iter().enumerate() {
+            let (stage, data_idx) = (i % self.cfg.g_inter, i / self.cfg.g_inter);
+            match rx.recv() {
+                Ok(Resp::Restored(Ok(()))) => {}
+                Ok(Resp::Restored(Err(e))) => errors.push(format!("stage {stage} (data {data_idx}): {e}")),
+                Ok(_) => errors.push(format!("stage {stage} (data {data_idx}): protocol confusion")),
+                Err(_) => errors.push(format!("stage {stage} (data {data_idx}): thread died")),
+            }
+        }
+        if !errors.is_empty() {
+            return Err(errors.join("; "));
+        }
+        // Re-sync the mirror from the checkpoint's own metadata.
+        let (_, meta) = crate::serialize::load_checkpoint(checkpoint, &self.opt)?;
+        if let Some(meta) = meta {
+            self.scaler.restore_state(LossScalerState {
+                scale: meta.loss_scale,
+                good_steps: meta.good_steps,
+            });
+            self.steps_taken = meta.steps_taken;
+            self.steps_skipped = meta.steps_skipped;
+        }
+        Ok(())
+    }
+
+    /// Per-rank scheduler statistics in rank order
+    /// (`data_idx · g_inter + stage`).
+    pub fn stage_stats(&mut self) -> Vec<StageStats> {
+        self.snapshot_all().into_iter().map(|s| s.stats).collect()
+    }
+
+    /// Runs `f` on rank `(stage, data_idx)`'s thread with exclusive
+    /// access to its stage block and sharded states.
+    pub fn with_rank<R, F>(&mut self, stage: usize, data_idx: usize, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Sequential, &[ShardedSamoLayerState]) -> R + Send + 'static,
+    {
+        let i = data_idx * self.cfg.g_inter + stage;
+        let (tx, rx) = channel();
+        self.cmd[i]
+            .send(Cmd::Inspect(Box::new(move |block, states| {
+                let _ = tx.send(f(block, states));
+            })))
+            .expect("rank thread alive");
+        let out = rx.recv().expect("inspect reply");
+        let Ok(Resp::Ack) = self.resp[i].recv() else {
+            panic!("rank thread died during inspect");
+        };
+        out
+    }
+
+    fn snapshot_all(&mut self) -> Vec<SnapshotData> {
+        for tx in &self.cmd {
+            tx.send(Cmd::Snapshot).expect("rank thread alive");
+        }
+        self.resp
+            .iter()
+            .map(|rx| match rx.recv() {
+                Ok(Resp::Snapshot(s)) => *s,
+                _ => panic!("rank thread died during snapshot"),
+            })
+            .collect()
+    }
+}
+
+impl Drop for ThreadedPipelineSamo {
+    fn drop(&mut self) {
+        for tx in &self.cmd {
+            let _ = tx.send(Cmd::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

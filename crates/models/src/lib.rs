@@ -5,6 +5,7 @@
 //! experiment.
 
 pub mod gpt;
+pub mod pipeline_mlp;
 pub mod tiny;
 pub mod tiny_cnn;
 pub mod vision;
@@ -12,6 +13,9 @@ pub mod vision_exec;
 pub mod zoo;
 
 pub use gpt::{GptConfig, ALL_GPT, GPT3_13B, GPT3_2_7B, GPT3_6_7B, GPT3_XL};
+pub use pipeline_mlp::{
+    uniform_pipeline_masks, uniform_pipeline_mlp, uniform_pipeline_mlp_delayed, StageDelay,
+};
 pub use tiny::{TinyGpt, TinyGptConfig, TransformerBlock};
 pub use tiny_cnn::{ShapeDataset, TinyCnn, CNN_CLASSES};
 pub use vision::{vgg19, wideresnet101, VisionModel};

@@ -109,6 +109,19 @@ impl Sequential {
     pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer + Send>] {
         &mut self.layers
     }
+
+    /// Decomposes the container into its owned layers, in forward order.
+    /// The pipeline runtime uses this to partition one model into
+    /// contiguous stage blocks that move onto different stage threads.
+    pub fn into_layers(self) -> Vec<Box<dyn Layer + Send>> {
+        self.layers
+    }
+
+    /// Rebuilds a container from owned layers (inverse of
+    /// [`Self::into_layers`]); layer order is preserved.
+    pub fn from_layers(layers: Vec<Box<dyn Layer + Send>>) -> Sequential {
+        Sequential { layers }
+    }
 }
 
 impl Default for Sequential {

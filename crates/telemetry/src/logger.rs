@@ -75,6 +75,21 @@ macro_rules! log_info {
     };
 }
 
+/// Log a warning to stderr. Warnings ride the `info` threshold (a
+/// misconfiguration is at least as important as progress chatter) with
+/// a `warning:` prefix, so only `SAMO_LOG=quiet` silences them.
+#[macro_export]
+macro_rules! log_warn {
+    ($($arg:tt)*) => {
+        if $crate::logger::enabled_at($crate::logger::LogLevel::Info) {
+            $crate::logger::log_at(
+                $crate::logger::LogLevel::Info,
+                ::std::format_args!("warning: {}", ::std::format_args!($($arg)*)),
+            );
+        }
+    };
+}
+
 /// Log a line to stderr at `debug` level (shown only with `SAMO_LOG=debug`).
 #[macro_export]
 macro_rules! log_debug {

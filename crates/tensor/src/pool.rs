@@ -163,14 +163,23 @@ impl ThreadPool {
 }
 
 /// Worker count for the global pool: `SAMO_THREADS` if set (then the
-/// legacy `SAMO_NUM_THREADS`), else the number of available CPUs.
+/// legacy `SAMO_NUM_THREADS`), else the number of available CPUs. A set
+/// but unusable value (unparseable, or `0`) is rejected with a warning
+/// naming it — falling back to full parallelism must not be silent.
 pub fn configured_workers() -> usize {
-    std::env::var("SAMO_THREADS")
-        .ok()
-        .or_else(|| std::env::var("SAMO_NUM_THREADS").ok())
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+    let configured = ["SAMO_THREADS", "SAMO_NUM_THREADS"]
+        .iter()
+        .find_map(|key| std::env::var(key).ok().map(|raw| (key, raw)));
+    if let Some((key, raw)) = configured {
+        match raw.parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => telemetry::log_warn!(
+                "{key}={raw:?} is not a positive thread count; \
+                 falling back to all available CPUs"
+            ),
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
 /// Splits `0..len` into roughly equal contiguous ranges, one per worker
@@ -345,6 +354,43 @@ mod tests {
         });
         for (i, v) in data.iter().enumerate() {
             assert_eq!(*v, i as u32);
+        }
+    }
+
+    #[test]
+    fn configured_workers_rejects_bad_values_with_fallback() {
+        // Process-global env: save and restore both knobs around the probe.
+        let saved: Vec<Option<String>> = ["SAMO_THREADS", "SAMO_NUM_THREADS"]
+            .iter()
+            .map(|k| std::env::var(k).ok())
+            .collect();
+        let fallback = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        std::env::remove_var("SAMO_NUM_THREADS");
+        for (val, want) in [
+            ("3", 3),
+            ("1", 1),
+            // Unparseable and zero both fall back (with a warning).
+            ("three", fallback),
+            ("0", fallback),
+            ("-2", fallback),
+            ("", fallback),
+        ] {
+            std::env::set_var("SAMO_THREADS", val);
+            assert_eq!(configured_workers(), want, "SAMO_THREADS={val:?}");
+        }
+        // A bad primary value must not silently resurrect the legacy
+        // alias: first-set-wins precedence is part of the contract.
+        std::env::set_var("SAMO_THREADS", "junk");
+        std::env::set_var("SAMO_NUM_THREADS", "2");
+        assert_eq!(configured_workers(), fallback);
+        // Legacy alias alone still works.
+        std::env::remove_var("SAMO_THREADS");
+        assert_eq!(configured_workers(), 2);
+        for (k, v) in ["SAMO_THREADS", "SAMO_NUM_THREADS"].iter().zip(saved) {
+            match v {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
         }
     }
 

@@ -1,0 +1,272 @@
+//! Integration: the thread-per-stage pipeline runtime over the `comms`
+//! mesh is **bitwise interchangeable** with the single-process
+//! `SamoTrainer` — for any pipeline depth, for the hybrid
+//! `G_inter × G_data` decomposition, with activation recomputation
+//! forced on, and after a killed stage is healed and restored from a
+//! checkpoint.
+
+use nn::layer::{Layer, Sequential};
+use nn::linear::Linear;
+use nn::loss::mse;
+use nn::mixed::{LossScaler, Optimizer};
+use nn::optim::AdamConfig;
+use prune::Mask;
+use samo::pipeline::{PipelineConfig, ThreadedPipelineSamo};
+use samo::SamoTrainer;
+use std::time::{Duration, Instant};
+use tensor::Tensor;
+
+const IN: usize = 6;
+const H1: usize = 10;
+const H2: usize = 8;
+const OUT: usize = 4;
+/// Rows per microbatch.
+const ROWS: usize = 4;
+/// Microbatches per step.
+const MB: usize = 4;
+
+/// Seven layers → splittable into 2, 3, or 4 contiguous stages.
+fn model(seed: u64) -> Sequential {
+    Sequential::new()
+        .push(Linear::new(IN, H1, true, seed))
+        .push(nn::activations::Relu::new())
+        .push(Linear::new(H1, H2, false, seed + 1))
+        .push(nn::activations::Relu::new())
+        .push(Linear::new(H2, H2, true, seed + 2))
+        .push(nn::activations::Relu::new())
+        .push(Linear::new(H2, OUT, false, seed + 3))
+}
+
+fn masks() -> Vec<Mask> {
+    let m = model(1);
+    let ps = m.params();
+    vec![
+        prune::magnitude_prune(ps[0].value.as_slice(), ps[0].value.shape(), 0.6),
+        Mask::dense(ps[1].value.shape()), // bias dense
+        prune::magnitude_prune(ps[2].value.as_slice(), ps[2].value.shape(), 0.5),
+        prune::magnitude_prune(ps[3].value.as_slice(), ps[3].value.shape(), 0.4),
+        Mask::dense(ps[4].value.shape()), // bias dense
+        prune::magnitude_prune(ps[5].value.as_slice(), ps[5].value.shape(), 0.5),
+    ]
+}
+
+fn adam() -> Optimizer {
+    Optimizer::Adam(AdamConfig { lr: 0.02, ..Default::default() })
+}
+
+/// Microbatch data, identical across data replicas (the hybrid test
+/// relies on this: the ring mean of identical gradients is exact).
+fn batch(step: u64, mb: usize) -> (Tensor, Tensor) {
+    let x = Tensor::randn(&[ROWS, IN], 1.0, 30_000 + step * 64 + mb as u64);
+    let t = Tensor::randn(&[ROWS, OUT], 1.0, 40_000 + step * 64 + mb as u64);
+    (x, t)
+}
+
+/// One single-process oracle step: the same microbatches, sequentially
+/// accumulated on the full model, then the fused SAMO step.
+fn oracle_step(trainer: &mut SamoTrainer, model: &mut Sequential, step: u64) {
+    let scale = trainer.loss_scale();
+    for mb in 0..MB {
+        let (x, t) = batch(step, mb);
+        let y = model.forward(&x);
+        let (_, mut dy) = mse(&y, &t);
+        tensor::ops::scale(scale, dy.as_mut_slice());
+        model.backward(&dy);
+    }
+    trainer.step(model);
+}
+
+fn pipeline_step(pp: &mut ThreadedPipelineSamo, step: u64) -> Result<bool, String> {
+    pp.step(
+        move |_data_idx, mb| batch(step, mb).0,
+        move |_data_idx, mb, y, scale| {
+            let (_, mut dy) = mse(y, &batch(step, mb).1);
+            tensor::ops::scale(scale, dy.as_mut_slice());
+            dy
+        },
+    )
+}
+
+fn cfg(g_inter: usize, g_data: usize) -> PipelineConfig {
+    PipelineConfig {
+        g_inter,
+        g_data,
+        microbatches: MB,
+        mb_rows: ROWS,
+        max_in_flight: g_inter,
+        timeout: Duration::from_secs(5),
+        force_recompute: false,
+    }
+}
+
+/// The tentpole correctness bar: for every pipeline depth, checkpoint
+/// bytes equal the single-process trainer's step for step, regardless
+/// of stage-thread timing.
+#[test]
+fn pipeline_matches_single_process_bitwise_for_each_depth() {
+    for g_inter in [2usize, 3, 4] {
+        let mut oracle_model = model(11);
+        let mut oracle = SamoTrainer::new(&mut oracle_model, masks(), adam());
+        oracle.scaler = LossScaler::new(1024.0);
+        let mut pp = ThreadedPipelineSamo::new(vec![model(11)], masks(), adam(), cfg(g_inter, 1));
+        pp.set_scaler(LossScaler::new(1024.0));
+
+        for step in 0..6u64 {
+            oracle_step(&mut oracle, &mut oracle_model, step);
+            pipeline_step(&mut pp, step).expect("healthy mesh");
+            assert_eq!(
+                oracle.loss_scale(),
+                pp.loss_scale(),
+                "scale diverged at G_inter={g_inter} step {step}"
+            );
+            assert_eq!(
+                oracle.save().as_ref(),
+                pp.save().as_ref(),
+                "training state diverged at G_inter={g_inter} step {step}"
+            );
+        }
+        assert_eq!(oracle.steps_taken(), pp.steps_taken());
+        assert_eq!(oracle.steps_skipped(), pp.steps_skipped());
+
+        // The last stage never recomputes: under backward priority its
+        // backward immediately follows the matching forward.
+        let stats = pp.stage_stats();
+        assert_eq!(
+            stats[g_inter - 1].recomputes, 0,
+            "last stage must not recompute at G_inter={g_inter}"
+        );
+    }
+}
+
+/// The hybrid decomposition: 2 pipeline stages × 2 data replicas, with
+/// identical per-replica batches, still matches the single-process
+/// trainer bitwise (the exact-f64-sum ring mean of identical f16
+/// gradients is the identity).
+#[test]
+fn hybrid_two_by_two_matches_single_process_bitwise() {
+    let mut oracle_model = model(13);
+    let mut oracle = SamoTrainer::new(&mut oracle_model, masks(), adam());
+    oracle.scaler = LossScaler::new(1024.0);
+    let mut pp =
+        ThreadedPipelineSamo::new(vec![model(13), model(13)], masks(), adam(), cfg(2, 2));
+    pp.set_scaler(LossScaler::new(1024.0));
+
+    for step in 0..6u64 {
+        oracle_step(&mut oracle, &mut oracle_model, step);
+        pipeline_step(&mut pp, step).expect("healthy meshes");
+        assert_eq!(
+            oracle.save().as_ref(),
+            pp.save().as_ref(),
+            "hybrid state diverged at step {step}"
+        );
+    }
+
+    // Both replicas' stage blocks hold identical dense parameters.
+    for stage in 0..2 {
+        let a = pp.with_rank(stage, 0, |block, _| {
+            block.params().iter().map(|p| p.value.as_slice().to_vec()).collect::<Vec<_>>()
+        });
+        let b = pp.with_rank(stage, 1, |block, _| {
+            block.params().iter().map(|p| p.value.as_slice().to_vec()).collect::<Vec<_>>()
+        });
+        assert_eq!(a, b, "stage {stage} replicas diverged");
+    }
+}
+
+/// Forced activation recomputation (the uniform-work mode the bubble
+/// bench runs in) recomputes every microbatch on every stage and is
+/// still bitwise identical — recompute determinism.
+#[test]
+fn forced_recompute_is_bitwise_identical_and_counted() {
+    let mut oracle_model = model(17);
+    let mut oracle = SamoTrainer::new(&mut oracle_model, masks(), adam());
+    oracle.scaler = LossScaler::new(1024.0);
+    let mut c = cfg(2, 1);
+    c.force_recompute = true;
+    let mut pp = ThreadedPipelineSamo::new(vec![model(17)], masks(), adam(), c);
+    pp.set_scaler(LossScaler::new(1024.0));
+
+    let steps = 3u64;
+    for step in 0..steps {
+        oracle_step(&mut oracle, &mut oracle_model, step);
+        pipeline_step(&mut pp, step).expect("healthy mesh");
+        assert_eq!(
+            oracle.save().as_ref(),
+            pp.save().as_ref(),
+            "recompute mode diverged at step {step}"
+        );
+    }
+    for (i, st) in pp.stage_stats().iter().enumerate() {
+        assert_eq!(
+            st.recomputes,
+            steps * MB as u64,
+            "stage {i} must recompute every microbatch"
+        );
+    }
+}
+
+/// Kill-a-stage fault drill: a dead interior stage surfaces as a
+/// bounded timeout `Err` (never a hang), the group then refuses steps
+/// until healed + restored, and the replayed run matches a
+/// never-failed single-process trainer bitwise.
+#[test]
+fn killed_stage_times_out_and_restore_resyncs_bitwise() {
+    let g_inter = 3;
+    let fail_at = 3u64;
+    let total = 6u64;
+
+    let mut oracle_model = model(19);
+    let mut oracle = SamoTrainer::new(&mut oracle_model, masks(), adam());
+    oracle.scaler = LossScaler::new(1024.0);
+    let mut c = cfg(g_inter, 1);
+    c.timeout = Duration::from_millis(300);
+    let mut pp = ThreadedPipelineSamo::new(vec![model(19)], masks(), adam(), c);
+    pp.set_scaler(LossScaler::new(1024.0));
+
+    for step in 0..fail_at {
+        oracle_step(&mut oracle, &mut oracle_model, step);
+        pipeline_step(&mut pp, step).expect("healthy mesh");
+    }
+    let checkpoint = pp.save();
+    assert_eq!(checkpoint.as_ref(), oracle.save().as_ref(), "pre-failure state diverged");
+
+    // The interior stage dies: every pipeline link in and out goes dark.
+    pp.pipe_faults()[0].kill_rank(1, g_inter);
+    let t0 = Instant::now();
+    let err = pipeline_step(&mut pp, fail_at).expect_err("dead stage must fail the step");
+    assert!(err.contains("timed out"), "failure should surface as a timeout: {err}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "timeout must be bounded, took {:?}",
+        t0.elapsed()
+    );
+
+    // Poisoned until recovery: further steps refuse to run.
+    let err2 = pipeline_step(&mut pp, fail_at).expect_err("group must stay poisoned");
+    assert!(err2.contains("poisoned"), "got: {err2}");
+
+    // Heal the stage, restore the checkpoint, replay the failed step.
+    pp.pipe_faults()[0].heal_rank(1, g_inter);
+    pp.restore(&checkpoint).expect("restore after heal");
+    for step in fail_at..total {
+        oracle_step(&mut oracle, &mut oracle_model, step);
+        pipeline_step(&mut pp, step).expect("healed mesh");
+    }
+    assert_eq!(
+        pp.save().as_ref(),
+        oracle.save().as_ref(),
+        "restored pipeline must match the never-failed single-process trainer bitwise"
+    );
+}
+
+/// A depth-1 "pipeline" degenerates to plain data-parallel semantics
+/// and must not deadlock on self-communication.
+#[test]
+fn depth_of_one_still_steps() {
+    let mut pp = ThreadedPipelineSamo::new(vec![model(3)], masks(), adam(), cfg(1, 1));
+    pp.set_scaler(LossScaler::new(256.0));
+    for step in 0..3 {
+        assert_eq!(pipeline_step(&mut pp, step), Ok(true));
+    }
+    assert_eq!(pp.steps_taken(), 3);
+}
