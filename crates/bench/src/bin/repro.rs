@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--quick] [--trace <path>]
+//! repro trace-analyze <trace.json> [--gate]
 //!   experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all
 //!   extras:      bench   (hot-path microbenchmarks; NOT part of `all`,
 //!                         writes BENCH_hotpaths.json at the repo root)
@@ -11,6 +12,11 @@
 //!                pipeline (threaded inter-layer pipeline bubble bench,
 //!                         measured vs Eq. 7; merges a `pipeline` section
 //!                         into BENCH_hotpaths.json; NOT part of `all`)
+//!                trace-analyze (offline critical-path / decomposition /
+//!                         flow-census analysis of a `--trace` file;
+//!                         merges an `analysis` section into
+//!                         BENCH_hotpaths.json; `--gate` turns trace
+//!                         health violations into a nonzero exit)
 //! ```
 //!
 //! Each experiment prints the regenerated rows/series and writes a CSV
@@ -56,8 +62,13 @@ const ALL_FRAMEWORKS: [Framework; 4] = [
 
 fn main() {
     telemetry::init_from_env();
+    // One trace session per invocation: all lanes (spans, comms,
+    // pipeline) stamp from the shared clock, rebased to zero here so
+    // the trace starts at t=0 regardless of process warmup.
+    telemetry::clock::reset();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--gate");
     let trace_pos = args.iter().position(|a| a == "--trace");
     let trace_path = match trace_pos {
         Some(i) => match args.get(i + 1) {
@@ -72,12 +83,21 @@ fn main() {
     if trace_path.is_some() {
         telemetry::set_enabled(true);
     }
-    let what = args
+    let positionals: Vec<String> = args
         .iter()
         .enumerate()
-        .find(|(i, a)| !a.starts_with("--") && trace_pos != Some(i.wrapping_sub(1)))
+        .filter(|(i, a)| !a.starts_with("--") && trace_pos != Some(i.wrapping_sub(1)))
         .map(|(_, a)| a.clone())
+        .collect();
+    let what = positionals
+        .first()
+        .cloned()
         .unwrap_or_else(|| "all".to_string());
+
+    // Panic safety net: rank threads record trace events into buffers
+    // that survive thread death, so even a panicking experiment leaves
+    // a usable trace and flushed metrics behind.
+    let mut flush_guard = FlushGuard { trace_path: trace_path.clone(), armed: true };
 
     let mut ran = false;
     let mut failed: Option<String> = None;
@@ -144,23 +164,58 @@ fn main() {
             drop(sp);
             ran = true;
         }
+        if what == "trace-analyze" && failed.is_none() {
+            let Some(input) = positionals.get(1) else {
+                eprintln!("trace-analyze requires a trace file path");
+                std::process::exit(2);
+            };
+            if let Err(e) = bench::trace_analyze::run(input, gate) {
+                failed = Some(format!("trace-analyze: {e}"));
+            }
+            ran = true;
+        }
     }
     if !ran {
         eprintln!(
-            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench comms pipeline"
+            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench comms pipeline trace-analyze"
         );
         std::process::exit(2);
     }
 
+    // Flush and write the trace before deciding the exit code: a trace
+    // of the failing step is exactly what the failure gets debugged
+    // with, so an experiment error must not discard it.
+    flush_guard.armed = false;
     telemetry::jsonl::flush();
+    let trace_err = trace_path.and_then(|path| write_trace(&path).err());
     if let Some(msg) = failed {
         eprintln!("repro: experiment failed: {msg}");
         std::process::exit(1);
     }
-    if let Some(path) = trace_path {
-        if let Err(e) = write_trace(&path) {
-            eprintln!("repro: {e}");
-            std::process::exit(1);
+    if let Some(e) = trace_err {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Flushes telemetry on unwind ([`std::process::exit`] paths flush
+/// explicitly — destructors do not run there). Disarmed once the normal
+/// end-of-run flush has happened.
+struct FlushGuard {
+    trace_path: Option<String>,
+    armed: bool,
+}
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        telemetry::jsonl::flush();
+        if let Some(p) = &self.trace_path {
+            if let Err(e) = write_trace(p) {
+                eprintln!("repro: {e}");
+            }
         }
     }
 }
@@ -170,7 +225,9 @@ fn main() {
 /// run on pid 1, ring hops from the threaded comms runtime on pid 2,
 /// and per-stage F/B slices from the threaded pipeline runtime on
 /// pid 3 (`repro pipeline --trace` makes the real 1F1B schedule and
-/// its bubble directly visible in Perfetto).
+/// its bubble directly visible in Perfetto), plus paired `ph:"s"/"f"`
+/// flow arrows for every send→recv on the live meshes — the causal
+/// edges `repro trace-analyze` walks for the cross-rank critical path.
 fn write_trace(path: &str) -> Result<(), String> {
     let spec = axonn_sim::PipelineSpec {
         stages: 3,
@@ -186,9 +243,14 @@ fn write_trace(path: &str) -> Result<(), String> {
     events.extend(telemetry::trace::span_trace_events(&telemetry::take_spans()));
     events.extend(comms::trace::take_events());
     events.extend(samo::pipeline::trace::take_events());
-    telemetry::trace::write_chrome_trace(std::path::Path::new(path), &events)
+    let flows = comms::trace::take_flows();
+    telemetry::trace::write_chrome_trace_with_flows(std::path::Path::new(path), &events, &flows)
         .map_err(|e| format!("write chrome trace {path}: {e}"))?;
-    telemetry::log_info!("repro: wrote Chrome trace ({} events) to {path}", events.len());
+    telemetry::log_info!(
+        "repro: wrote Chrome trace ({} events, {} flow arrows) to {path}",
+        events.len(),
+        flows.len()
+    );
     Ok(())
 }
 

@@ -73,10 +73,16 @@ pub struct Communicator<T: Transport> {
     rings: Vec<RingState>,
     completed: Vec<(u64, Vec<F16>)>,
     model_allreduce_bytes: u64,
+    /// Trace `tid` this rank's comms slices/flows land on. Defaults to
+    /// the transport rank; runtimes that own several meshes per OS
+    /// thread (the pipeline's pipe + data communicators) override it so
+    /// one thread's traffic shares one Perfetto lane.
+    trace_lane: u64,
 }
 
 impl<T: Transport> Communicator<T> {
     pub fn new(t: T) -> Communicator<T> {
+        let trace_lane = t.rank() as u64;
         Communicator {
             t,
             epoch: 0,
@@ -87,6 +93,7 @@ impl<T: Transport> Communicator<T> {
             rings: Vec::new(),
             completed: Vec::new(),
             model_allreduce_bytes: 0,
+            trace_lane,
         }
     }
 
@@ -94,6 +101,23 @@ impl<T: Transport> Communicator<T> {
     pub fn with_timeout(mut self, timeout: Duration) -> Communicator<T> {
         self.timeout = timeout;
         self
+    }
+
+    /// Sets the Perfetto lane (`tid` on pid 2) this communicator's
+    /// trace events render on (builder style). See `trace_lane`.
+    pub fn with_trace_lane(mut self, lane: u64) -> Communicator<T> {
+        self.trace_lane = lane;
+        self
+    }
+
+    /// The trace lane this communicator records on.
+    pub fn trace_lane(&self) -> u64 {
+        self.trace_lane
+    }
+
+    /// The per-collective deadline duration.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
     }
 
     pub fn rank(&self) -> usize {
@@ -151,6 +175,63 @@ impl<T: Transport> Communicator<T> {
         Tag { epoch: self.epoch, kind, id, step }
     }
 
+    /// Deterministic flow-event id for one message: FNV-1a over
+    /// `(mesh, tag, sender)`. Both endpoints compute the same id with
+    /// no negotiation; the mesh id keeps identical tags on different
+    /// meshes (pipeline pipe vs. data groups) from colliding in a
+    /// merged trace.
+    fn flow_id(&self, tag: &Tag, from: usize) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in [
+            self.t.mesh_id(),
+            u64::from(tag.epoch),
+            tag.kind as u64,
+            tag.id,
+            u64::from(tag.step),
+            from as u64,
+        ] {
+            for b in w.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Sends with tracing: a `send` slice on this rank's lane encloses
+    /// a flow-start arrow keyed by the message tag, which the matching
+    /// consumption site closes with a flow-finish.
+    fn send_traced(&mut self, to: usize, msg: Message) -> Result<(), CommsError> {
+        if !telemetry::enabled() {
+            return self.t.send(to, msg);
+        }
+        let fid = self.flow_id(&msg.tag, self.rank());
+        let name = flow_name(&msg.tag);
+        let t0 = crate::trace::now_us();
+        let res = self.t.send(to, msg);
+        let t1 = crate::trace::now_us();
+        crate::trace::record_hop(
+            self.trace_lane,
+            format!("send {name}"),
+            t0,
+            t1 - t0,
+            vec![("to".to_string(), Json::from(to))],
+        );
+        crate::trace::record_flow(self.trace_lane, name, t0, fid, true);
+        res
+    }
+
+    /// Records the flow-finish for a message consumed at `ts_us`.
+    fn flow_consumed(&self, tag: &Tag, from: usize, ts_us: f64) {
+        crate::trace::record_flow(
+            self.trace_lane,
+            flow_name(tag),
+            ts_us,
+            self.flow_id(tag, from),
+            false,
+        );
+    }
+
     /// After any collective error the communicator refuses further work
     /// ([`CommsError::Poisoned`]) until this runs: stale in-flight
     /// traffic is filtered out by the epoch bump (messages from the new
@@ -180,25 +261,57 @@ impl<T: Transport> Communicator<T> {
 
     /// Receives from `from` until the wanted tag shows up, stashing
     /// everything else and discarding stale-epoch traffic.
+    ///
+    /// With telemetry enabled the blocking window is recorded as a
+    /// `wait` slice (timeouts included — a killed peer's stall is
+    /// visible in the trace) and the matched message closes its causal
+    /// flow arrow.
     fn recv_match(
         &mut self,
         from: usize,
         want: Tag,
         deadline: Instant,
     ) -> Result<Message, CommsError> {
+        let tel = telemetry::enabled();
         if let Some(m) = self.stash.remove(&(from, want)) {
+            if tel {
+                self.flow_consumed(&want, from, crate::trace::now_us());
+            }
             return Ok(m);
         }
-        loop {
-            let msg = self.t.recv_from(from, deadline)?;
-            if msg.tag.epoch < self.epoch {
-                continue;
+        let t0 = tel.then(crate::trace::now_us);
+        let res = loop {
+            match self.t.recv_from(from, deadline) {
+                Err(e) => break Err(e),
+                Ok(msg) => {
+                    if msg.tag.epoch < self.epoch {
+                        continue;
+                    }
+                    if msg.tag == want {
+                        break Ok(msg);
+                    }
+                    self.stash.insert((from, msg.tag), msg);
+                }
             }
-            if msg.tag == want {
-                return Ok(msg);
+        };
+        if let Some(t0) = t0 {
+            let t1 = crate::trace::now_us();
+            let mut args = vec![("from".to_string(), Json::from(from))];
+            if res.is_err() {
+                args.push(("timed_out".to_string(), Json::Bool(true)));
             }
-            self.stash.insert((from, msg.tag), msg);
+            crate::trace::record_wait(
+                self.trace_lane,
+                format!("recv {}", flow_name(&want)),
+                t0,
+                t1 - t0,
+                args,
+            );
+            if res.is_ok() {
+                self.flow_consumed(&want, from, t1);
+            }
         }
+        res
     }
 
     // --- Barrier ------------------------------------------------------
@@ -228,7 +341,7 @@ impl<T: Transport> Communicator<T> {
             let to = (r + k) % g;
             let from = (r + g - k) % g;
             let tag = self.tag(Kind::Barrier, id, round);
-            self.t.send(to, Message { tag, payload: Payload::Bytes(Vec::new()) })?;
+            self.send_traced(to, Message { tag, payload: Payload::Bytes(Vec::new()) })?;
             self.recv_match(from, tag, deadline)?;
             k *= 2;
             round += 1;
@@ -306,7 +419,8 @@ impl<T: Transport> Communicator<T> {
             msg.payload
         };
         if pos < g - 1 {
-            self.t.send(self.next(), Message { tag, payload })?;
+            let next = self.next();
+            self.send_traced(next, Message { tag, payload })?;
         }
         drop(sp);
         Ok(())
@@ -367,7 +481,8 @@ impl<T: Transport> Communicator<T> {
             let send_seg = (r + g - s) % g;
             let tag = self.tag(Kind::AllGather, id, s as u32);
             let chunk = out[offsets[send_seg]..offsets[send_seg + 1]].to_vec();
-            self.t.send(self.next(), Message { tag, payload: Payload::F16(chunk) })?;
+            let next = self.next();
+            self.send_traced(next, Message { tag, payload: Payload::F16(chunk) })?;
             let recv_seg = (r + g - s - 1) % g;
             let msg = self.recv_match(self.prev(), tag, deadline)?;
             let Payload::F16(vals) = msg.payload else {
@@ -406,7 +521,7 @@ impl<T: Transport> Communicator<T> {
     ) -> Result<(), CommsError> {
         self.ready()?;
         let tag = self.tag(Kind::P2p, id, step);
-        let res = self.t.send(to, Message { tag, payload: Payload::F32(data) });
+        let res = self.send_traced(to, Message { tag, payload: Payload::F32(data) });
         self.poisoned |= res.is_err();
         res
     }
@@ -461,10 +576,14 @@ impl<T: Transport> Communicator<T> {
         step: u32,
     ) -> Result<Option<Vec<f32>>, CommsError> {
         let want = self.tag(Kind::P2p, id, step);
+        let tel = telemetry::enabled();
         if let Some(msg) = self.stash.remove(&(from, want)) {
             let Payload::F32(v) = msg.payload else {
                 return Err(CommsError::Mismatch("p2p expects f32 payloads".into()));
             };
+            if tel {
+                self.flow_consumed(&want, from, crate::trace::now_us());
+            }
             return Ok(Some(v));
         }
         loop {
@@ -478,10 +597,58 @@ impl<T: Transport> Communicator<T> {
                         let Payload::F32(v) = msg.payload else {
                             return Err(CommsError::Mismatch("p2p expects f32 payloads".into()));
                         };
+                        if tel {
+                            self.flow_consumed(&want, from, crate::trace::now_us());
+                        }
                         return Ok(Some(v));
                     }
                     self.stash.insert((from, msg.tag), msg);
                 }
+            }
+        }
+    }
+
+    // --- Telemetry (best-effort metrics snapshots) --------------------
+
+    /// Ships a metrics snapshot to rank `to`, tagged `(id, step)` like
+    /// p2p traffic (caller-supplied, no collective counter consumed).
+    ///
+    /// Best-effort: a send failure is logged and swallowed and the
+    /// communicator is **not** poisoned — telemetry must never take
+    /// down training.
+    pub fn send_telemetry(&mut self, to: usize, id: u64, step: u32, bytes: Vec<u8>) {
+        let tag = self.tag(Kind::Telemetry, id, step);
+        if let Err(e) = self.send_traced(to, Message { tag, payload: Payload::Bytes(bytes) }) {
+            telemetry::log_warn!("telemetry snapshot send to rank {to} failed: {e}");
+        }
+    }
+
+    /// Blocks up to `wait` for the snapshot tagged `(id, step)` from
+    /// `from`. Best-effort: a missing or malformed snapshot returns
+    /// `None` (with a warning) instead of poisoning, and stashed
+    /// telemetry from steps already passed is discarded so a straggling
+    /// sender can't grow the stash without bound.
+    pub fn recv_telemetry(
+        &mut self,
+        from: usize,
+        id: u64,
+        step: u32,
+        wait: Duration,
+    ) -> Option<Vec<u8>> {
+        let want = self.tag(Kind::Telemetry, id, step);
+        let deadline = Instant::now() + wait;
+        let res = self.recv_match(from, want, deadline);
+        self.stash
+            .retain(|(_, tag), _| tag.kind != Kind::Telemetry || tag.step >= step);
+        match res {
+            Ok(Message { payload: Payload::Bytes(b), .. }) => Some(b),
+            Ok(_) => {
+                telemetry::log_warn!("telemetry snapshot from rank {from} had a non-bytes payload");
+                None
+            }
+            Err(e) => {
+                telemetry::log_warn!("telemetry snapshot from rank {from} missed: {e}");
+                None
             }
         }
     }
@@ -517,7 +684,8 @@ impl<T: Transport> Communicator<T> {
         let (lo, hi) = segs[r];
         let partial: Vec<f64> = data[lo..hi].iter().map(|v| f64::from(v.to_f32())).collect();
         let tag = self.tag(Kind::AllReduce, id, 0);
-        self.t.send(self.next(), Message { tag, payload: Payload::F64(partial) })?;
+        let next = self.next();
+        self.send_traced(next, Message { tag, payload: Payload::F64(partial) })?;
         self.rings.push(RingState { id, data, segs, hops_done: 0 });
         // A fast neighbour may already have sent hops for this id.
         self.ring_drain_stash()?;
@@ -559,8 +727,23 @@ impl<T: Transport> Communicator<T> {
         let prev = self.prev();
         self.ring_drain_stash()?;
         while !self.rings.is_empty() {
-            let msg = self.t.recv_from(prev, deadline)?;
-            self.handle_from_prev(msg)?;
+            let t0 = telemetry::enabled().then(crate::trace::now_us);
+            let res = self.t.recv_from(prev, deadline);
+            if let Some(t0) = t0 {
+                let t1 = crate::trace::now_us();
+                let mut args = vec![("from".to_string(), Json::from(prev))];
+                if res.is_err() {
+                    args.push(("timed_out".to_string(), Json::Bool(true)));
+                }
+                crate::trace::record_wait(
+                    self.trace_lane,
+                    "ring stall".to_string(),
+                    t0,
+                    t1 - t0,
+                    args,
+                );
+            }
+            self.handle_from_prev(res?)?;
         }
         Ok(())
     }
@@ -642,6 +825,7 @@ impl<T: Transport> Communicator<T> {
         let r = self.rank();
         let tel = telemetry::enabled();
         let t0 = tel.then(crate::trace::now_us);
+        let in_tag = msg.tag;
         let step = msg.tag.step as usize;
         let id = msg.tag.id;
 
@@ -721,11 +905,11 @@ impl<T: Transport> Communicator<T> {
         match outgoing {
             Outgoing::F64(s, v) => {
                 let tag = self.tag(Kind::AllReduce, id, s);
-                self.t.send(next, Message { tag, payload: Payload::F64(v) })?;
+                self.send_traced(next, Message { tag, payload: Payload::F64(v) })?;
             }
             Outgoing::F16(s, v) => {
                 let tag = self.tag(Kind::AllReduce, id, s);
-                self.t.send(next, Message { tag, payload: Payload::F16(v) })?;
+                self.send_traced(next, Message { tag, payload: Payload::F16(v) })?;
             }
             Outgoing::None => {}
         }
@@ -738,15 +922,32 @@ impl<T: Transport> Communicator<T> {
         }
         if let Some(t0) = t0 {
             crate::trace::record_hop(
-                r,
+                self.trace_lane,
                 format!("ring{id} {phase} seg{seg}"),
                 t0,
                 crate::trace::now_us() - t0,
                 vec![("step".to_string(), Json::from(step))],
             );
+            // Close the incoming hop's causal arrow inside the hop
+            // slice (the forward send above opened the next one).
+            self.flow_consumed(&in_tag, self.prev(), t0);
         }
         Ok(())
     }
+}
+
+/// Human-readable flow/slice label for a message tag. Flow pairs match
+/// on `cat` + `id`; the name is what Perfetto shows on the arrow.
+fn flow_name(tag: &Tag) -> String {
+    let kind = match tag.kind {
+        Kind::AllReduce => "ar",
+        Kind::AllGather => "ag",
+        Kind::Broadcast => "bc",
+        Kind::Barrier => "bar",
+        Kind::P2p => "p2p",
+        Kind::Telemetry => "tel",
+    };
+    format!("{kind} {}:{}", tag.id, tag.step)
 }
 
 #[cfg(test)]
@@ -928,8 +1129,11 @@ mod tests {
                 // Whatever failed must now refuse further collectives.
                 assert_eq!(comm.barrier(), Err(CommsError::Poisoned));
             }
-            // Heal + recover: every rank bumps its epoch together.
-            if rank == 0 {
+            // Heal + recover: every rank bumps its epoch together. The
+            // healer must be rank 1 — the only sender on the cut link —
+            // so the heal happens-before any epoch-1 traffic could be
+            // dropped (rank 0 healing raced with rank 1's retry).
+            if rank == 1 {
                 faults2.heal_link(1, 2);
             }
             comm.bump_epoch();
@@ -1048,6 +1252,92 @@ mod tests {
         });
         assert_eq!(got[1].0, None, "nothing sent yet: try_recv must not block or invent data");
         assert_eq!(got[1].1, Some(vec![0.5]));
+    }
+
+    #[test]
+    fn telemetry_snapshots_are_best_effort_and_never_poison() {
+        let faults = Arc::new(FaultController::new());
+        faults.cut_link(2, 0);
+        let got = run_ranks(3, faults, Duration::from_millis(100), |comm, rank| {
+            if rank == 0 {
+                let ok = comm.recv_telemetry(1, 1, 5, Duration::from_millis(500));
+                // Rank 2's link is cut: the snapshot is simply missing.
+                let missing = comm.recv_telemetry(2, 2, 5, Duration::from_millis(50));
+                // A lost snapshot must not poison the communicator for
+                // later real collectives (barrier still pending below
+                // would deadlock with rank 0 poisoned).
+                (ok, missing)
+            } else {
+                comm.send_telemetry(0, rank as u64, 5, vec![rank as u8; 3]);
+                (None, None)
+            }
+        });
+        assert_eq!(got[0].0, Some(vec![1, 1, 1]));
+        assert_eq!(got[0].1, None);
+    }
+
+    #[test]
+    fn stale_telemetry_is_evicted_from_the_stash() {
+        let got = run_ranks(2, Arc::default(), DEFAULT_TIMEOUT, |comm, rank| {
+            if rank == 0 {
+                // Old snapshots for steps 0 and 1 arrive before rank 0
+                // asks for step 2; asking must evict them.
+                let missing = comm.recv_telemetry(1, 1, 2, Duration::from_millis(200));
+                let stash_len = comm.stash.len();
+                (missing, stash_len)
+            } else {
+                comm.send_telemetry(0, 1, 0, vec![0]);
+                comm.send_telemetry(0, 1, 1, vec![1]);
+                (None, 0)
+            }
+        });
+        assert_eq!(got[0].0, None);
+        assert_eq!(got[0].1, 0, "stale telemetry must not linger in the stash");
+    }
+
+    #[test]
+    fn traced_run_pairs_every_flow_and_records_waits() {
+        let _guard = telemetry::registry::test_lock();
+        let was = telemetry::enabled();
+        telemetry::set_enabled(true);
+        crate::trace::take_events();
+        crate::trace::take_flows();
+
+        run_ranks(3, Arc::default(), DEFAULT_TIMEOUT, |comm, rank| {
+            let mut buf = vals(rank as u64, 64);
+            comm.allreduce_mean_f16(&mut buf).unwrap();
+            comm.barrier().unwrap();
+            if rank == 0 {
+                comm.send_p2p(1, 4, 0, vec![1.0]).unwrap();
+            } else if rank == 1 {
+                comm.recv_p2p(0, 4, 0).unwrap();
+            }
+        });
+        telemetry::set_enabled(was);
+
+        let events = crate::trace::take_events();
+        let flows = crate::trace::take_flows();
+        assert!(events.iter().any(|e| e.cat == "comms"), "hop/send slices recorded");
+        assert!(events.iter().any(|e| e.cat == "wait"), "wait slices recorded");
+
+        // Matched pairs must exist in volume (the strict every-flow
+        // pairing invariant is asserted by the `trace_golden`
+        // integration test, which owns its whole process — here other
+        // tests may run concurrently while telemetry is enabled).
+        let mut by_id: std::collections::HashMap<u64, (usize, usize)> =
+            std::collections::HashMap::new();
+        for f in &flows {
+            let e = by_id.entry(f.id).or_insert((0, 0));
+            if f.start {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+        let matched = by_id.values().filter(|&&(s, f)| s == 1 && f == 1).count();
+        // Our run alone: 3 ranks × 4 ring hops + 2 barrier rounds × 3
+        // ranks + 1 p2p ≥ 19 matched sends.
+        assert!(matched >= 19, "expected ≥19 matched flow pairs, got {matched}");
     }
 
     #[test]

@@ -63,6 +63,12 @@ pub enum Kind {
     /// instead of consuming the shared monotonic collective counter,
     /// so stages exchanging different message counts stay aligned.
     P2p,
+    /// Best-effort metrics snapshots shipped to rank 0 for mesh-wide
+    /// aggregation. Like [`Kind::P2p`] the tags are caller-supplied;
+    /// unlike everything else a lost or late snapshot must never fail
+    /// a collective, so telemetry traffic is sent and received through
+    /// the non-poisoning best-effort paths only.
+    Telemetry,
 }
 
 /// Self-describing routing header. `(epoch, kind, id, step)` is unique
@@ -103,6 +109,12 @@ pub trait Transport: Send {
     fn rank(&self) -> usize;
     fn world(&self) -> usize;
 
+    /// Process-unique id of the mesh this endpoint belongs to. Folded
+    /// into trace flow-event ids so identical tags on different meshes
+    /// (e.g. the pipeline's per-replica p2p meshes and per-stage data
+    /// meshes) never collide in a merged trace.
+    fn mesh_id(&self) -> u64;
+
     /// Queues a message to `to`. Never blocks; a cut link "succeeds"
     /// (the loss only surfaces as the receiver's timeout).
     fn send(&mut self, to: usize, msg: Message) -> Result<(), CommsError>;
@@ -128,6 +140,7 @@ pub trait Transport: Send {
 pub struct InProcTransport {
     rank: usize,
     world: usize,
+    mesh_id: u64,
     /// `out[to]` — `None` at `to == rank`.
     out: Vec<Option<Sender<Envelope>>>,
     /// `inbox[from]` — `None` at `from == rank`.
@@ -153,6 +166,8 @@ impl InProcTransport {
         faults: Arc<FaultController>,
     ) -> Vec<InProcTransport> {
         assert!(world >= 1, "a mesh needs at least one rank");
+        static NEXT_MESH_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let mesh_id = NEXT_MESH_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         // txs[from][to] / rxs[to][from]
         let mut txs: Vec<Vec<Option<Sender<Envelope>>>> = (0..world)
             .map(|_| (0..world).map(|_| None).collect())
@@ -175,6 +190,7 @@ impl InProcTransport {
             .map(|(rank, (out, inbox))| InProcTransport {
                 rank,
                 world,
+                mesh_id,
                 out,
                 inbox,
                 held: (0..world).map(|_| None).collect(),
@@ -203,6 +219,10 @@ impl Transport for InProcTransport {
 
     fn world(&self) -> usize {
         self.world
+    }
+
+    fn mesh_id(&self) -> u64 {
+        self.mesh_id
     }
 
     fn send(&mut self, to: usize, msg: Message) -> Result<(), CommsError> {

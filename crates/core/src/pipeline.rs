@@ -98,16 +98,24 @@ pub type LossGradFn = Arc<dyn Fn(usize, usize, &Tensor, f32) -> Tensor + Send + 
 /// up in one combined trace. Recording is gated on
 /// [`telemetry::enabled`].
 pub mod trace {
-    use std::sync::Mutex;
     use telemetry::json::Json;
+    use telemetry::sink::Handle;
     use telemetry::trace::TraceEvent;
+    use telemetry::ThreadLocalSink;
 
     /// The pid lane for live pipeline-stage events in combined traces.
     pub const PIPELINE_TRACE_PID: u64 = 3;
 
-    static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+    static EVENTS: ThreadLocalSink<TraceEvent> = ThreadLocalSink::new();
 
-    /// Records one stage compute slice on the rank's lane.
+    thread_local! {
+        static LOCAL_EVENTS: Handle<TraceEvent> = EVENTS.handle();
+    }
+
+    /// Records one stage compute slice on the rank's lane. Each rank
+    /// thread buffers into its own [`ThreadLocalSink`] buffer, so the
+    /// hot path never contends on a global lock; buffers survive thread
+    /// death, so a killed rank's slices still reach [`take_events`].
     pub fn record_slice(
         lane: u64,
         name: String,
@@ -115,20 +123,41 @@ pub mod trace {
         dur_us: f64,
         args: Vec<(String, Json)>,
     ) {
-        EVENTS.lock().unwrap().push(TraceEvent {
-            name,
-            cat: "pipeline".into(),
-            pid: PIPELINE_TRACE_PID,
-            tid: lane,
-            ts_us,
-            dur_us,
-            args,
+        LOCAL_EVENTS.with(|buf| {
+            buf.lock().push(TraceEvent {
+                name,
+                cat: "pipeline".into(),
+                pid: PIPELINE_TRACE_PID,
+                tid: lane,
+                ts_us,
+                dur_us,
+                args,
+            })
         });
     }
 
-    /// Drains every recorded stage event (for trace-file assembly).
+    /// Records the per-rank **step window** slice (`name: "step"`,
+    /// `args.step = N`, `args.group = lane base`) that
+    /// [`telemetry::critical_path`] uses to attribute compute/comm/wait
+    /// slices to training steps. The group id keeps same-numbered steps
+    /// of two pipeline groups in one process from merging.
+    pub fn record_step_window(lane: u64, group: u64, step: u64, ts_us: f64, dur_us: f64) {
+        record_slice(
+            lane,
+            "step".into(),
+            ts_us,
+            dur_us,
+            vec![
+                ("step".into(), Json::UInt(step)),
+                ("group".into(), Json::UInt(group)),
+            ],
+        );
+    }
+
+    /// Drains every recorded stage event (for trace-file assembly),
+    /// including buffers of threads that have already exited.
     pub fn take_events() -> Vec<TraceEvent> {
-        std::mem::take(&mut EVENTS.lock().unwrap())
+        EVENTS.drain()
     }
 }
 
@@ -211,6 +240,34 @@ fn p2p_id(mb: usize, dir: u64) -> u64 {
     ((mb as u64) << 1) | dir
 }
 
+/// A rank whose step duration exceeds this multiple of the step median
+/// is reported as a straggler by rank (0,0)'s metrics aggregation.
+pub const STRAGGLER_FACTOR: f64 = 1.5;
+
+/// 16-byte wire record of one rank's step-duration snapshot:
+/// `stage: u32le | data_idx: u32le | dur_us: f64le`.
+fn encode_metric(stage: usize, data_idx: usize, dur_us: f64) -> Vec<u8> {
+    let mut b = Vec::with_capacity(16);
+    b.extend_from_slice(&(stage as u32).to_le_bytes());
+    b.extend_from_slice(&(data_idx as u32).to_le_bytes());
+    b.extend_from_slice(&dur_us.to_le_bytes());
+    b
+}
+
+/// Parses a batch of concatenated [`encode_metric`] records; trailing
+/// partial records (impossible from well-behaved peers) are dropped.
+fn decode_metrics(bytes: &[u8]) -> Vec<(usize, usize, f64)> {
+    bytes
+        .chunks_exact(16)
+        .map(|c| {
+            let stage = u32::from_le_bytes(c[0..4].try_into().unwrap()) as usize;
+            let data_idx = u32::from_le_bytes(c[4..8].try_into().unwrap()) as usize;
+            let dur = f64::from_le_bytes(c[8..16].try_into().unwrap());
+            (stage, data_idx, dur)
+        })
+        .collect()
+}
+
 type InspectFn = Box<dyn FnOnce(&mut Sequential, &Vec<ShardedSamoLayerState>) + Send>;
 
 enum Cmd {
@@ -248,6 +305,10 @@ struct StageRank {
     stage: usize,
     data_idx: usize,
     g_inter: usize,
+    /// Global trace lane (`tid`) of this rank: unique across every
+    /// pipeline group of the process, shared by the rank's pipeline
+    /// slices (pid 3) and both communicators' comms slices (pid 2).
+    lane: u64,
     /// Index of this stage's first parameter in whole-model order.
     param_off: usize,
     block: Sequential,
@@ -273,6 +334,10 @@ struct StageRank {
     y_stash: Vec<Option<Tensor>>,
     /// Which microbatch the stage's activation caches belong to.
     cache_mb: Option<usize>,
+    /// Rank (0,0) only: rolling per-rank step-duration stats
+    /// `(sum_us, samples)` indexed by `data_idx * g_inter + stage`,
+    /// fed by the mesh-native telemetry relay. Empty elsewhere.
+    rank_dur_stats: Vec<(f64, u64)>,
 }
 
 impl StageRank {
@@ -281,7 +346,7 @@ impl StageRank {
     }
 
     fn trace_lane(&self) -> u64 {
-        (self.data_idx * self.g_inter + self.stage) as u64
+        self.lane
     }
 
     fn tensor_from_wire(&self, v: Vec<f32>) -> Result<Tensor, CommsError> {
@@ -312,6 +377,11 @@ impl StageRank {
         step: u32,
     ) -> Result<StepOutcome, CommsError> {
         let tel = telemetry::enabled();
+        // Step window start: the "step" slice recorded on completion
+        // covers the scheduler loop plus the collective epilogue, so
+        // the critical-path analyzer can attribute every compute/comm/
+        // wait slice inside it to this training step.
+        let win0 = tel.then(comms::trace::now_us);
         let m = self.microbatches;
         let s = self.stage;
         let last = self.is_last();
@@ -375,6 +445,24 @@ impl StageRank {
                 self.data.ring_pump()?;
                 if last_progress.elapsed() > self.timeout {
                     let from = if last { s.saturating_sub(1) } else { s + 1 };
+                    if tel {
+                        // The scheduler starved to its progress deadline:
+                        // make the stall visible as a timed-out wait
+                        // slice, like the blocking-recv deadline path.
+                        use telemetry::json::Json;
+                        let t1 = comms::trace::now_us();
+                        let stalled_us = last_progress.elapsed().as_secs_f64() * 1e6;
+                        comms::trace::record_wait(
+                            self.lane,
+                            format!("sched stall (mb {fwd_done}f/{bwd_done}b)"),
+                            t1 - stalled_us,
+                            stalled_us,
+                            vec![
+                                ("from".to_string(), Json::from(from)),
+                                ("timed_out".to_string(), Json::Bool(true)),
+                            ],
+                        );
+                    }
                     return Err(CommsError::Timeout { rank: s, from });
                 }
                 std::thread::yield_now();
@@ -414,6 +502,9 @@ impl StageRank {
             if tel {
                 self.record_step(false);
             }
+            if let Some(w0) = win0 {
+                self.finish_step_telemetry(step, w0);
+            }
             return Ok(StepOutcome { applied: false, finite });
         }
 
@@ -436,7 +527,112 @@ impl StageRank {
         if tel {
             self.record_step(true);
         }
+        if let Some(w0) = win0 {
+            self.finish_step_telemetry(step, w0);
+        }
         Ok(StepOutcome { applied: true, finite })
+    }
+
+    /// Telemetry tail of a completed step: records this rank's step
+    /// window slice and runs the mesh-native metrics relay. Only called
+    /// when telemetry is enabled and the step reached a verdict (error
+    /// paths skip it — a dead rank's wait slices still tell the story).
+    fn finish_step_telemetry(&mut self, step: u32, win0: f64) {
+        let now = comms::trace::now_us();
+        let dur_us = (now - win0).max(0.0);
+        let group = self.lane - (self.data_idx * self.g_inter + self.stage) as u64;
+        trace::record_step_window(self.trace_lane(), group, u64::from(step), win0, dur_us);
+        self.relay_step_metrics(step, dur_us);
+    }
+
+    /// Mesh-native metrics aggregation: every rank ships its step
+    /// duration over the transport to rank (0,0), which folds rolling
+    /// per-rank stats, warns on stragglers, and emits one aggregated
+    /// `mesh_metrics` line into the metrics jsonl stream.
+    ///
+    /// Two hops: stages > 0 send to stage 0 over their replica's pipe
+    /// mesh; replicas > 0 relay their gathered batch to data rank 0
+    /// over the stage-0 data mesh. Delivery is best-effort
+    /// ([`Communicator::send_telemetry`] never poisons) — a lost
+    /// snapshot degrades the report, never the step.
+    fn relay_step_metrics(&mut self, step: u32, dur_us: f64) {
+        let g = self.g_inter;
+        let mine = encode_metric(self.stage, self.data_idx, dur_us);
+        if self.stage > 0 {
+            self.pipe.send_telemetry(0, self.stage as u64, step, mine);
+            return;
+        }
+        let mut batch = mine;
+        for s in 1..g {
+            if let Some(b) = self.pipe.recv_telemetry(s, s as u64, step, self.timeout) {
+                batch.extend_from_slice(&b);
+            }
+        }
+        if self.data_idx > 0 {
+            self.data.send_telemetry(0, self.data_idx as u64, step, batch);
+            return;
+        }
+        let mut entries = decode_metrics(&batch);
+        for di in 1..self.data.world() {
+            if let Some(b) = self.data.recv_telemetry(di, di as u64, step, self.timeout) {
+                entries.extend(decode_metrics(&b));
+            }
+        }
+        self.aggregate_metrics(step, &entries);
+    }
+
+    /// Rank (0,0): fold one step's snapshots into the rolling per-rank
+    /// stats, flag stragglers (above [`STRAGGLER_FACTOR`] × the step
+    /// median), and emit the aggregated `mesh_metrics` jsonl line.
+    fn aggregate_metrics(&mut self, step: u32, entries: &[(usize, usize, f64)]) {
+        use telemetry::json::Json;
+        if entries.is_empty() {
+            return;
+        }
+        let g = self.g_inter;
+        let world = g * self.data.world();
+        if self.rank_dur_stats.len() != world {
+            self.rank_dur_stats = vec![(0.0, 0); world];
+        }
+        let mut durs: Vec<f64> = entries.iter().map(|e| e.2).collect();
+        durs.sort_by(f64::total_cmp);
+        let median = durs[durs.len() / 2];
+        let mut per_rank = Vec::with_capacity(entries.len());
+        let mut stragglers = Vec::new();
+        for &(s, di, dur) in entries {
+            let Some(cell) = self.rank_dur_stats.get_mut(di * g + s) else {
+                continue; // malformed snapshot; drop it
+            };
+            cell.0 += dur;
+            cell.1 += 1;
+            let mean = cell.0 / cell.1 as f64;
+            per_rank.push(Json::Obj(vec![
+                ("stage".into(), Json::UInt(s as u64)),
+                ("data".into(), Json::UInt(di as u64)),
+                ("dur_us".into(), Json::Num(dur)),
+                ("mean_us".into(), Json::Num(mean)),
+            ]));
+            if entries.len() > 1 && dur > STRAGGLER_FACTOR * median {
+                telemetry::log_warn!(
+                    "pipeline straggler: rank (s{s},d{di}) step {step} took {dur:.0}us ({:.2}x step median)",
+                    dur / median
+                );
+                stragglers.push(Json::Obj(vec![
+                    ("stage".into(), Json::UInt(s as u64)),
+                    ("data".into(), Json::UInt(di as u64)),
+                    ("ratio".into(), Json::Num(dur / median)),
+                ]));
+            }
+        }
+        telemetry::jsonl::emit_line(&Json::Obj(vec![
+            ("kind".into(), Json::from("mesh_metrics")),
+            ("step".into(), Json::UInt(u64::from(step))),
+            ("ranks".into(), Json::UInt(entries.len() as u64)),
+            ("median_us".into(), Json::Num(median)),
+            ("max_us".into(), Json::Num(durs[durs.len() - 1])),
+            ("per_rank".into(), Json::Arr(per_rank)),
+            ("stragglers".into(), Json::Arr(stragglers)),
+        ]));
     }
 
     fn forward_mb(&mut self, mb: usize, x: Tensor, step: u32, tel: bool) -> Result<(), CommsError> {
@@ -750,6 +946,12 @@ impl ThreadedPipelineSamo {
 
         let bounds = comms::segment_bounds(n_layers, cfg.g_inter);
         let scaler = LossScaler::default();
+        // Trace lanes are process-global so two groups alive in one
+        // session (e.g. the bench sweeping pipeline depths) never share
+        // a `tid` row in the combined trace.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_LANE: AtomicU64 = AtomicU64::new(0);
+        let lane_base = NEXT_LANE.fetch_add((cfg.g_inter * cfg.g_data) as u64, Ordering::Relaxed);
         let mut params_per_stage = vec![0usize; cfg.g_inter];
         let mut numel = 0usize;
         let mut nnz = 0usize;
@@ -790,17 +992,23 @@ impl ThreadedPipelineSamo {
                 }
                 let pipe_t = pipe_meshes[data_idx][stage].take().expect("pipe endpoint");
                 let data_t = data_meshes[stage][data_idx].take().expect("data endpoint");
+                let lane = lane_base + (data_idx * cfg.g_inter + stage) as u64;
                 let rk = StageRank {
                     stage,
                     data_idx,
                     g_inter: cfg.g_inter,
+                    lane,
                     param_off,
                     block,
                     states,
                     opt: opt.clone(),
                     scaler: scaler.clone(),
-                    pipe: Communicator::new(pipe_t).with_timeout(cfg.timeout),
-                    data: Communicator::new(data_t).with_timeout(cfg.timeout),
+                    pipe: Communicator::new(pipe_t)
+                        .with_timeout(cfg.timeout)
+                        .with_trace_lane(lane),
+                    data: Communicator::new(data_t)
+                        .with_timeout(cfg.timeout)
+                        .with_trace_lane(lane),
                     microbatches: cfg.microbatches,
                     mb_rows: cfg.mb_rows,
                     max_in_flight: cfg.max_in_flight,
@@ -813,6 +1021,7 @@ impl ThreadedPipelineSamo {
                     input_stash: Vec::new(),
                     y_stash: Vec::new(),
                     cache_mb: None,
+                    rank_dur_stats: Vec::new(),
                 };
                 param_off += n_params;
                 let (ctx, crx) = channel::<Cmd>();

@@ -40,7 +40,7 @@ use prune::Mask;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tensor::Tensor;
 
 /// The per-step work a rank thread runs before the collective phase:
@@ -98,6 +98,9 @@ struct Rank<M: Layer> {
     poisoned: bool,
     steps_taken: u64,
     steps_skipped: u64,
+    /// Rank 0 only: rolling per-rank step-duration stats
+    /// `(sum_us, samples)`, fed by the mesh-native telemetry relay.
+    rank_dur_stats: Vec<(f64, u64)>,
 }
 
 impl<M: Layer> Rank<M> {
@@ -111,7 +114,9 @@ impl<M: Layer> Rank<M> {
     }
 
     fn step_inner(&mut self, f: &StepFn<M>) -> Result<StepOutcome, CommsError> {
-        // Telemetry once per group, from rank 0's thread.
+        // Telemetry once per group, from rank 0's thread. The metrics
+        // relay below runs on *every* rank when telemetry is on.
+        let t_step0 = telemetry::enabled().then(Instant::now);
         let tel = telemetry::enabled() && self.rank == 0;
         let scale_used = self.scaler.scale();
         let dy = f(self.rank, &mut self.model, scale_used);
@@ -176,6 +181,9 @@ impl<M: Layer> Rank<M> {
             if tel {
                 self.record_step(false, scale_used, t_comm, None);
             }
+            if let Some(t0) = t_step0 {
+                self.relay_step_metrics(t0);
+            }
             return Ok(StepOutcome { applied: false, finite });
         }
 
@@ -209,7 +217,75 @@ impl<M: Layer> Rank<M> {
         if tel {
             self.record_step(true, scale_used, t_comm, t_shard);
         }
+        if let Some(t0) = t_step0 {
+            self.relay_step_metrics(t0);
+        }
         Ok(StepOutcome { applied: true, finite })
+    }
+
+    /// Mesh-native metrics aggregation: every rank ships its step wall
+    /// time over the transport to rank 0, which folds rolling per-rank
+    /// stats, warns on stragglers (above
+    /// [`crate::pipeline::STRAGGLER_FACTOR`] × the step median) and
+    /// emits one aggregated `mesh_metrics` line into the metrics jsonl
+    /// stream. Delivery is best-effort — a lost snapshot degrades the
+    /// report, never the step.
+    fn relay_step_metrics(&mut self, t0: Instant) {
+        use telemetry::json::Json;
+        let dur_us = t0.elapsed().as_secs_f64() * 1e6;
+        let step = (self.steps_taken + self.steps_skipped).saturating_sub(1) as u32;
+        if self.rank != 0 {
+            self.comm
+                .send_telemetry(0, self.rank as u64, step, dur_us.to_le_bytes().to_vec());
+            return;
+        }
+        let world = self.comm.world();
+        if self.rank_dur_stats.len() != world {
+            self.rank_dur_stats = vec![(0.0, 0); world];
+        }
+        let wait = self.comm.timeout();
+        let mut durs: Vec<(usize, f64)> = vec![(0, dur_us)];
+        for r in 1..world {
+            if let Some(b) = self.comm.recv_telemetry(r, r as u64, step, wait) {
+                if let Ok(bytes) = <[u8; 8]>::try_from(&b[..]) {
+                    durs.push((r, f64::from_le_bytes(bytes)));
+                }
+            }
+        }
+        let mut sorted: Vec<f64> = durs.iter().map(|d| d.1).collect();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        let mut per_rank = Vec::with_capacity(durs.len());
+        let mut stragglers = Vec::new();
+        for &(r, dur) in &durs {
+            let cell = &mut self.rank_dur_stats[r];
+            cell.0 += dur;
+            cell.1 += 1;
+            per_rank.push(Json::Obj(vec![
+                ("rank".into(), Json::UInt(r as u64)),
+                ("dur_us".into(), Json::Num(dur)),
+                ("mean_us".into(), Json::Num(cell.0 / cell.1 as f64)),
+            ]));
+            if durs.len() > 1 && dur > crate::pipeline::STRAGGLER_FACTOR * median {
+                telemetry::log_warn!(
+                    "data-parallel straggler: rank {r} step {step} took {dur:.0}us ({:.2}x step median)",
+                    dur / median
+                );
+                stragglers.push(Json::Obj(vec![
+                    ("rank".into(), Json::UInt(r as u64)),
+                    ("ratio".into(), Json::Num(dur / median)),
+                ]));
+            }
+        }
+        telemetry::jsonl::emit_line(&Json::Obj(vec![
+            ("kind".into(), Json::from("mesh_metrics")),
+            ("step".into(), Json::UInt(u64::from(step))),
+            ("ranks".into(), Json::UInt(durs.len() as u64)),
+            ("median_us".into(), Json::Num(median)),
+            ("max_us".into(), Json::Num(sorted[sorted.len() - 1])),
+            ("per_rank".into(), Json::Arr(per_rank)),
+            ("stragglers".into(), Json::Arr(stragglers)),
+        ]));
     }
 
     /// Reloads the rank's slice of a full checkpoint, then rejoins the
@@ -439,6 +515,7 @@ impl<M: Layer + Send + 'static> ThreadedDataParallelSamo<M> {
                 poisoned: false,
                 steps_taken: 0,
                 steps_skipped: 0,
+                rank_dur_stats: Vec::new(),
             };
             let (ctx, crx) = channel::<Cmd<M>>();
             let (rtx, rrx) = channel::<Resp>();

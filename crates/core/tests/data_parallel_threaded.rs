@@ -1,0 +1,150 @@
+//! The thread-per-rank data-parallel runtime is **bitwise
+//! interchangeable** with the in-process [`samo::DataParallelSamo`]:
+//! driven with the same per-rank microbatches, both groups save
+//! byte-identical checkpoints after every step, no matter how the rank
+//! threads interleave — and a killed rank surfaces as a bounded `Err`,
+//! after which heal + `restore` resynchronizes the group bitwise.
+//!
+//! (CI's comms matrix job runs this under `SAMO_THREADS=1` and the
+//! default pool: rank parallelism must come from the comms threads,
+//! not the GEMM pool.)
+
+use nn::layer::{Layer, Sequential};
+use nn::linear::Linear;
+use nn::loss::mse;
+use nn::mixed::Optimizer;
+use nn::optim::AdamConfig;
+use prune::Mask;
+use samo::threaded::ThreadedDataParallelSamo;
+use samo::DataParallelSamo;
+use std::sync::Arc;
+use std::time::Duration;
+use tensor::Tensor;
+
+const WORLD: usize = 2;
+const IN: usize = 6;
+const OUT: usize = 4;
+const BATCH: usize = 5;
+
+fn build_model(seed: u64) -> Sequential {
+    Sequential::new()
+        .push(Linear::new(IN, 8, true, seed))
+        .push(nn::activations::Gelu::new())
+        .push(Linear::new(8, OUT, true, seed + 1))
+}
+
+fn masks_for(model: &Sequential, seed: u64) -> Vec<Mask> {
+    model
+        .params()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if p.value.shape().len() >= 2 {
+                prune::random_prune(p.value.shape(), 0.8, seed + i as u64)
+            } else {
+                Mask::dense(p.value.shape())
+            }
+        })
+        .collect()
+}
+
+fn adam() -> Optimizer {
+    Optimizer::Adam(AdamConfig::default())
+}
+
+/// Deterministic per-rank microbatch for one step.
+fn batch_for(rank: usize, step: usize) -> (Tensor, Tensor) {
+    let seed = 5_000 + (step * WORLD + rank) as u64;
+    (
+        Tensor::randn(&[BATCH, IN], 1.0, seed),
+        Tensor::randn(&[BATCH, OUT], 1.0, seed + 10_000),
+    )
+}
+
+fn threaded_step(group: &mut ThreadedDataParallelSamo<Sequential>, step: usize) -> Result<bool, String> {
+    // The closure does forward + scaled loss-grad only; the rank thread
+    // itself runs `backward_with_ready` to overlap the ring.
+    group.step(move |rank, model, scale| {
+        let (x, target) = batch_for(rank, step);
+        let y = model.forward(&x);
+        let (_, mut dy) = mse(&y, &target);
+        tensor::ops::scale(scale, dy.as_mut_slice());
+        dy
+    })
+}
+
+fn reference_step(group: &mut DataParallelSamo<Sequential>, step: usize) -> bool {
+    let scale = group.loss_scale();
+    for rank in 0..WORLD {
+        let (x, target) = batch_for(rank, step);
+        let model = group.replica_mut(rank);
+        let y = model.forward(&x);
+        let (_, mut dy) = mse(&y, &target);
+        tensor::ops::scale(scale, dy.as_mut_slice());
+        model.backward(&dy);
+    }
+    group.step()
+}
+
+#[test]
+fn threaded_group_checkpoints_bitwise_equal_to_in_process_group() {
+    let replicas: Vec<Sequential> = (0..WORLD).map(|_| build_model(41)).collect();
+    let masks = masks_for(&replicas[0], 141);
+    let mut threaded = ThreadedDataParallelSamo::new(replicas, masks.clone(), adam());
+    let reference_replicas: Vec<Sequential> = (0..WORLD).map(|_| build_model(41)).collect();
+    let mut reference = DataParallelSamo::new(reference_replicas, masks, adam());
+
+    for step in 0..4 {
+        let applied = threaded_step(&mut threaded, step).expect("healthy step");
+        // Overflow verdicts must agree too: both groups see the same
+        // reduced gradient bits, so they skip the same steps.
+        assert_eq!(applied, reference_step(&mut reference, step), "verdict at step {step}");
+        assert_eq!(
+            threaded.save().as_ref(),
+            reference.save().as_ref(),
+            "checkpoints diverged at step {step}"
+        );
+    }
+    assert_eq!(threaded.steps_taken(), reference.steps_taken());
+}
+
+#[test]
+fn killed_rank_errors_then_heal_restore_resyncs_bitwise() {
+    let replicas: Vec<Sequential> = (0..WORLD).map(|_| build_model(43)).collect();
+    let masks = masks_for(&replicas[0], 143);
+    let mut threaded = ThreadedDataParallelSamo::with_comm_timeout(
+        replicas,
+        masks.clone(),
+        adam(),
+        Duration::from_millis(200),
+    );
+    let reference_replicas: Vec<Sequential> = (0..WORLD).map(|_| build_model(43)).collect();
+    let mut reference = DataParallelSamo::new(reference_replicas, masks, adam());
+
+    threaded_step(&mut threaded, 0).unwrap();
+    reference_step(&mut reference, 0);
+    let checkpoint = Arc::new(threaded.save());
+    assert_eq!(checkpoint.as_ref().as_ref(), reference.save().as_ref());
+
+    // Kill rank 1: the next step must surface as a bounded Err, not a
+    // hang, and must not wedge the group.
+    threaded.faults().kill_rank(1, WORLD);
+    let err = threaded_step(&mut threaded, 1).expect_err("dead rank must fail the step");
+    assert!(err.contains("timed out"), "unexpected error: {err}");
+
+    // Recovery: heal the links, restore the pre-failure checkpoint on
+    // both runtimes, and the replay is bitwise equal to a never-failed
+    // group.
+    threaded.faults().heal_rank(1, WORLD);
+    threaded.restore(checkpoint.as_ref()).expect("restore after heal");
+    reference.restore(checkpoint.as_ref()).expect("reference restore");
+    for step in 1..3 {
+        let applied = threaded_step(&mut threaded, step).expect("replay step");
+        assert_eq!(applied, reference_step(&mut reference, step), "verdict at step {step}");
+        assert_eq!(
+            threaded.save().as_ref(),
+            reference.save().as_ref(),
+            "replay diverged at step {step}"
+        );
+    }
+}

@@ -118,6 +118,22 @@ pub fn emit_step(ev: &StepEvent) {
     }
 }
 
+/// Append one arbitrary JSON object as a line to `metrics.jsonl` —
+/// used by the mesh metrics aggregator for records that are not
+/// per-trainer [`StepEvent`]s. Same gating and error policy as
+/// [`emit_step`].
+pub fn emit_line(obj: &Json) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut line = obj.render();
+    line.push('\n');
+    let mut sink = sink().lock();
+    if let Some(f) = sink.file.as_mut() {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
 /// Flush the JSONL sink. No-op while telemetry is disabled (so this
 /// never opens — and truncates — the file as a side effect).
 pub fn flush() {

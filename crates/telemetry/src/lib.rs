@@ -17,7 +17,13 @@
 //!   appended to `metrics.jsonl` under the results directory
 //!   (`SAMO_RESULTS_DIR`, default `results`).
 //! * [`trace`] — `chrome://tracing` / Perfetto `trace_event` JSON export
-//!   for simulated pipeline schedules and collected live spans.
+//!   for simulated pipeline schedules and collected live spans, plus
+//!   causal [`FlowEvent`] arrows between send/recv slices.
+//!
+//! Supporting cast: [`clock`] (the shared resettable trace clock all
+//! lanes stamp from), [`mod@sink`] (per-thread event buffers so
+//! recording never contends on a global lock), and [`critical_path`]
+//! (offline analyzer walking a merged trace's slices and flow edges).
 //!
 //! Plus [`logger`], a leveled stderr logger (`SAMO_LOG=quiet|info|debug`)
 //! so experiment drivers can keep stdout exclusively for machine-readable
@@ -31,17 +37,21 @@
 //! telemetry::init_from_env();
 //! ```
 
+pub mod clock;
+pub mod critical_path;
 pub mod json;
 pub mod jsonl;
 pub mod logger;
 pub mod registry;
+pub mod sink;
 pub mod span;
 pub mod trace;
 
 pub use jsonl::StepEvent;
 pub use registry::{global, Counter, Gauge, Histogram, Registry};
+pub use sink::ThreadLocalSink;
 pub use span::{span, take_spans, SpanEvent, SpanGuard};
-pub use trace::TraceEvent;
+pub use trace::{FlowEvent, TraceEvent};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

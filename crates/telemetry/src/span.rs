@@ -28,12 +28,6 @@ pub struct SpanEvent {
 
 static COLLECTED: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
 
-/// The instant all span timestamps are measured from.
-fn epoch() -> Instant {
-    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
-    *EPOCH.get_or_init(Instant::now)
-}
-
 fn current_tid() -> u64 {
     // Stable small ids per thread, assigned in first-use order.
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -82,17 +76,17 @@ impl SpanGuard {
         crate::global()
             .histogram(self.name)
             .record(dur.as_secs_f64());
-        let start_us = self
-            .start
-            .saturating_duration_since(epoch())
-            .as_micros()
-            .min(u64::MAX as u128) as u64;
+        // Timestamps come off the shared trace clock so span lanes line
+        // up with comms/pipeline lanes: start = now − duration, clamped
+        // in case a clock reset happened mid-span.
+        let dur_us = dur.as_micros().min(u64::MAX as u128) as u64;
+        let start_us = (crate::clock::now_us() - dur_us as f64).max(0.0) as u64;
         let mut collected = COLLECTED.lock();
         if collected.len() < MAX_COLLECTED_SPANS {
             collected.push(SpanEvent {
                 name: self.name.to_string(),
                 start_us,
-                dur_us: dur.as_micros().min(u64::MAX as u128) as u64,
+                dur_us,
                 tid: current_tid(),
             });
         }

@@ -6,7 +6,16 @@
 //! process/thread lanes the UI renders. By convention here:
 //!
 //! * `pid 0` — the simulated pipeline (one `tid` lane per GPU);
-//! * `pid 1` — live [`mod@crate::span`] timers (one `tid` lane per thread).
+//! * `pid 1` — live [`mod@crate::span`] timers (one `tid` lane per thread);
+//! * `pid 2` — comms: ring hops, sends, recv waits (one lane per rank);
+//! * `pid 3` — pipeline runtime stage slices (one lane per rank).
+//!
+//! Alongside slices the document may carry **flow events**
+//! ([`FlowEvent`], `ph: "s"`/`ph: "f"`): paired start/finish markers
+//! that Perfetto renders as arrows between the slices enclosing them —
+//! here, from every send to the recv it unblocked. Pairs match on
+//! `cat` + `id`, and `bp: "e"` binds each endpoint to its enclosing
+//! slice rather than to the next slice on the lane.
 
 use crate::json::Json;
 use crate::span::SpanEvent;
@@ -47,6 +56,44 @@ impl TraceEvent {
     }
 }
 
+/// One flow event: half of a causal send→recv arrow.
+///
+/// Emit a `start: true` event from inside the slice doing the send and
+/// a `start: false` event (same `cat`, same `id`) from inside the slice
+/// that consumed the message; Perfetto draws the arrow between the two
+/// enclosing slices. Ids must be unique per `cat` within a trace —
+/// callers derive them by hashing the message tag plus sender.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEvent {
+    pub name: String,
+    /// Category; flow pairs match on `cat` + `id`.
+    pub cat: String,
+    pub pid: u64,
+    pub tid: u64,
+    /// Timestamp, microseconds. Must fall inside the enclosing slice.
+    pub ts_us: f64,
+    /// Pair key: one `start` and one non-`start` event share each id.
+    pub id: u64,
+    /// `true` renders `ph: "s"` (flow start), `false` renders
+    /// `ph: "f"` (flow finish).
+    pub start: bool,
+}
+
+impl FlowEvent {
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("cat".into(), Json::Str(self.cat.clone())),
+            ("ph".into(), Json::from(if self.start { "s" } else { "f" })),
+            ("bp".into(), Json::from("e")),
+            ("pid".into(), Json::UInt(self.pid)),
+            ("tid".into(), Json::UInt(self.tid)),
+            ("ts".into(), Json::Num(self.ts_us)),
+            ("id".into(), Json::UInt(self.id)),
+        ])
+    }
+}
+
 /// Convert collected live spans into trace events on `pid 1`.
 pub fn span_trace_events(spans: &[SpanEvent]) -> Vec<TraceEvent> {
     spans
@@ -65,11 +112,15 @@ pub fn span_trace_events(spans: &[SpanEvent]) -> Vec<TraceEvent> {
 
 /// The top-level trace document for a set of events.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> Json {
+    chrome_trace_json_with_flows(events, &[])
+}
+
+/// The top-level trace document for slices plus causal flow arrows.
+pub fn chrome_trace_json_with_flows(events: &[TraceEvent], flows: &[FlowEvent]) -> Json {
+    let mut all: Vec<Json> = events.iter().map(TraceEvent::to_json).collect();
+    all.extend(flows.iter().map(FlowEvent::to_json));
     Json::Obj(vec![
-        (
-            "traceEvents".into(),
-            Json::Arr(events.iter().map(TraceEvent::to_json).collect()),
-        ),
+        ("traceEvents".into(), Json::Arr(all)),
         ("displayTimeUnit".into(), Json::from("ms")),
     ])
 }
@@ -77,12 +128,21 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> Json {
 /// Render and write a trace document to `path`, creating parent
 /// directories as needed.
 pub fn write_chrome_trace(path: &Path, events: &[TraceEvent]) -> io::Result<()> {
+    write_chrome_trace_with_flows(path, events, &[])
+}
+
+/// [`write_chrome_trace`], with flow arrows included in the document.
+pub fn write_chrome_trace_with_flows(
+    path: &Path,
+    events: &[TraceEvent],
+    flows: &[FlowEvent],
+) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(path, chrome_trace_json(events).render())
+    std::fs::write(path, chrome_trace_json_with_flows(events, flows).render())
 }
 
 #[cfg(test)]
@@ -107,6 +167,54 @@ mod tests {
         assert!(s.contains("\"ts\":10.5"));
         assert!(s.contains("\"dur\":3.25"));
         assert!(s.contains("\"args\":{\"mb\":0}"));
+    }
+
+    #[test]
+    fn flow_events_render_paired_phases() {
+        let s = FlowEvent {
+            name: "p2p".into(),
+            cat: "flow".into(),
+            pid: 2,
+            tid: 0,
+            ts_us: 10.0,
+            id: 42,
+            start: true,
+        };
+        let f = FlowEvent { tid: 1, ts_us: 20.0, start: false, ..s.clone() };
+        let (sj, fj) = (s.to_json().render(), f.to_json().render());
+        assert!(sj.contains("\"ph\":\"s\""), "{sj}");
+        assert!(fj.contains("\"ph\":\"f\""), "{fj}");
+        for j in [&sj, &fj] {
+            assert!(j.contains("\"bp\":\"e\""), "{j}");
+            assert!(j.contains("\"id\":42"), "{j}");
+            assert!(!j.contains("\"dur\""), "flows carry no dur: {j}");
+        }
+    }
+
+    #[test]
+    fn flows_append_after_slices_in_the_document() {
+        let ev = TraceEvent {
+            name: "send".into(),
+            cat: "comms".into(),
+            pid: 2,
+            tid: 0,
+            ts_us: 1.0,
+            dur_us: 2.0,
+            args: Vec::new(),
+        };
+        let fl = FlowEvent {
+            name: "p2p".into(),
+            cat: "flow".into(),
+            pid: 2,
+            tid: 0,
+            ts_us: 1.5,
+            id: 7,
+            start: true,
+        };
+        let doc = chrome_trace_json_with_flows(&[ev], &[fl]).render();
+        let x = doc.find("\"ph\":\"X\"").unwrap();
+        let s = doc.find("\"ph\":\"s\"").unwrap();
+        assert!(x < s, "{doc}");
     }
 
     #[test]
