@@ -12,6 +12,10 @@
 //!                pipeline (threaded inter-layer pipeline bubble bench,
 //!                         measured vs Eq. 7; merges a `pipeline` section
 //!                         into BENCH_hotpaths.json; NOT part of `all`)
+//!                tcp     (loopback-TCP vs in-process transport on the
+//!                         same ring all-reduce, bitwise cross-checked;
+//!                         merges a `tcp` section into
+//!                         BENCH_hotpaths.json; NOT part of `all`)
 //!                trace-analyze (offline critical-path / decomposition /
 //!                         flow-census analysis of a `--trace` file;
 //!                         merges an `analysis` section into
@@ -156,6 +160,14 @@ fn main() {
             drop(sp);
             ran = true;
         }
+        if what == "tcp" && failed.is_none() {
+            let sp = telemetry::enabled().then(|| telemetry::span("repro.tcp"));
+            if let Err(e) = bench::tcp_bench::run(quick) {
+                failed = Some(format!("tcp: {e}"));
+            }
+            drop(sp);
+            ran = true;
+        }
         if what == "pipeline" && failed.is_none() {
             let sp = telemetry::enabled().then(|| telemetry::span("repro.pipeline"));
             if let Err(e) = bench::pipeline_bench::run(quick) {
@@ -177,7 +189,7 @@ fn main() {
     }
     if !ran {
         eprintln!(
-            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench comms pipeline trace-analyze"
+            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench comms tcp pipeline trace-analyze"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,525 @@
+//! `samo-launch` — multi-process training launcher and kill drill.
+//!
+//! ```text
+//! samo-launch --world N --steps S [--ckpt-every K] [--dir D]
+//!             [--step-delay-ms T] [--kill-rank R --kill-at S2]
+//! ```
+//!
+//! Spawns `N` worker processes (re-invocations of this binary in
+//! `worker` mode) that rendezvous over loopback TCP, train a replicated
+//! data-parallel SAMO model through [`samo::DistDataParallel`], and
+//! checkpoint every `K` applied steps. The parent runs the same
+//! trajectory on an in-process [`samo::SamoTrainer`] and **fails unless
+//! every worker's final checkpoint is bitwise identical to that
+//! single-process oracle** — across real processes and real sockets,
+//! the transport must be invisible in the bytes.
+//!
+//! With `--kill-rank R --kill-at S2` the parent SIGKILLs rank `R` once
+//! its progress file reaches step `S2`, then relaunches it. Survivors
+//! must surface the death as a bounded step error (socket EOF or
+//! heartbeat), re-rendezvous in a fresh generation, roll back to rank
+//! 0's last checkpoint, and replay — and the post-recovery finals must
+//! *still* match the never-failed oracle bit for bit. The parent gates
+//! on the recorded detection latency and on the resync having happened.
+//! The toy model trains in microseconds, so a drill needs
+//! `--step-delay-ms` to stretch steps enough for the kill to land
+//! mid-run (the parent refuses a drill whose victim already finished).
+//!
+//! Never kill rank 0: it hosts the rendezvous for every generation.
+//!
+//! Coordination between parent and workers goes through small files in
+//! `--dir` (atomic tmp+rename writes): `rdv.addr`, per-rank `rank<R>.step`
+//! progress, `rank<R>.latest.ckpt`, `rank<R>.final.ckpt`, and an
+//! append-only `rank<R>.events` log of failures and resyncs.
+
+use comms::{bootstrap_tcp, BootstrapConfig, Communicator, FaultController, Rendezvous};
+use nn::layer::{Layer, Sequential};
+use nn::linear::Linear;
+use nn::loss::mse;
+use nn::mixed::Optimizer;
+use nn::optim::AdamConfig;
+use prune::Mask;
+use samo::{DistDataParallel, SamoTrainer};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tensor::Tensor;
+
+const SEED: u64 = 77;
+const IN: usize = 6;
+const OUT: usize = 4;
+const BATCH: usize = 5;
+/// A wedged group must not hang CI: give up after this many rendezvous
+/// generations (a drill needs exactly two).
+const MAX_GENERATIONS: u32 = 10;
+
+fn build_model() -> Sequential {
+    Sequential::new()
+        .push(Linear::new(IN, 10, true, SEED))
+        .push(nn::activations::Gelu::new())
+        .push(Linear::new(10, OUT, true, SEED + 1))
+}
+
+fn masks_for(model: &Sequential) -> Vec<Mask> {
+    model
+        .params()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if p.value.shape().len() >= 2 {
+                prune::random_prune(p.value.shape(), 0.8, SEED + 100 + i as u64)
+            } else {
+                Mask::dense(p.value.shape())
+            }
+        })
+        .collect()
+}
+
+fn adam() -> Optimizer {
+    Optimizer::Adam(AdamConfig::default())
+}
+
+/// Replicated data parallelism: every rank sees the SAME batch per
+/// step, so the all-reduced mean is the local gradient bit for bit and
+/// the group must match the single-process oracle exactly.
+fn batch_for(step: usize) -> (Tensor, Tensor) {
+    let seed = 7_700 + step as u64;
+    (
+        Tensor::randn(&[BATCH, IN], 1.0, seed),
+        Tensor::randn(&[BATCH, OUT], 1.0, seed + 10_000),
+    )
+}
+
+/// Atomic file publish: write to a sibling tmp path, then rename.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn append_event(dir: &Path, rank: usize, line: &str) {
+    let path = dir.join(format!("rank{rank}.events"));
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+fn env_num<T: std::str::FromStr>(key: &str) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    std::env::var(key)
+        .unwrap_or_else(|_| panic!("{key} not set"))
+        .parse()
+        .unwrap_or_else(|e| panic!("{key} unparsable: {e:?}"))
+}
+
+// ---------------------------------------------------------------- worker
+
+fn worker() -> i32 {
+    let rank: usize = env_num("SAMO_RANK");
+    let world: usize = env_num("SAMO_WORLD");
+    let steps: u64 = env_num("SAMO_STEPS");
+    let ckpt_every: u64 = env_num("SAMO_CKPT_EVERY");
+    let step_delay_ms: u64 = env_num("SAMO_STEP_DELAY_MS");
+    let dir = PathBuf::from(std::env::var("SAMO_DIR").expect("SAMO_DIR not set"));
+
+    // Rank 0 hosts the rendezvous for the process lifetime (all
+    // generations re-register at the same address); others poll for the
+    // published address file.
+    let mut _rdv = None;
+    let addr_path = dir.join("rdv.addr");
+    let addr = if rank == 0 {
+        let r = match Rendezvous::host("127.0.0.1:0", world) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("rank 0: rendezvous host failed: {e}");
+                return 2;
+            }
+        };
+        let a = r.addr();
+        if let Err(e) = write_atomic(&addr_path, a.as_bytes()) {
+            eprintln!("rank 0: publish rendezvous addr: {e}");
+            return 2;
+        }
+        _rdv = Some(r);
+        a
+    } else {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match std::fs::read_to_string(&addr_path) {
+                Ok(a) if !a.is_empty() => break a,
+                _ if Instant::now() > deadline => {
+                    eprintln!("rank {rank}: no rendezvous address within 30s");
+                    return 2;
+                }
+                _ => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    };
+
+    let cfg = BootstrapConfig {
+        rendezvous_timeout: Duration::from_secs(60),
+        ..BootstrapConfig::default()
+    };
+    let mut epoch = 0u32;
+    for _generation in 0..MAX_GENERATIONS {
+        let (t, info) = match bootstrap_tcp(
+            &addr,
+            rank,
+            world,
+            epoch,
+            &cfg,
+            Arc::new(FaultController::new()),
+        ) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("rank {rank}: bootstrap failed: {e}");
+                return 3;
+            }
+        };
+        // The communicator deadline is deliberately much longer than the
+        // heartbeat window (1 s): a dead peer must be *detected*, not
+        // merely timed out.
+        let mut comm = Communicator::new(t).with_timeout(Duration::from_secs(10));
+        comm.adopt_epoch(info.epoch);
+        epoch = comm.epoch();
+
+        // Fresh trainer every generation; state comes from rank 0's
+        // latest checkpoint below (empty on a cold start).
+        let mut model = build_model();
+        let masks = masks_for(&model);
+        let mut dist = DistDataParallel::new(&mut model, masks, adam(), comm);
+        let mut bytes = if rank == 0 {
+            std::fs::read(dir.join("rank0.latest.ckpt")).unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        if dist.comm_mut().broadcast_bytes(0, &mut bytes).is_err() {
+            continue; // a peer died mid-join; rendezvous again
+        }
+        if !bytes.is_empty() {
+            if let Err(e) = dist.restore(&bytes, &mut model) {
+                eprintln!("rank {rank}: restore failed: {e}");
+                return 4;
+            }
+        }
+        if dist.comm_mut().barrier().is_err() {
+            continue;
+        }
+        if info.generation > 0 {
+            append_event(
+                &dir,
+                rank,
+                &format!(
+                    "event=resync generation={} epoch={} step={}",
+                    info.generation,
+                    epoch,
+                    dist.steps_taken() + dist.steps_skipped()
+                ),
+            );
+        }
+
+        let mut failed = false;
+        while dist.steps_taken() + dist.steps_skipped() < steps {
+            if step_delay_ms > 0 {
+                // Stand-in for real compute: stretches the step so a
+                // drill's SIGKILL lands mid-run, with the survivors
+                // blocked inside the collective when the sockets die.
+                std::thread::sleep(Duration::from_millis(step_delay_ms));
+            }
+            let step = (dist.steps_taken() + dist.steps_skipped()) as usize;
+            let (x, target) = batch_for(step);
+            let y = model.forward(&x);
+            let (_, mut dy) = mse(&y, &target);
+            tensor::ops::scale(dist.loss_scale(), dy.as_mut_slice());
+            model.backward(&dy);
+            let t0 = Instant::now();
+            match dist.step(&mut model) {
+                Ok(_) => {
+                    let done = dist.steps_taken() + dist.steps_skipped();
+                    let _ = write_atomic(
+                        &dir.join(format!("rank{rank}.step")),
+                        done.to_string().as_bytes(),
+                    );
+                    if done % ckpt_every == 0 {
+                        let _ = write_atomic(
+                            &dir.join(format!("rank{rank}.latest.ckpt")),
+                            dist.save().as_ref(),
+                        );
+                    }
+                }
+                Err(e) => {
+                    append_event(
+                        &dir,
+                        rank,
+                        &format!(
+                            "event=step_error step={step} detect_ms={} err={e}",
+                            t0.elapsed().as_millis()
+                        ),
+                    );
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            continue; // re-rendezvous, roll back, replay
+        }
+        // Everyone finished; the barrier keeps a fast rank from closing
+        // its sockets while a peer is still draining the last ring.
+        let _ = dist.comm_mut().barrier();
+        if let Err(e) =
+            write_atomic(&dir.join(format!("rank{rank}.final.ckpt")), dist.save().as_ref())
+        {
+            eprintln!("rank {rank}: write final checkpoint: {e}");
+            return 5;
+        }
+        return 0;
+    }
+    eprintln!("rank {rank}: gave up after {MAX_GENERATIONS} generations");
+    6
+}
+
+// ---------------------------------------------------------------- parent
+
+/// The never-failed single-process trajectory the workers must match.
+fn oracle_checkpoint(steps: u64) -> Vec<u8> {
+    let mut model = build_model();
+    let masks = masks_for(&model);
+    let mut oracle = SamoTrainer::new(&mut model, masks, adam());
+    while oracle.steps_taken() + oracle.steps_skipped() < steps {
+        let step = (oracle.steps_taken() + oracle.steps_skipped()) as usize;
+        let (x, target) = batch_for(step);
+        let y = model.forward(&x);
+        let (_, mut dy) = mse(&y, &target);
+        tensor::ops::scale(oracle.loss_scale(), dy.as_mut_slice());
+        model.backward(&dy);
+        oracle.step(&mut model);
+    }
+    oracle.save().to_vec()
+}
+
+struct Args {
+    world: usize,
+    steps: u64,
+    ckpt_every: u64,
+    step_delay_ms: u64,
+    dir: PathBuf,
+    kill_rank: Option<usize>,
+    kill_at: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut world = None;
+    let mut steps = None;
+    let mut ckpt_every = 4u64;
+    let mut step_delay_ms = 0u64;
+    let mut dir = None;
+    let mut kill_rank = None;
+    let mut kill_at = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let val = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1).ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--world" => world = Some(val(i)?.parse().map_err(|e| format!("--world: {e}"))?),
+            "--steps" => steps = Some(val(i)?.parse().map_err(|e| format!("--steps: {e}"))?),
+            "--ckpt-every" => {
+                ckpt_every = val(i)?.parse().map_err(|e| format!("--ckpt-every: {e}"))?
+            }
+            "--step-delay-ms" => {
+                step_delay_ms = val(i)?.parse().map_err(|e| format!("--step-delay-ms: {e}"))?
+            }
+            "--dir" => dir = Some(PathBuf::from(val(i)?)),
+            "--kill-rank" => {
+                kill_rank = Some(val(i)?.parse().map_err(|e| format!("--kill-rank: {e}"))?)
+            }
+            "--kill-at" => kill_at = Some(val(i)?.parse().map_err(|e| format!("--kill-at: {e}"))?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 2;
+    }
+    let world = world.ok_or("--world is required")?;
+    let steps = steps.ok_or("--steps is required")?;
+    if world < 2 {
+        return Err("--world must be >= 2".into());
+    }
+    if kill_rank.is_some() != kill_at.is_some() {
+        return Err("--kill-rank and --kill-at go together".into());
+    }
+    if kill_rank == Some(0) {
+        return Err("cannot kill rank 0: it hosts the rendezvous".into());
+    }
+    if let Some(r) = kill_rank {
+        if r >= world {
+            return Err(format!("--kill-rank {r} out of range for world {world}"));
+        }
+    }
+    if let Some(at) = kill_at {
+        if at + 2 > steps {
+            return Err("--kill-at must be at least 2 steps before --steps".into());
+        }
+        if step_delay_ms == 0 {
+            return Err(
+                "a kill drill needs --step-delay-ms > 0 so the SIGKILL lands mid-run".into(),
+            );
+        }
+    }
+    let dir = dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("samo-launch-{}", std::process::id()))
+    });
+    Ok(Args { world, steps, ckpt_every, step_delay_ms, dir, kill_rank, kill_at })
+}
+
+fn spawn_worker(exe: &Path, args: &Args, rank: usize) -> std::io::Result<Child> {
+    Command::new(exe)
+        .arg("worker")
+        .env("SAMO_RANK", rank.to_string())
+        .env("SAMO_WORLD", args.world.to_string())
+        .env("SAMO_STEPS", args.steps.to_string())
+        .env("SAMO_CKPT_EVERY", args.ckpt_every.to_string())
+        .env("SAMO_STEP_DELAY_MS", args.step_delay_ms.to_string())
+        .env("SAMO_DIR", &args.dir)
+        .spawn()
+}
+
+fn parent() -> Result<(), String> {
+    let args = parse_args()?;
+    std::fs::create_dir_all(&args.dir).map_err(|e| format!("create {:?}: {e}", args.dir))?;
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let drill = args.kill_rank.is_some();
+    eprintln!(
+        "samo-launch: world {} x {} steps (ckpt every {}), dir {:?}{}",
+        args.world,
+        args.steps,
+        args.ckpt_every,
+        args.dir,
+        match (args.kill_rank, args.kill_at) {
+            (Some(r), Some(at)) => format!(", SIGKILL rank {r} at step {at}"),
+            _ => String::new(),
+        }
+    );
+
+    let oracle = oracle_checkpoint(args.steps);
+    let mut children: Vec<Child> = Vec::with_capacity(args.world);
+    for rank in 0..args.world {
+        children.push(spawn_worker(&exe, &args, rank).map_err(|e| format!("spawn rank {rank}: {e}"))?);
+    }
+
+    if let (Some(victim), Some(at)) = (args.kill_rank, args.kill_at) {
+        let progress = args.dir.join(format!("rank{victim}.step"));
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let done: u64 = std::fs::read_to_string(&progress)
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(0);
+            if done >= at {
+                break;
+            }
+            if let Ok(Some(status)) = children[victim].try_wait() {
+                return Err(format!("rank {victim} exited early ({status}) before the kill"));
+            }
+            if Instant::now() > deadline {
+                return Err(format!("rank {victim} never reached step {at} within 120s"));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        children[victim].kill().map_err(|e| format!("kill rank {victim}: {e}"))?;
+        let _ = children[victim].wait();
+        if args.dir.join(format!("rank{victim}.final.ckpt")).exists() {
+            return Err(format!(
+                "drill raced: rank {victim} finished before the SIGKILL landed — raise --step-delay-ms"
+            ));
+        }
+        eprintln!("samo-launch: SIGKILLed rank {victim}, relaunching");
+        children[victim] =
+            spawn_worker(&exe, &args, victim).map_err(|e| format!("respawn rank {victim}: {e}"))?;
+    }
+
+    let mut bad = Vec::new();
+    for (rank, child) in children.iter_mut().enumerate() {
+        match child.wait() {
+            Ok(st) if st.success() => {}
+            Ok(st) => bad.push(format!("rank {rank} exited {st}")),
+            Err(e) => bad.push(format!("rank {rank} wait failed: {e}")),
+        }
+    }
+    if !bad.is_empty() {
+        return Err(bad.join("; "));
+    }
+
+    // The acceptance check: every worker's final checkpoint is bitwise
+    // identical to the in-process oracle.
+    for rank in 0..args.world {
+        let path = args.dir.join(format!("rank{rank}.final.ckpt"));
+        let got = std::fs::read(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+        if got != oracle {
+            return Err(format!(
+                "rank {rank}: final checkpoint ({} bytes) differs from the single-process oracle ({} bytes)",
+                got.len(),
+                oracle.len()
+            ));
+        }
+    }
+    eprintln!(
+        "samo-launch: {} final checkpoints bitwise equal to the oracle ({} bytes)",
+        args.world,
+        oracle.len()
+    );
+
+    if drill {
+        // Detection and recovery must both have left evidence: at least
+        // one survivor recorded a bounded step error, and at least one
+        // rank resynced in a later generation.
+        let mut detect_ms: Option<u128> = None;
+        let mut resyncs = 0usize;
+        for rank in 0..args.world {
+            let path = args.dir.join(format!("rank{rank}.events"));
+            let Ok(body) = std::fs::read_to_string(&path) else { continue };
+            for line in body.lines() {
+                if line.contains("event=step_error") {
+                    if let Some(ms) = line
+                        .split_whitespace()
+                        .find_map(|f| f.strip_prefix("detect_ms="))
+                        .and_then(|v| v.parse::<u128>().ok())
+                    {
+                        detect_ms = Some(detect_ms.map_or(ms, |d| d.min(ms)));
+                    }
+                }
+                if line.contains("event=resync") {
+                    resyncs += 1;
+                }
+            }
+        }
+        let detect =
+            detect_ms.ok_or("drill: no survivor recorded a step_error event".to_string())?;
+        if detect >= 8_000 {
+            return Err(format!(
+                "drill: fastest failure detection took {detect} ms — beyond the heartbeat window, the 10s deadline did the work"
+            ));
+        }
+        if resyncs == 0 {
+            return Err("drill: no rank recorded a resync event".into());
+        }
+        eprintln!(
+            "samo-launch: drill OK — fastest detection {detect} ms, {resyncs} resync events"
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("worker") {
+        std::process::exit(worker());
+    }
+    if let Err(e) = parent() {
+        eprintln!("samo-launch: FAILED: {e}");
+        std::process::exit(1);
+    }
+}

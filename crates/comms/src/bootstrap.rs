@@ -1,0 +1,447 @@
+//! Rendezvous and mesh wiring for the cross-process TCP transport.
+//!
+//! A [`Rendezvous`] host (conventionally rank 0's process) listens on
+//! one well-known address. Each worker calls [`bootstrap_tcp`]: it
+//! binds a private data listener, registers `(rank, world, epoch,
+//! data-address)` with the host, and blocks until the host has seen
+//! all `world` ranks — at which point the host broadcasts the address
+//! book plus an agreed epoch (one past the max any rank reported, so
+//! post-restart traffic can never alias stale in-flight frames) and a
+//! monotonically increasing **generation** number. Workers then dial
+//! every peer's data address (bounded retry with exponential backoff)
+//! and accept `world − 1` inbound connections, each verified by a
+//! preamble carrying the sender's rank and generation — a connection
+//! from a previous generation is silently discarded, so a relaunched
+//! rank can never be wired to a survivor's stale socket.
+//!
+//! The host keeps serving after a generation completes: when a rank is
+//! SIGKILLed and relaunched, the survivors' next [`bootstrap_tcp`]
+//! call re-registers alongside the fresh process and everyone receives
+//! a new generation + epoch. That loop — detect failure, re-rendezvous,
+//! restore from checkpoint, resync — is exercised end to end by the
+//! `samo-launch` kill drill.
+
+use crate::heartbeat::HeartbeatConfig;
+use crate::tcp::TcpTransport;
+use crate::{CommsError, FaultController};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use telemetry::json::Json;
+
+/// "RDZ1" — leads every registration so the host can reject strays.
+const RDV_MAGIC: u32 = 0x5244_5A31;
+/// "PRE1" — leads every data-link preamble.
+const PRE_MAGIC: u32 = 0x5052_4531;
+/// Per-connection read timeout for the short fixed-size handshakes.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
+/// Dial timeout for one TCP connect attempt.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+
+fn io_err(what: &str, e: std::io::Error) -> CommsError {
+    CommsError::Io(format!("{what}: {e}"))
+}
+
+/// Knobs for [`bootstrap_tcp`]. The defaults suit a localhost drill;
+/// tests shrink them to keep failure paths fast.
+#[derive(Debug, Clone, Copy)]
+pub struct BootstrapConfig {
+    /// How long a worker waits for the world to assemble (both the
+    /// rendezvous response and the inbound data connections).
+    pub rendezvous_timeout: Duration,
+    /// Connect attempts per address before giving up.
+    pub connect_retries: u32,
+    /// Initial retry backoff; doubles per attempt (capped at 2 s).
+    pub connect_backoff: Duration,
+    /// Liveness parameters for the resulting transport.
+    pub heartbeat: HeartbeatConfig,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> BootstrapConfig {
+        BootstrapConfig {
+            rendezvous_timeout: Duration::from_secs(30),
+            connect_retries: 10,
+            connect_backoff: Duration::from_millis(50),
+            heartbeat: HeartbeatConfig::default(),
+        }
+    }
+}
+
+/// What the rendezvous agreed on for this join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootstrapInfo {
+    /// 0 for the first assembly, +1 per re-rendezvous. Folded into the
+    /// transport's mesh id and checked in data-link preambles.
+    pub generation: u32,
+    /// The epoch every rank must adopt
+    /// ([`crate::Communicator::adopt_epoch`]): one past the max epoch
+    /// any joining rank reported.
+    pub epoch: u32,
+}
+
+// ---- tiny wire helpers (all little-endian) --------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let b = s.as_bytes();
+    buf.extend_from_slice(&(b.len() as u16).to_le_bytes());
+    buf.extend_from_slice(b);
+}
+
+fn read_u32(r: &mut impl Read) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u8(r: &mut impl Read) -> std::io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_str(r: &mut impl Read) -> std::io::Result<String> {
+    let mut lb = [0u8; 2];
+    r.read_exact(&mut lb)?;
+    let mut b = vec![0u8; u16::from_le_bytes(lb) as usize];
+    r.read_exact(&mut b)?;
+    Ok(String::from_utf8_lossy(&b).into_owned())
+}
+
+// ---- rendezvous host ------------------------------------------------
+
+struct Registration {
+    addr: String,
+    epoch: u32,
+    stream: TcpStream,
+}
+
+/// The rendezvous service: accepts registrations until all `world`
+/// ranks of the current generation have checked in, then broadcasts
+/// the address book. Runs on its own thread; dropping the handle shuts
+/// it down.
+pub struct Rendezvous {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Rendezvous {
+    /// Binds `bind` (e.g. `"127.0.0.1:0"`) and starts serving a world
+    /// of `world` ranks, generation after generation.
+    pub fn host(bind: &str, world: usize) -> Result<Rendezvous, CommsError> {
+        assert!(world >= 1);
+        let listener = TcpListener::bind(bind).map_err(|e| io_err("bind rendezvous", e))?;
+        let addr = listener.local_addr().map_err(|e| io_err("rendezvous local_addr", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err("rendezvous set_nonblocking", e))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sd = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("samo-rdv".into())
+            .spawn(move || serve(listener, world, sd))
+            .map_err(|e| io_err("spawn rendezvous", e))?;
+        Ok(Rendezvous { addr, shutdown, thread: Some(thread) })
+    }
+
+    /// The address workers pass to [`bootstrap_tcp`].
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+}
+
+impl Drop for Rendezvous {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn write_err(stream: &mut TcpStream, msg: &str) {
+    let mut buf = vec![1u8];
+    put_str(&mut buf, msg);
+    let _ = stream.write_all(&buf);
+}
+
+fn serve(listener: TcpListener, world: usize, shutdown: Arc<AtomicBool>) {
+    let mut generation: u32 = 0;
+    let mut pending: Vec<Option<Registration>> = (0..world).map(|_| None).collect();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => continue,
+        };
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+        let _ = stream.set_nodelay(true);
+        // Registration: magic, rank, world, epoch, data address.
+        let reg = (|| -> std::io::Result<(u32, u32, u32, String)> {
+            let magic = read_u32(&mut stream)?;
+            let rank = read_u32(&mut stream)?;
+            let w = read_u32(&mut stream)?;
+            let epoch = read_u32(&mut stream)?;
+            let addr = read_str(&mut stream)?;
+            if magic != RDV_MAGIC {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad magic"));
+            }
+            Ok((rank, w, epoch, addr))
+        })();
+        let Ok((rank, w, epoch, addr)) = reg else {
+            continue; // stray or truncated connection: drop it
+        };
+        if w as usize != world {
+            write_err(&mut stream, &format!("world mismatch: host {world}, rank sent {w}"));
+            continue;
+        }
+        let Some(slot) = pending.get_mut(rank as usize) else {
+            write_err(&mut stream, &format!("rank {rank} out of range for world {world}"));
+            continue;
+        };
+        if slot.is_some() {
+            write_err(
+                &mut stream,
+                &format!("rank {rank} already registered in generation {generation}"),
+            );
+            continue;
+        }
+        *slot = Some(Registration { addr, epoch, stream });
+        if pending.iter().all(Option::is_some) {
+            // World assembled: agree on an epoch past every stale one,
+            // broadcast the address book, advance the generation.
+            let regs: Vec<Registration> =
+                pending.iter_mut().map(|s| s.take().unwrap()).collect();
+            let adopt = regs.iter().map(|r| r.epoch).max().unwrap_or(0) + 1;
+            let mut buf = vec![0u8];
+            put_u32(&mut buf, generation);
+            put_u32(&mut buf, adopt);
+            put_u32(&mut buf, world as u32);
+            for r in &regs {
+                put_str(&mut buf, &r.addr);
+            }
+            for mut r in regs {
+                let _ = r.stream.write_all(&buf);
+            }
+            generation += 1;
+        }
+    }
+}
+
+// ---- worker side ----------------------------------------------------
+
+fn connect_with_retry(
+    addr: &str,
+    cfg: &BootstrapConfig,
+    what: &str,
+) -> Result<TcpStream, CommsError> {
+    let sa: SocketAddr = addr
+        .parse()
+        .map_err(|e| CommsError::Io(format!("{what}: bad address {addr:?}: {e}")))?;
+    let mut backoff = cfg.connect_backoff;
+    let mut last = String::new();
+    for attempt in 0..cfg.connect_retries.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_secs(2));
+        }
+        match TcpStream::connect_timeout(&sa, CONNECT_TIMEOUT) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(CommsError::Io(format!(
+        "{what}: gave up connecting to {addr} after {} attempts: {last}",
+        cfg.connect_retries.max(1)
+    )))
+}
+
+/// Joins the mesh: registers with the rendezvous at `rdv_addr`, waits
+/// for the world to assemble, wires one TCP connection per directed
+/// link, and returns a live [`TcpTransport`] plus the agreed
+/// generation/epoch. `epoch` is this rank's *current* communicator
+/// epoch (0 on first boot) so the host can hand everyone one past the
+/// stalest survivor.
+pub fn bootstrap_tcp(
+    rdv_addr: &str,
+    rank: usize,
+    world: usize,
+    epoch: u32,
+    cfg: &BootstrapConfig,
+    faults: Arc<FaultController>,
+) -> Result<(TcpTransport, BootstrapInfo), CommsError> {
+    assert!(world >= 1 && rank < world);
+    // A private listener for inbound data links, advertised via the
+    // rendezvous.
+    let data_listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("bind data listener", e))?;
+    let data_addr = data_listener
+        .local_addr()
+        .map_err(|e| io_err("data local_addr", e))?
+        .to_string();
+    data_listener
+        .set_nonblocking(true)
+        .map_err(|e| io_err("data set_nonblocking", e))?;
+
+    // Register and wait for the address book.
+    let mut rdv = connect_with_retry(rdv_addr, cfg, "rendezvous")?;
+    rdv.set_nodelay(true).map_err(|e| io_err("rendezvous set_nodelay", e))?;
+    let mut reg = Vec::new();
+    put_u32(&mut reg, RDV_MAGIC);
+    put_u32(&mut reg, rank as u32);
+    put_u32(&mut reg, world as u32);
+    put_u32(&mut reg, epoch);
+    put_str(&mut reg, &data_addr);
+    rdv.write_all(&reg).map_err(|e| io_err("rendezvous register", e))?;
+    rdv.set_read_timeout(Some(cfg.rendezvous_timeout))
+        .map_err(|e| io_err("rendezvous set_read_timeout", e))?;
+    let rdv_io = |e: std::io::Error| {
+        if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut {
+            CommsError::Io(format!(
+                "rendezvous timed out after {:?} waiting for world {world} to assemble",
+                cfg.rendezvous_timeout
+            ))
+        } else {
+            io_err("rendezvous response", e)
+        }
+    };
+    let status = read_u8(&mut rdv).map_err(rdv_io)?;
+    if status != 0 {
+        let msg = read_str(&mut rdv).unwrap_or_else(|_| "unreadable rejection".into());
+        return Err(CommsError::Mismatch(format!("rendezvous rejected rank {rank}: {msg}")));
+    }
+    let generation = read_u32(&mut rdv).map_err(rdv_io)?;
+    let adopt_epoch = read_u32(&mut rdv).map_err(rdv_io)?;
+    let w = read_u32(&mut rdv).map_err(rdv_io)? as usize;
+    if w != world {
+        return Err(CommsError::Mismatch(format!(
+            "rendezvous answered for world {w}, expected {world}"
+        )));
+    }
+    let mut peer_addrs = Vec::with_capacity(world);
+    for _ in 0..world {
+        peer_addrs.push(read_str(&mut rdv).map_err(rdv_io)?);
+    }
+
+    // Dial every peer (outbound links), announcing rank + generation.
+    let mut outbound: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+    for (peer, addr) in peer_addrs.iter().enumerate() {
+        if peer == rank {
+            continue;
+        }
+        let mut s = connect_with_retry(addr, cfg, &format!("data link to rank {peer}"))?;
+        let mut pre = Vec::new();
+        put_u32(&mut pre, PRE_MAGIC);
+        put_u32(&mut pre, rank as u32);
+        put_u32(&mut pre, generation);
+        s.write_all(&pre).map_err(|e| io_err(&format!("preamble to rank {peer}"), e))?;
+        outbound[peer] = Some(s);
+    }
+
+    // Accept the world − 1 inbound links; everyone dialed before
+    // accepting, but listener backlogs make that deadlock-free.
+    let mut inbound: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+    let deadline = Instant::now() + cfg.rendezvous_timeout;
+    while inbound.iter().filter(|s| s.is_some()).count() < world - 1 {
+        if Instant::now() >= deadline {
+            return Err(CommsError::Io(format!(
+                "rank {rank}: timed out accepting inbound data links (generation {generation})"
+            )));
+        }
+        let mut s = match data_listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(e) => return Err(io_err("accept data link", e)),
+        };
+        let _ = s.set_nonblocking(false);
+        let _ = s.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+        let pre = (|| -> std::io::Result<(u32, u32)> {
+            let magic = read_u32(&mut s)?;
+            if magic != PRE_MAGIC {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad magic"));
+            }
+            Ok((read_u32(&mut s)?, read_u32(&mut s)?))
+        })();
+        let Ok((from, gen)) = pre else {
+            continue; // stray connection
+        };
+        if gen != generation || from as usize >= world || from as usize == rank {
+            // A previous generation's socket (or nonsense): discard so
+            // stale links never join the fresh mesh.
+            continue;
+        }
+        inbound[from as usize] = Some(s);
+    }
+
+    let mesh_id = (2u64 << 32) | u64::from(generation);
+    let transport = TcpTransport::from_streams(
+        rank,
+        world,
+        mesh_id,
+        outbound,
+        inbound,
+        faults,
+        cfg.heartbeat,
+    )?;
+    if generation > 0 {
+        if telemetry::enabled() {
+            telemetry::global().counter("comms.tcp.reconnects").inc();
+        }
+        telemetry::jsonl::emit_link_event(
+            "reconnect",
+            rank,
+            None,
+            vec![
+                ("generation".into(), Json::UInt(u64::from(generation))),
+                ("epoch".into(), Json::UInt(u64::from(adopt_epoch))),
+            ],
+        );
+    }
+    Ok((transport, BootstrapInfo { generation, epoch: adopt_epoch }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_helpers_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xdead_beef);
+        put_str(&mut buf, "127.0.0.1:4242");
+        let mut r = &buf[..];
+        assert_eq!(read_u32(&mut r).unwrap(), 0xdead_beef);
+        assert_eq!(read_str(&mut r).unwrap(), "127.0.0.1:4242");
+    }
+
+    #[test]
+    fn rendezvous_single_rank_world_assembles_immediately() {
+        let rdv = Rendezvous::host("127.0.0.1:0", 1).unwrap();
+        let cfg = BootstrapConfig {
+            rendezvous_timeout: Duration::from_secs(5),
+            ..BootstrapConfig::default()
+        };
+        let (t, info) =
+            bootstrap_tcp(&rdv.addr(), 0, 1, 0, &cfg, Arc::new(FaultController::new())).unwrap();
+        assert_eq!(info, BootstrapInfo { generation: 0, epoch: 1 });
+        drop(t);
+    }
+}

@@ -240,7 +240,21 @@ impl<T: Transport> Communicator<T> {
     /// the group must bump together (same count of bumps) or tags stop
     /// agreeing.
     pub fn bump_epoch(&mut self) {
-        self.epoch += 1;
+        self.set_epoch(self.epoch + 1);
+    }
+
+    /// Adopts an externally agreed epoch — the rendezvous/bootstrap
+    /// path, where the host hands every (re)joining rank
+    /// `max(reported epochs) + 1` so a worker rejoining with a stale
+    /// epoch is drained and re-synced instead of aliasing old traffic.
+    /// Epochs never move backwards; adopting the current epoch still
+    /// drains, exactly like [`Self::bump_epoch`].
+    pub fn adopt_epoch(&mut self, epoch: u32) {
+        self.set_epoch(self.epoch.max(epoch));
+    }
+
+    fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
         self.next_id = 0;
         self.poisoned = false;
         self.rings.clear();
@@ -946,6 +960,7 @@ fn flow_name(tag: &Tag) -> String {
         Kind::Barrier => "bar",
         Kind::P2p => "p2p",
         Kind::Telemetry => "tel",
+        Kind::Heartbeat => "hb",
     };
     format!("{kind} {}:{}", tag.id, tag.step)
 }

@@ -115,6 +115,20 @@ impl FaultController {
         }
     }
 
+    /// Whether the directed link is currently cut, *without* consuming
+    /// drop budgets or advancing jitter streams. The TCP heartbeat
+    /// thread consults this (a cut link must starve the peer's liveness
+    /// monitor exactly like a dead process) while leaving the
+    /// per-message fault schedule untouched for data traffic — a
+    /// background probe must never perturb a seeded drop/jitter plan.
+    pub fn is_cut(&self, from: usize, to: usize) -> bool {
+        self.links
+            .lock()
+            .unwrap()
+            .get(&(from, to))
+            .is_some_and(|l| l.cut)
+    }
+
     pub(crate) fn decide(&self, from: usize, to: usize) -> Decision {
         let mut links = self.links.lock().unwrap();
         let Some(l) = links.get_mut(&(from, to)) else {
@@ -179,6 +193,72 @@ mod tests {
         assert_eq!(a, run());
         assert!(a.iter().any(|d| *d != Decision::Deliver(None)), "some straggle");
         assert!(a.contains(&Decision::Deliver(None)), "some don't");
+    }
+
+    #[test]
+    fn fixed_delay_applies_to_every_message() {
+        let f = FaultController::new();
+        f.delay_link(0, 1, Duration::from_millis(7));
+        for _ in 0..4 {
+            assert_eq!(f.decide(0, 1), Decision::Deliver(Some(Duration::from_millis(7))));
+        }
+        // Healing clears the delay along with everything else.
+        f.heal_link(0, 1);
+        assert_eq!(f.decide(0, 1), Decision::Deliver(None));
+    }
+
+    #[test]
+    fn delay_and_jitter_compose_additively() {
+        // A straggling message on a link that also has a fixed delay
+        // must pay both: base delay + slowdown × jitter base.
+        let f = FaultController::new();
+        f.delay_link(0, 1, Duration::from_millis(5));
+        f.jitter_link(
+            0,
+            1,
+            7,
+            StragglerModel { prob: 1.0, slowdown: 2.0 },
+            Duration::from_millis(10),
+        );
+        let Decision::Deliver(Some(d)) = f.decide(0, 1) else {
+            panic!("delayed+jittered link must deliver with a delay");
+        };
+        assert_eq!(d, Duration::from_millis(5) + Duration::from_millis(10).mul_f64(2.0));
+    }
+
+    #[test]
+    fn drop_burst_takes_priority_over_delay_then_expires() {
+        let f = FaultController::new();
+        f.delay_link(3, 1, Duration::from_millis(4));
+        f.drop_next(3, 1, 1);
+        assert_eq!(f.decide(3, 1), Decision::Drop, "drop budget first");
+        assert_eq!(
+            f.decide(3, 1),
+            Decision::Deliver(Some(Duration::from_millis(4))),
+            "delay survives the transient drop burst"
+        );
+    }
+
+    #[test]
+    fn is_cut_probe_does_not_consume_fault_budgets() {
+        let f = FaultController::new();
+        f.drop_next(0, 1, 1);
+        f.jitter_link(
+            2,
+            3,
+            9,
+            StragglerModel { prob: 1.0, slowdown: 1.5 },
+            Duration::from_millis(1),
+        );
+        // Probing must not consume the drop token or advance the RNG.
+        for _ in 0..5 {
+            assert!(!f.is_cut(0, 1));
+            assert!(!f.is_cut(2, 3));
+        }
+        assert_eq!(f.decide(0, 1), Decision::Drop, "drop token still unspent");
+        f.cut_link(0, 1);
+        assert!(f.is_cut(0, 1));
+        assert!(!f.is_cut(1, 0), "directed");
     }
 
     #[test]

@@ -31,14 +31,20 @@
 //! hanging), delay them, or drive seeded per-message jitter from
 //! `summit_sim`'s failure models.
 
+pub mod bootstrap;
 pub mod collectives;
 pub mod fault;
+pub mod heartbeat;
 pub mod reference;
+pub mod tcp;
 pub mod trace;
 pub mod transport;
 
+pub use bootstrap::{bootstrap_tcp, BootstrapConfig, BootstrapInfo, Rendezvous};
 pub use collectives::Communicator;
 pub use fault::FaultController;
+pub use heartbeat::HeartbeatConfig;
+pub use tcp::TcpTransport;
 pub use transport::{InProcTransport, Kind, Message, Payload, Tag, Transport};
 
 use std::fmt;
@@ -59,6 +65,16 @@ pub enum CommsError {
     /// A previous collective failed and the communicator has not been
     /// recovered; refusing to run rather than deadlock on stale traffic.
     Poisoned,
+    /// A socket-level failure (bind, connect, read, write, or a
+    /// malformed frame). Carries the OS error text; like every other
+    /// variant it is fail-stop, never a panic or a hang.
+    Io(String),
+    /// Heartbeat-based failure detection declared `peer` dead: its
+    /// traffic went silent for longer than the configured liveness
+    /// window. Surfaced *immediately* by receives instead of waiting
+    /// out the deadline, so recovery starts within the heartbeat
+    /// window, not the collective timeout.
+    PeerDead { rank: usize, peer: usize },
 }
 
 impl fmt::Display for CommsError {
@@ -73,6 +89,10 @@ impl fmt::Display for CommsError {
             CommsError::Mismatch(msg) => write!(f, "collective mismatch: {msg}"),
             CommsError::Poisoned => {
                 write!(f, "communicator poisoned by an earlier failure; recover first")
+            }
+            CommsError::Io(msg) => write!(f, "transport I/O error: {msg}"),
+            CommsError::PeerDead { rank, peer } => {
+                write!(f, "rank {rank}: peer {peer} declared dead (missed heartbeats)")
             }
         }
     }

@@ -1,0 +1,786 @@
+//! Cross-process transport: length-prefixed frames over `TcpStream`.
+//!
+//! [`TcpTransport`] implements the same [`Transport`] trait as the
+//! in-process mesh, so [`crate::Communicator`], the ring collectives,
+//! and both threaded runtimes run over it unchanged. Each directed
+//! link is its own TCP connection: the outbound stream is written
+//! under a mutex (shared with the heartbeat thread), the inbound
+//! stream is owned by a per-peer **reader thread** that decodes frames
+//! and feeds the same `mpsc`-channel inbox the in-process transport
+//! uses — so the tagged-stash/deadline-receive machinery is identical
+//! on both transports.
+//!
+//! # Wire format
+//!
+//! Every frame is `[len: u32 LE]` followed by `len` bytes:
+//!
+//! ```text
+//! ptype: u8 | kind: u8 | epoch: u32 | id: u64 | step: u32 | delay_us: u32 | payload…
+//! ```
+//!
+//! (all integers little-endian; f16 as raw bit patterns, so payloads
+//! round-trip bitwise). `delay_us` carries a [`FaultController`]
+//! injected delivery delay: the *sender* stamps it and the *reader*
+//! turns it into a future `deliver_at` at enqueue time, so a delayed
+//! link never blocks the reader thread and per-link FIFO order is
+//! preserved — exactly the in-process semantics.
+//!
+//! # Failure detection
+//!
+//! A background heartbeat thread pings every peer each
+//! [`HeartbeatConfig::interval`] and declares a peer dead after
+//! [`HeartbeatConfig::window`] of silence (any inbound frame counts as
+//! liveness). Receives from a dead peer return
+//! [`CommsError::PeerDead`] immediately — detection is bounded by the
+//! heartbeat window even when the collective deadline is much longer.
+//! A SIGKILLed peer usually surfaces even faster: the OS closes its
+//! sockets, the reader sees EOF, and the inbox disconnect becomes
+//! [`CommsError::Closed`].
+
+use crate::fault::{Decision, FaultController};
+use crate::heartbeat::{Health, HeartbeatConfig};
+use crate::transport::{Envelope, Kind, Message, Payload, Tag, Transport};
+use crate::CommsError;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use telemetry::json::Json;
+use tensor::f16::F16;
+
+/// One outbound stream, shared between `send` and the heartbeat thread
+/// (pings and pongs interleave with data frames under the lock — TCP
+/// preserves the write order, the reader demultiplexes by kind).
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+/// Frame body bytes before the payload (everything after the length
+/// word): ptype + kind + epoch + id + step + delay_us.
+const FRAME_HEADER: u32 = 22;
+/// Upper bound on one frame's body — anything larger is a corrupt
+/// length word, not a real message.
+const MAX_FRAME: u32 = 1 << 28;
+/// Reader-thread read timeout and receive poll slice: bounds both
+/// shutdown latency and how stale a `PeerDead` check can be.
+const POLL: Duration = Duration::from_millis(20);
+
+fn kind_code(k: Kind) -> u8 {
+    match k {
+        Kind::AllReduce => 0,
+        Kind::AllGather => 1,
+        Kind::Broadcast => 2,
+        Kind::Barrier => 3,
+        Kind::P2p => 4,
+        Kind::Telemetry => 5,
+        Kind::Heartbeat => 6,
+    }
+}
+
+fn kind_from(c: u8) -> Option<Kind> {
+    Some(match c {
+        0 => Kind::AllReduce,
+        1 => Kind::AllGather,
+        2 => Kind::Broadcast,
+        3 => Kind::Barrier,
+        4 => Kind::P2p,
+        5 => Kind::Telemetry,
+        6 => Kind::Heartbeat,
+        _ => return None,
+    })
+}
+
+fn payload_code(p: &Payload) -> u8 {
+    match p {
+        Payload::F16(_) => 0,
+        Payload::F32(_) => 1,
+        Payload::F64(_) => 2,
+        Payload::Bytes(_) => 3,
+    }
+}
+
+/// Encodes one message (plus its injected delivery delay) as a
+/// complete frame, length word included.
+fn encode_frame(msg: &Message, delay_us: u32) -> Vec<u8> {
+    let body_len = FRAME_HEADER as usize + msg.payload.data_bytes() as usize;
+    let mut buf = Vec::with_capacity(4 + body_len);
+    buf.extend_from_slice(&(body_len as u32).to_le_bytes());
+    buf.push(payload_code(&msg.payload));
+    buf.push(kind_code(msg.tag.kind));
+    buf.extend_from_slice(&msg.tag.epoch.to_le_bytes());
+    buf.extend_from_slice(&msg.tag.id.to_le_bytes());
+    buf.extend_from_slice(&msg.tag.step.to_le_bytes());
+    buf.extend_from_slice(&delay_us.to_le_bytes());
+    match &msg.payload {
+        Payload::F16(v) => {
+            for x in v {
+                buf.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+        }
+        Payload::F32(v) => {
+            for x in v {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Payload::F64(v) => {
+            for x in v {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Payload::Bytes(v) => buf.extend_from_slice(v),
+    }
+    buf
+}
+
+/// Decodes one frame body (everything after the length word).
+fn decode_frame(body: &[u8]) -> Result<(Message, u32), String> {
+    if body.len() < FRAME_HEADER as usize {
+        return Err(format!("frame body too short: {} bytes", body.len()));
+    }
+    let ptype = body[0];
+    let kind = kind_from(body[1]).ok_or_else(|| format!("unknown kind code {}", body[1]))?;
+    let epoch = u32::from_le_bytes(body[2..6].try_into().unwrap());
+    let id = u64::from_le_bytes(body[6..14].try_into().unwrap());
+    let step = u32::from_le_bytes(body[14..18].try_into().unwrap());
+    let delay_us = u32::from_le_bytes(body[18..22].try_into().unwrap());
+    let data = &body[FRAME_HEADER as usize..];
+    let payload = match ptype {
+        0 => {
+            if !data.len().is_multiple_of(2) {
+                return Err(format!("f16 payload of {} bytes", data.len()));
+            }
+            Payload::F16(
+                data.chunks_exact(2)
+                    .map(|c| F16::from_bits(u16::from_le_bytes(c.try_into().unwrap())))
+                    .collect(),
+            )
+        }
+        1 => {
+            if !data.len().is_multiple_of(4) {
+                return Err(format!("f32 payload of {} bytes", data.len()));
+            }
+            Payload::F32(
+                data.chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            )
+        }
+        2 => {
+            if !data.len().is_multiple_of(8) {
+                return Err(format!("f64 payload of {} bytes", data.len()));
+            }
+            Payload::F64(
+                data.chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            )
+        }
+        3 => Payload::Bytes(data.to_vec()),
+        _ => return Err(format!("unknown payload code {ptype}")),
+    };
+    Ok((Message { tag: Tag { epoch, kind, id, step }, payload }, delay_us))
+}
+
+fn unix_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// Reads exactly `buf.len()` bytes, riding out read timeouts (the
+/// stream has a [`POLL`] read timeout so shutdown stays responsive).
+/// Returns `Ok(false)` on orderly EOF or shutdown, `Err` on a real
+/// socket error. Partial progress is preserved across timeouts.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Per-peer reader: decodes inbound frames, refreshes the liveness
+/// clock, answers heartbeat pings in line, and enqueues data frames
+/// with their injected-delay delivery instant. Exits (dropping the
+/// inbox sender, which surfaces as [`CommsError::Closed`]) on EOF,
+/// socket error, corrupt frame, or transport shutdown.
+fn reader_loop(
+    rank: usize,
+    peer: usize,
+    mut stream: TcpStream,
+    tx: Sender<Envelope>,
+    pong: Option<SharedWriter>,
+    health: Arc<Health>,
+    shutdown: Arc<AtomicBool>,
+) {
+    loop {
+        let mut len_buf = [0u8; 4];
+        match read_full(&mut stream, &mut len_buf, &shutdown) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if !(FRAME_HEADER..=MAX_FRAME).contains(&len) {
+            telemetry::log_warn!(
+                "rank {rank}: corrupt frame length {len} from peer {peer}; closing link"
+            );
+            return;
+        }
+        let mut body = vec![0u8; len as usize];
+        match read_full(&mut stream, &mut body, &shutdown) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let (msg, delay_us) = match decode_frame(&body) {
+            Ok(d) => d,
+            Err(e) => {
+                telemetry::log_warn!(
+                    "rank {rank}: corrupt frame from peer {peer} ({e}); closing link"
+                );
+                return;
+            }
+        };
+        health.note_seen(peer);
+        match msg.tag.kind {
+            Kind::Heartbeat if msg.tag.step == 0 => {
+                // Ping: answer with a pong carrying the same timestamp.
+                if let Some(w) = &pong {
+                    let reply = Message {
+                        tag: Tag { step: 1, ..msg.tag },
+                        payload: Payload::Bytes(Vec::new()),
+                    };
+                    let _ = w.lock().unwrap().write_all(&encode_frame(&reply, 0));
+                }
+            }
+            Kind::Heartbeat => {
+                // Pong: the id is our ping's send time in unix micros.
+                let rtt = unix_micros().saturating_sub(msg.tag.id);
+                health.record_rtt(peer, rtt);
+                if telemetry::enabled() {
+                    telemetry::global()
+                        .gauge(&format!("comms.tcp.rtt_us.{rank}->{peer}"))
+                        .set(rtt as f64);
+                }
+            }
+            _ => {
+                let deliver_at =
+                    (delay_us > 0).then(|| Instant::now() + Duration::from_micros(delay_us.into()));
+                if tx.send(Envelope { deliver_at, msg }).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Heartbeat monitor: pings every live peer each interval and declares
+/// peers dead after a full window of silence. Pings consult
+/// [`FaultController::is_cut`] — a *non-consuming* probe, so the
+/// background traffic never perturbs seeded drop/jitter schedules —
+/// which makes a cut link starve the remote monitor exactly like a
+/// dead process.
+fn monitor_loop(
+    rank: usize,
+    world: usize,
+    writers: Vec<Option<SharedWriter>>,
+    health: Arc<Health>,
+    faults: Arc<FaultController>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let interval = health.config().interval;
+    let mut warned = vec![false; world];
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let nap = (interval - slept).min(Duration::from_millis(10));
+            std::thread::sleep(nap);
+            slept += nap;
+        }
+        for peer in 0..world {
+            if peer == rank || health.is_dead(peer) {
+                continue;
+            }
+            if !faults.is_cut(rank, peer) {
+                if let Some(w) = &writers[peer] {
+                    let ping = Message {
+                        tag: Tag {
+                            epoch: 0,
+                            kind: Kind::Heartbeat,
+                            id: unix_micros(),
+                            step: 0,
+                        },
+                        payload: Payload::Bytes(Vec::new()),
+                    };
+                    let _ = w.lock().unwrap().write_all(&encode_frame(&ping, 0));
+                }
+            }
+            let silent = health.silent_for(peer);
+            if silent <= interval {
+                warned[peer] = false;
+            } else if !warned[peer] && silent > interval * 2 {
+                warned[peer] = true;
+                telemetry::log_warn!(
+                    "rank {rank}: peer {peer} silent for {}ms (heartbeat misses)",
+                    silent.as_millis()
+                );
+                if telemetry::enabled() {
+                    telemetry::global().counter("comms.tcp.heartbeat_misses").inc();
+                }
+                telemetry::jsonl::emit_link_event(
+                    "heartbeat_miss",
+                    rank,
+                    Some(peer),
+                    vec![("silent_ms".into(), Json::UInt(silent.as_millis() as u64))],
+                );
+            }
+            if health.overdue(peer) && health.mark_dead(peer) {
+                telemetry::log_warn!(
+                    "rank {rank}: peer {peer} silent for {}ms — declaring dead",
+                    silent.as_millis()
+                );
+                if telemetry::enabled() {
+                    telemetry::global().counter("comms.tcp.peers_dead").inc();
+                }
+                telemetry::jsonl::emit_link_event(
+                    "peer_dead",
+                    rank,
+                    Some(peer),
+                    vec![("silent_ms".into(), Json::UInt(silent.as_millis() as u64))],
+                );
+            }
+        }
+    }
+}
+
+/// A cross-process mesh endpoint: one TCP connection per directed
+/// link, per-peer reader threads, and a heartbeat failure detector.
+/// Built by [`crate::bootstrap_tcp`] (multi-process rendezvous) or
+/// [`TcpTransport::local_mesh`] (in-process loopback, for tests and
+/// benches).
+pub struct TcpTransport {
+    rank: usize,
+    world: usize,
+    mesh_id: u64,
+    writers: Vec<Option<SharedWriter>>,
+    inbox: Vec<Option<Receiver<Envelope>>>,
+    held: Vec<Option<Envelope>>,
+    health: Arc<Health>,
+    faults: Arc<FaultController>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    bytes_sent: u64,
+    msgs_sent: u64,
+    msgs_dropped: u64,
+}
+
+impl TcpTransport {
+    /// Wires one endpoint from already-connected streams: `outbound[p]`
+    /// is written to peer `p`, `inbound[p]` is read by a dedicated
+    /// thread. Spawns `world − 1` readers plus the heartbeat monitor.
+    pub(crate) fn from_streams(
+        rank: usize,
+        world: usize,
+        mesh_id: u64,
+        outbound: Vec<Option<TcpStream>>,
+        inbound: Vec<Option<TcpStream>>,
+        faults: Arc<FaultController>,
+        hb: HeartbeatConfig,
+    ) -> Result<TcpTransport, CommsError> {
+        assert_eq!(outbound.len(), world);
+        assert_eq!(inbound.len(), world);
+        let io_err = |what: &str, e: std::io::Error| CommsError::Io(format!("{what}: {e}"));
+        let mut writers: Vec<Option<SharedWriter>> = Vec::with_capacity(world);
+        for s in outbound {
+            writers.push(match s {
+                Some(s) => {
+                    s.set_nodelay(true).map_err(|e| io_err("set_nodelay", e))?;
+                    Some(Arc::new(Mutex::new(s)))
+                }
+                None => None,
+            });
+        }
+        let health = Arc::new(Health::new(world, hb));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut inbox = Vec::with_capacity(world);
+        let mut threads = Vec::new();
+        for (peer, stream) in inbound.into_iter().enumerate() {
+            let Some(s) = stream else {
+                inbox.push(None);
+                continue;
+            };
+            s.set_nodelay(true).map_err(|e| io_err("set_nodelay", e))?;
+            s.set_read_timeout(Some(POLL)).map_err(|e| io_err("set_read_timeout", e))?;
+            let (tx, rx) = channel();
+            inbox.push(Some(rx));
+            let pong = writers[peer].clone();
+            let h = Arc::clone(&health);
+            let sd = Arc::clone(&shutdown);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("tcp-rd-{rank}<{peer}"))
+                    .spawn(move || reader_loop(rank, peer, s, tx, pong, h, sd))
+                    .map_err(|e| io_err("spawn reader", e))?,
+            );
+        }
+        let w = writers.clone();
+        let h = Arc::clone(&health);
+        let f = Arc::clone(&faults);
+        let sd = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("tcp-hb-{rank}"))
+                .spawn(move || monitor_loop(rank, world, w, h, f, sd))
+                .map_err(|e| io_err("spawn heartbeat", e))?,
+        );
+        Ok(TcpTransport {
+            rank,
+            world,
+            mesh_id,
+            writers,
+            inbox,
+            held: (0..world).map(|_| None).collect(),
+            health,
+            faults,
+            shutdown,
+            threads,
+            bytes_sent: 0,
+            msgs_sent: 0,
+            msgs_dropped: 0,
+        })
+    }
+
+    /// A fault-free loopback mesh with default heartbeat parameters.
+    pub fn local_mesh(world: usize) -> Result<Vec<TcpTransport>, CommsError> {
+        Self::local_mesh_with(world, Arc::new(FaultController::new()), HeartbeatConfig::default())
+    }
+
+    /// Builds a full mesh of `world` endpoints over 127.0.0.1 sockets in
+    /// one process — real TCP framing and reader threads, no rendezvous.
+    /// Every link consults `faults` on send, exactly like
+    /// [`InProcTransport::mesh_with_faults`](crate::InProcTransport::mesh_with_faults).
+    pub fn local_mesh_with(
+        world: usize,
+        faults: Arc<FaultController>,
+        hb: HeartbeatConfig,
+    ) -> Result<Vec<TcpTransport>, CommsError> {
+        assert!(world >= 1, "a mesh needs at least one rank");
+        let io_err = |what: &str, e: std::io::Error| CommsError::Io(format!("{what}: {e}"));
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("bind loopback", e))?;
+        let addr = listener.local_addr().map_err(|e| io_err("local_addr", e))?;
+        let mut outbound: Vec<Vec<Option<TcpStream>>> =
+            (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
+        let mut inbound: Vec<Vec<Option<TcpStream>>> =
+            (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
+        for from in 0..world {
+            for to in 0..world {
+                if from == to {
+                    continue;
+                }
+                // The listener backlog queues the connection, so a
+                // sequential connect-then-accept cannot deadlock.
+                let c = TcpStream::connect(addr).map_err(|e| io_err("connect loopback", e))?;
+                let (a, _) = listener.accept().map_err(|e| io_err("accept loopback", e))?;
+                outbound[from][to] = Some(c);
+                inbound[to][from] = Some(a);
+            }
+        }
+        let mesh_id = next_mesh_id();
+        outbound
+            .into_iter()
+            .zip(inbound)
+            .enumerate()
+            .map(|(rank, (out, inb))| {
+                Self::from_streams(rank, world, mesh_id, out, inb, Arc::clone(&faults), hb)
+            })
+            .collect()
+    }
+
+    /// The shared fault controller (for tests that only hold endpoints).
+    pub fn faults(&self) -> &Arc<FaultController> {
+        &self.faults
+    }
+
+    /// Whether the failure detector has declared `peer` dead.
+    pub fn peer_dead(&self, peer: usize) -> bool {
+        self.health.is_dead(peer)
+    }
+
+    /// Last measured heartbeat round trip to `peer`, if any pong has
+    /// come back yet.
+    pub fn rtt_us(&self, peer: usize) -> Option<u64> {
+        self.health.rtt_us(peer)
+    }
+
+    fn closed(&self, peer: usize) -> CommsError {
+        CommsError::Closed { rank: self.rank, peer }
+    }
+
+    fn dead(&self, peer: usize) -> CommsError {
+        CommsError::PeerDead { rank: self.rank, peer }
+    }
+}
+
+/// Process-unique mesh ids for loopback meshes, salted into a distinct
+/// range from in-process mesh ids so flow-trace ids never collide.
+fn next_mesh_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    (1 << 32) | NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("rank", &self.rank)
+            .field("world", &self.world)
+            .field("mesh_id", &self.mesh_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world(&self) -> usize {
+        self.world
+    }
+
+    fn mesh_id(&self) -> u64 {
+        self.mesh_id
+    }
+
+    fn send(&mut self, to: usize, msg: Message) -> Result<(), CommsError> {
+        let Some(w) = self.writers.get(to).and_then(|o| o.as_ref()).map(Arc::clone) else {
+            return Err(CommsError::Mismatch(format!("send to invalid rank {to}")));
+        };
+        self.bytes_sent += msg.payload.wire_bytes();
+        self.msgs_sent += 1;
+        if self.health.is_dead(to) {
+            self.msgs_dropped += 1;
+            return Err(self.dead(to));
+        }
+        match self.faults.decide(self.rank, to) {
+            Decision::Drop => {
+                self.msgs_dropped += 1;
+                Ok(())
+            }
+            Decision::Deliver(delay) => {
+                let delay_us =
+                    delay.map_or(0u32, |d| d.as_micros().min(u128::from(u32::MAX)) as u32);
+                let frame = encode_frame(&msg, delay_us);
+                w.lock()
+                    .unwrap()
+                    .write_all(&frame)
+                    .map_err(|e| CommsError::Io(format!("write to rank {to}: {e}")))
+            }
+        }
+    }
+
+    fn recv_from(&mut self, from: usize, deadline: Instant) -> Result<Message, CommsError> {
+        let timeout = || CommsError::Timeout { rank: self.rank, from };
+        loop {
+            if self.health.is_dead(from) {
+                return Err(self.dead(from));
+            }
+            let now = Instant::now();
+            if let Some(env) = self.held[from].take() {
+                match env.deliver_at {
+                    Some(at) if at > now => {
+                        if at > deadline {
+                            // FIFO: this *is* the next message and it
+                            // cannot arrive in time.
+                            self.held[from] = Some(env);
+                            return Err(timeout());
+                        }
+                        std::thread::sleep((at - now).min(POLL));
+                        self.held[from] = Some(env);
+                        continue;
+                    }
+                    _ => return Ok(env.msg),
+                }
+            }
+            if now >= deadline {
+                return Err(timeout());
+            }
+            let rx = self.inbox[from]
+                .as_ref()
+                .ok_or_else(|| CommsError::Mismatch(format!("recv from invalid rank {from}")))?;
+            // Poll in short slices so a mid-wait PeerDead verdict
+            // surfaces within ~POLL instead of the full deadline.
+            match rx.recv_timeout((deadline - now).min(POLL)) {
+                Ok(env) => self.held[from] = Some(env),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Err(self.closed(from)),
+            }
+        }
+    }
+
+    fn try_recv_from(&mut self, from: usize) -> Result<Option<Message>, CommsError> {
+        if from < self.world && from != self.rank && self.health.is_dead(from) {
+            return Err(self.dead(from));
+        }
+        let now = Instant::now();
+        if let Some(env) = self.held[from].take() {
+            match env.deliver_at {
+                Some(at) if at > now => {
+                    self.held[from] = Some(env);
+                    return Ok(None);
+                }
+                _ => return Ok(Some(env.msg)),
+            }
+        }
+        let Some(rx) = self.inbox[from].as_ref() else {
+            return Ok(None);
+        };
+        match rx.try_recv() {
+            Ok(env) => match env.deliver_at {
+                Some(at) if at > now => {
+                    self.held[from] = Some(env);
+                    Ok(None)
+                }
+                _ => Ok(Some(env.msg)),
+            },
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(self.closed(from)),
+        }
+    }
+
+    fn drain(&mut self) {
+        for from in 0..self.world {
+            self.held[from] = None;
+            if let Some(rx) = self.inbox[from].as_ref() {
+                while rx.try_recv().is_ok() {}
+            }
+        }
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    fn msgs_sent(&self) -> u64 {
+        self.msgs_sent
+    }
+
+    fn msgs_dropped(&self) -> u64 {
+        self.msgs_dropped
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Closing the outbound half lets the peer's readers see EOF
+        // promptly; our own readers exit on the flag within one POLL.
+        for w in self.writers.iter().flatten() {
+            let _ = w.lock().unwrap().shutdown(Shutdown::Both);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(kind: Kind, id: u64, payload: Payload) -> Message {
+        Message { tag: Tag { epoch: 3, kind, id, step: 7 }, payload }
+    }
+
+    #[test]
+    fn frames_roundtrip_every_payload_type_bitwise() {
+        let cases = vec![
+            msg(Kind::AllReduce, 1, Payload::F16(vec![
+                F16::from_bits(0x3c00),
+                F16::from_bits(0x8001), // -min subnormal: bit pattern must survive
+                F16::from_bits(0x7e00), // NaN
+            ])),
+            msg(Kind::P2p, 2, Payload::F32(vec![1.5, -0.0, f32::NAN])),
+            msg(Kind::AllGather, 3, Payload::F64(vec![2.0_f64.powi(-40)])),
+            msg(Kind::Barrier, 4, Payload::Bytes(vec![0, 255, 7])),
+            msg(Kind::Heartbeat, 5, Payload::Bytes(Vec::new())),
+        ];
+        for m in cases {
+            let frame = encode_frame(&m, 1234);
+            let len = u32::from_le_bytes(frame[..4].try_into().unwrap());
+            assert_eq!(len as usize, frame.len() - 4);
+            let (back, delay) = decode_frame(&frame[4..]).unwrap();
+            assert_eq!(delay, 1234);
+            assert_eq!(back.tag, m.tag);
+            // Bitwise comparison (PartialEq on f32/f64 fails on NaN).
+            match (&back.payload, &m.payload) {
+                (Payload::F16(a), Payload::F16(b)) => {
+                    assert_eq!(
+                        a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                    );
+                }
+                (Payload::F32(a), Payload::F32(b)) => {
+                    assert_eq!(
+                        a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                    );
+                }
+                (Payload::F64(a), Payload::F64(b)) => {
+                    assert_eq!(
+                        a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                    );
+                }
+                (Payload::Bytes(a), Payload::Bytes(b)) => assert_eq!(a, b),
+                _ => panic!("payload type changed in transit"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_not_panicked() {
+        assert!(decode_frame(&[0u8; 5]).is_err(), "truncated header");
+        let good = encode_frame(&msg(Kind::Barrier, 0, Payload::Bytes(vec![])), 0);
+        let mut bad_kind = good[4..].to_vec();
+        bad_kind[1] = 99;
+        assert!(decode_frame(&bad_kind).is_err());
+        let mut bad_ptype = good[4..].to_vec();
+        bad_ptype[0] = 42;
+        assert!(decode_frame(&bad_ptype).is_err());
+        // An f64 payload whose byte count is not a multiple of 8.
+        let mut ragged = encode_frame(&msg(Kind::AllReduce, 0, Payload::F64(vec![1.0])), 0);
+        ragged.truncate(ragged.len() - 3);
+        assert!(decode_frame(&ragged[4..]).is_err());
+    }
+
+    #[test]
+    fn wire_bytes_model_matches_frame_overhead_order() {
+        // The accounting model charges HEADER_BYTES = 16 per message;
+        // the real frame spends 4 (len) + 22 (header) = 26. Both are
+        // O(1) per message — assert the real header stays a small
+        // constant so the model remains a sane proxy.
+        let m = msg(Kind::AllReduce, 9, Payload::F16(vec![F16::from_f32(1.0); 10]));
+        let frame = encode_frame(&m, 0);
+        assert_eq!(frame.len(), 4 + 22 + 20);
+    }
+}

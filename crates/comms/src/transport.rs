@@ -69,6 +69,13 @@ pub enum Kind {
     /// a collective, so telemetry traffic is sent and received through
     /// the non-poisoning best-effort paths only.
     Telemetry,
+    /// Liveness probes on a socket transport: a background thread pings
+    /// every peer each interval (`step` 0) and the peer's reader
+    /// answers in line (`step` 1), yielding a per-link RTT gauge.
+    /// Heartbeats are consumed inside the transport — they refresh the
+    /// peer's last-seen clock and never reach the tagged inbox, so the
+    /// collectives are oblivious to them.
+    Heartbeat,
 }
 
 /// Self-describing routing header. `(epoch, kind, id, step)` is unique
@@ -97,10 +104,12 @@ pub struct Message {
 }
 
 /// An envelope in flight; the fault injector may stamp a future
-/// delivery instant (link delay).
-struct Envelope {
-    deliver_at: Option<Instant>,
-    msg: Message,
+/// delivery instant (link delay). Shared with the TCP transport, whose
+/// reader threads stamp `deliver_at` at enqueue time (carrying the
+/// injected delay in the frame) so a slow link never blocks the reader.
+pub(crate) struct Envelope {
+    pub(crate) deliver_at: Option<Instant>,
+    pub(crate) msg: Message,
 }
 
 /// A rank's endpoint: non-blocking sends, per-peer FIFO receives with a

@@ -39,6 +39,7 @@
 pub mod checkpoint;
 pub mod compressed;
 pub mod data_parallel;
+pub mod dist;
 pub mod memory;
 pub mod pipeline;
 pub mod sentinel;
@@ -52,6 +53,7 @@ pub use checkpoint::{CheckpointConfig, CheckpointManager};
 pub use compressed::{compress_f16, compress_f32, expand_f16, expand_f32};
 pub use memory::{m_default_bytes, m_samo_bytes, samo_savings_fraction, SamoBreakdown};
 pub use data_parallel::DataParallelSamo;
+pub use dist::DistDataParallel;
 pub use pipeline::{PipelineConfig, StageStats, ThreadedPipelineSamo};
 pub use sentinel::{DivergenceSentinel, SentinelConfig, Verdict};
 pub use serialize::TrainerMeta;

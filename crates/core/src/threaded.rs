@@ -87,14 +87,16 @@ enum Resp {
     Ack,
 }
 
-/// Everything one rank thread owns.
-struct Rank<M: Layer> {
+/// Everything one rank thread owns. Generic over the transport: the
+/// in-process mesh by default, loopback TCP endpoints when built via
+/// [`ThreadedDataParallelSamo::with_transports`].
+struct Rank<M: Layer, T: Transport> {
     rank: usize,
     model: M,
     states: Vec<ShardedSamoLayerState>,
     opt: Optimizer,
     scaler: LossScaler,
-    comm: Communicator<InProcTransport>,
+    comm: Communicator<T>,
     poisoned: bool,
     steps_taken: u64,
     steps_skipped: u64,
@@ -103,7 +105,7 @@ struct Rank<M: Layer> {
     rank_dur_stats: Vec<(f64, u64)>,
 }
 
-impl<M: Layer> Rank<M> {
+impl<M: Layer, T: Transport> Rank<M, T> {
     fn step(&mut self, f: &StepFn<M>) -> Result<StepOutcome, CommsError> {
         if self.poisoned {
             return Err(CommsError::Poisoned);
@@ -393,7 +395,7 @@ impl<M: Layer> Rank<M> {
     }
 }
 
-fn rank_loop<M: Layer>(mut rk: Rank<M>, rx: Receiver<Cmd<M>>, tx: Sender<Resp>) {
+fn rank_loop<M: Layer, T: Transport>(mut rk: Rank<M, T>, rx: Receiver<Cmd<M>>, tx: Sender<Resp>) {
     while let Ok(cmd) = rx.recv() {
         let resp = match cmd {
             Cmd::Step(f) => Resp::Step(rk.step(&f)),
@@ -451,16 +453,37 @@ impl<M: Layer + Send + 'static> ThreadedDataParallelSamo<M> {
     /// Like [`Self::new`] with an explicit collective deadline (tests
     /// with injected faults want a short one).
     pub fn with_comm_timeout(
+        replicas: Vec<M>,
+        masks: Vec<Mask>,
+        opt: Optimizer,
+        timeout: Duration,
+    ) -> ThreadedDataParallelSamo<M> {
+        let faults = Arc::new(FaultController::new());
+        let mesh = InProcTransport::mesh_with_faults(replicas.len(), Arc::clone(&faults));
+        Self::with_transports(replicas, masks, opt, timeout, mesh, faults)
+    }
+
+    /// Builds the group over caller-supplied transport endpoints — the
+    /// same rank threads and collectives, but the wires can be anything
+    /// implementing [`Transport`] (e.g. loopback
+    /// [`comms::TcpTransport::local_mesh`] endpoints, proving the
+    /// runtime is transport-agnostic bit for bit). `transports[r]` must
+    /// report rank `r`; `faults` should be the controller those
+    /// transports were built with so [`Self::faults`] still steers them.
+    pub fn with_transports<T: Transport + 'static>(
         mut replicas: Vec<M>,
         masks: Vec<Mask>,
         opt: Optimizer,
         timeout: Duration,
+        transports: Vec<T>,
+        faults: Arc<FaultController>,
     ) -> ThreadedDataParallelSamo<M> {
         assert!(
             !replicas.is_empty(),
             "ThreadedDataParallelSamo needs at least one replica"
         );
         let d = replicas.len();
+        assert_eq!(transports.len(), d, "one transport endpoint per replica");
         {
             let first: Vec<Vec<f32>> = replicas[0]
                 .params()
@@ -478,15 +501,14 @@ impl<M: Layer + Send + 'static> ThreadedDataParallelSamo<M> {
                 }
             }
         }
-        let faults = Arc::new(FaultController::new());
-        let mesh = InProcTransport::mesh_with_faults(d, Arc::clone(&faults));
         let scaler = LossScaler::default();
         let mut numel = 0;
         let mut nnz = 0;
         let mut cmd = Vec::with_capacity(d);
         let mut resp = Vec::with_capacity(d);
         let mut handles = Vec::with_capacity(d);
-        for (rank, (mut model, t)) in replicas.drain(..).zip(mesh).enumerate() {
+        for (rank, (mut model, t)) in replicas.drain(..).zip(transports).enumerate() {
+            assert_eq!(t.rank(), rank, "transport endpoints must arrive in rank order");
             let params = model.params_mut();
             assert_eq!(params.len(), masks.len(), "one mask per parameter");
             let mut states = Vec::with_capacity(params.len());

@@ -82,6 +82,9 @@ pub fn check_layer<L: Layer>(
     // Numeric parameter gradients.
     let mut max_param_err = 0.0f32;
     let param_count = analytic_param_grads.len();
+    // Indexing (not iterating) `analytic_param_grads`: the loop body
+    // needs `layer` mutably, which an iterator borrow would block.
+    #[allow(clippy::needless_range_loop)]
     for pi in 0..param_count {
         let numel = layer.params()[pi].numel();
         let stride = (numel / max_checks.max(1)).max(1);

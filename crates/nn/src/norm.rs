@@ -43,12 +43,12 @@ impl Layer for LayerNorm {
         let gs = self.gamma.value.as_slice();
         let bs = self.beta.value.as_slice();
         let mut y = Tensor::zeros(x.shape());
-        for r in 0..rows {
+        for (r, inv_std_r) in inv_std.iter_mut().enumerate() {
             let xr = &x.as_slice()[r * d..(r + 1) * d];
             let mean = xr.iter().sum::<f32>() / d as f32;
             let var = xr.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let istd = 1.0 / (var + self.eps).sqrt();
-            inv_std[r] = istd;
+            *inv_std_r = istd;
             let xh = &mut xhat.as_mut_slice()[r * d..(r + 1) * d];
             let yr = &mut y.as_mut_slice()[r * d..(r + 1) * d];
             for j in 0..d {
@@ -69,7 +69,7 @@ impl Layer for LayerNorm {
         let dgamma = self.gamma.grad.as_mut_slice();
         let dbeta = self.beta.grad.as_mut_slice();
         let mut dx = Tensor::zeros(dy.shape());
-        for r in 0..rows {
+        for (r, &inv_std_r) in inv_std.iter().enumerate().take(rows) {
             let dyr = &dy.as_slice()[r * d..(r + 1) * d];
             let xh = &xhat.as_slice()[r * d..(r + 1) * d];
             // Parameter grads.
@@ -91,7 +91,7 @@ impl Layer for LayerNorm {
             let dxr = &mut dx.as_mut_slice()[r * d..(r + 1) * d];
             for j in 0..d {
                 let dxh = dyr[j] * gs[j];
-                dxr[j] = (dxh - m1 - xh[j] * m2) * inv_std[r];
+                dxr[j] = (dxh - m1 - xh[j] * m2) * inv_std_r;
             }
         }
         dx

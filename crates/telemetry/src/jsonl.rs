@@ -134,6 +134,33 @@ pub fn emit_line(obj: &Json) {
     }
 }
 
+/// Append one transport-health record (`kind: "link_event"`) to
+/// `metrics.jsonl` — heartbeat misses, peers declared dead, reconnects
+/// after a relaunch. `peer` is omitted for events that concern the
+/// whole endpoint (e.g. a rejoin); `fields` carries event-specific
+/// context such as silence duration or bootstrap generation. Same
+/// gating and error policy as [`emit_step`].
+pub fn emit_link_event(
+    event: &str,
+    rank: usize,
+    peer: Option<usize>,
+    fields: Vec<(String, Json)>,
+) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut obj: Vec<(String, Json)> = vec![
+        ("kind".into(), Json::from("link_event")),
+        ("event".into(), Json::from(event)),
+        ("rank".into(), Json::UInt(rank as u64)),
+    ];
+    if let Some(p) = peer {
+        obj.push(("peer".into(), Json::UInt(p as u64)));
+    }
+    obj.extend(fields);
+    emit_line(&Json::Obj(obj));
+}
+
 /// Flush the JSONL sink. No-op while telemetry is disabled (so this
 /// never opens — and truncates — the file as a side effect).
 pub fn flush() {

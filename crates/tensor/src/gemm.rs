@@ -354,6 +354,9 @@ fn pack_a(
     }
 }
 
+// The argument list mirrors the BLAS sgemm signature one-for-one;
+// bundling them into a struct would just rename the problem.
+#[allow(clippy::too_many_arguments)]
 fn check_dims(
     transa: bool,
     transb: bool,

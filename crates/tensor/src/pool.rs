@@ -327,8 +327,8 @@ mod tests {
         let mut hits = vec![AtomicUsize::new(0), AtomicUsize::new(0)];
         hits.resize_with(10_000, || AtomicUsize::new(0));
         par_ranges(10_000, 16, |start, end| {
-            for i in start..end {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[start..end] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
