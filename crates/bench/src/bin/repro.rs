@@ -16,6 +16,11 @@
 //!                         same ring all-reduce, bitwise cross-checked;
 //!                         merges a `tcp` section into
 //!                         BENCH_hotpaths.json; NOT part of `all`)
+//!                simd    (SIMD compute tier: scalar vs AVX2 per
+//!                         dispatched kernel, 2:4 structured spMM vs
+//!                         dense/CSR, int8 vs f32 GEMM; self-gating;
+//!                         merges a `simd` section into
+//!                         BENCH_hotpaths.json; NOT part of `all`)
 //!                trace-analyze (offline critical-path / decomposition /
 //!                         flow-census analysis of a `--trace` file;
 //!                         merges an `analysis` section into
@@ -168,6 +173,14 @@ fn main() {
             drop(sp);
             ran = true;
         }
+        if what == "simd" && failed.is_none() {
+            let sp = telemetry::enabled().then(|| telemetry::span("repro.simd"));
+            if let Err(e) = bench::simd_bench::run(quick) {
+                failed = Some(format!("simd: {e}"));
+            }
+            drop(sp);
+            ran = true;
+        }
         if what == "pipeline" && failed.is_none() {
             let sp = telemetry::enabled().then(|| telemetry::span("repro.pipeline"));
             if let Err(e) = bench::pipeline_bench::run(quick) {
@@ -189,7 +202,7 @@ fn main() {
     }
     if !ran {
         eprintln!(
-            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench comms tcp pipeline trace-analyze"
+            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench comms tcp simd pipeline trace-analyze"
         );
         std::process::exit(2);
     }

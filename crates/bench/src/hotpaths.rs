@@ -36,6 +36,15 @@ struct KernelResult {
     reps: usize,
     runs_ms: Vec<f64>,
     best_ms: f64,
+    /// Arithmetic work per invocation, for GEMM-shaped kernels — emitted
+    /// as `gflops` (= flops / best_ms / 1e6) alongside `best_ms`.
+    flops: Option<u64>,
+    /// Bytes moved per invocation, for memory-bound kernels — emitted as
+    /// `gb_s`. The accounting is the *algorithmic* traffic (every index,
+    /// source and destination element touched exactly once), not
+    /// cacheline-granular DRAM traffic, so it is a stable, comparable
+    /// lower bound across machines.
+    bytes: Option<u64>,
 }
 
 /// Runs `f` `reps` times per sample, `best_of` samples; returns each
@@ -103,7 +112,7 @@ pub fn run(quick: bool) -> Result<(), String> {
             assert!(finite);
             st.optimizer_step_fused(&opt, 1.0, &mut dense);
         });
-        results.push(KernelResult { name: "samo_step_fused", n: phi, reps, runs_ms, best_ms });
+        results.push(KernelResult { name: "samo_step_fused", n: phi, reps, runs_ms, best_ms, flops: None, bytes: None });
     }
     {
         let mut st = SamoLayerState::from_params(&init, mask.clone(), &opt);
@@ -114,7 +123,7 @@ pub fn run(quick: bool) -> Result<(), String> {
             st.optimizer_step(&opt, 1.0);
             dense.copy_from_slice(&st.dense_f32_params());
         });
-        results.push(KernelResult { name: "samo_step_reference", n: phi, reps, runs_ms, best_ms });
+        results.push(KernelResult { name: "samo_step_reference", n: phi, reps, runs_ms, best_ms, flops: None, bytes: None });
     }
 
     // --- GEMM: one large square multiply, one attention-shaped swarm. -
@@ -126,7 +135,15 @@ pub fn run(quick: bool) -> Result<(), String> {
         let (runs_ms, best_ms) = sample(best_of, reps, || {
             matmul(dim, dim, dim, &a, &b, &mut c);
         });
-        results.push(KernelResult { name: "gemm_256", n: dim * dim * dim, reps, runs_ms, best_ms });
+        results.push(KernelResult {
+            name: "gemm_256",
+            n: dim * dim * dim,
+            reps,
+            runs_ms,
+            best_ms,
+            flops: Some(2 * (dim * dim * dim) as u64),
+            bytes: None,
+        });
     }
     {
         // Fig. 4's attention inner loop: batch x heads = 64 score GEMMs
@@ -146,6 +163,8 @@ pub fn run(quick: bool) -> Result<(), String> {
             reps,
             runs_ms,
             best_ms,
+            flops: Some(2 * (loops * seq * seq * hd) as u64),
+            bytes: None,
         });
     }
 
@@ -155,21 +174,49 @@ pub fn run(quick: bool) -> Result<(), String> {
         let (runs_ms, best_ms) = sample(best_of, reps, || {
             std::hint::black_box(compress_f32(std::hint::black_box(&dense32), &mask));
         });
-        results.push(KernelResult { name: "compress_f32", n: phi, reps, runs_ms, best_ms });
+        // Gather: 4 B index + 4 B source read + 4 B write per nonzero.
+        results.push(KernelResult {
+            name: "compress_f32",
+            n: phi,
+            reps,
+            runs_ms,
+            best_ms,
+            flops: None,
+            bytes: Some(12 * mask.nnz() as u64),
+        });
     }
     let values16: Vec<F16> = dense32[..mask.nnz()].iter().map(|&v| F16::from_f32(v)).collect();
     {
         let (runs_ms, best_ms) = sample(best_of, reps, || {
             std::hint::black_box(expand_f16(std::hint::black_box(&values16), &mask));
         });
-        results.push(KernelResult { name: "expand_f16", n: phi, reps, runs_ms, best_ms });
+        // Scatter into a dense f16 buffer: the full 2 B/elem output is
+        // written (zeros included) plus 2 B value + 4 B index per nonzero.
+        results.push(KernelResult {
+            name: "expand_f16",
+            n: phi,
+            reps,
+            runs_ms,
+            best_ms,
+            flops: None,
+            bytes: Some(2 * phi as u64 + 6 * mask.nnz() as u64),
+        });
     }
     let dense16: Vec<F16> = dense32.iter().map(|&v| F16::from_f32(v)).collect();
     {
         let (runs_ms, best_ms) = sample(best_of, reps, || {
             std::hint::black_box(compress_f16(std::hint::black_box(&dense16), &mask));
         });
-        results.push(KernelResult { name: "compress_f16", n: phi, reps, runs_ms, best_ms });
+        // Gather: 4 B index + 2 B source read + 2 B write per nonzero.
+        results.push(KernelResult {
+            name: "compress_f16",
+            n: phi,
+            reps,
+            runs_ms,
+            best_ms,
+            flops: None,
+            bytes: Some(8 * mask.nnz() as u64),
+        });
     }
 
     // --- Compressed gradient all-reduce (4 ranks). --------------------
@@ -183,22 +230,31 @@ pub fn run(quick: bool) -> Result<(), String> {
             let mut views: Vec<&mut [F16]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
             allreduce_mean_f16(&mut views).expect("matching layouts");
         });
+        // Every rank's buffer is read and rewritten in place: 4 B/elem.
         results.push(KernelResult {
             name: "allreduce_compressed",
             n: ranks * nnz,
             reps,
             runs_ms,
             best_ms,
+            flops: None,
+            bytes: Some(4 * (ranks * nnz) as u64),
         });
     }
 
     // --- Report. ------------------------------------------------------
-    let mut tab = crate::Table::new("bench_hotpaths", &["kernel", "n", "best_ms", "samples"]);
+    let mut tab =
+        crate::Table::new("bench_hotpaths", &["kernel", "n", "best_ms", "throughput", "samples"]);
     for r in &results {
         tab.push(vec![
             r.name.to_string(),
             r.n.to_string(),
             format!("{:.4}", r.best_ms),
+            match (r.flops, r.bytes) {
+                (Some(f), _) => format!("{:.2} GFLOP/s", gflops(f, r.best_ms)),
+                (_, Some(b)) => format!("{:.2} GB/s", gb_s(b, r.best_ms)),
+                _ => "-".to_string(),
+            },
             r.runs_ms.iter().map(|m| format!("{m:.4}")).collect::<Vec<_>>().join(" "),
         ]);
     }
@@ -209,6 +265,16 @@ pub fn run(quick: bool) -> Result<(), String> {
     let path = write_json(&results, quick, best_of).map_err(|e| format!("write BENCH_hotpaths.json: {e}"))?;
     println!("wrote {path}");
     Ok(())
+}
+
+/// GFLOP/s at `flops` of work per invocation taking `best_ms`.
+fn gflops(flops: u64, best_ms: f64) -> f64 {
+    flops as f64 / (best_ms * 1e6)
+}
+
+/// GB/s at `bytes` of algorithmic traffic per invocation taking `best_ms`.
+fn gb_s(bytes: u64, best_ms: f64) -> f64 {
+    bytes as f64 / (best_ms * 1e6)
 }
 
 /// Serializes the results. Schema documented in EXPERIMENTS.md; bump
@@ -226,7 +292,7 @@ fn write_json(results: &[KernelResult], quick: bool, best_of: usize) -> std::io:
         results
             .iter()
             .map(|r| {
-                Json::Obj(vec![
+                let mut obj = vec![
                     ("name".to_string(), Json::Str(r.name.to_string())),
                     ("n".to_string(), Json::UInt(r.n as u64)),
                     ("reps".to_string(), Json::UInt(r.reps as u64)),
@@ -235,7 +301,14 @@ fn write_json(results: &[KernelResult], quick: bool, best_of: usize) -> std::io:
                         "runs_ms".to_string(),
                         Json::Arr(r.runs_ms.iter().map(|&m| round6(m)).collect()),
                     ),
-                ])
+                ];
+                if let Some(f) = r.flops {
+                    obj.push(("gflops".to_string(), round6(gflops(f, r.best_ms))));
+                }
+                if let Some(b) = r.bytes {
+                    obj.push(("gb_s".to_string(), round6(gb_s(b, r.best_ms))));
+                }
+                Json::Obj(obj)
             })
             .collect(),
     );

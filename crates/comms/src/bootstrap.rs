@@ -261,7 +261,13 @@ fn connect_with_retry(
             backoff = (backoff * 2).min(Duration::from_secs(2));
         }
         match TcpStream::connect_timeout(&sa, CONNECT_TIMEOUT) {
-            Ok(s) => return Ok(s),
+            Ok(s) => {
+                // Every bootstrap exchange is a short request/response
+                // (registration, preambles): without TCP_NODELAY each
+                // leg eats a Nagle/delayed-ACK stall.
+                s.set_nodelay(true).map_err(|e| io_err(&format!("{what}: set_nodelay"), e))?;
+                return Ok(s);
+            }
             Err(e) => last = e.to_string(),
         }
     }
@@ -300,7 +306,6 @@ pub fn bootstrap_tcp(
 
     // Register and wait for the address book.
     let mut rdv = connect_with_retry(rdv_addr, cfg, "rendezvous")?;
-    rdv.set_nodelay(true).map_err(|e| io_err("rendezvous set_nodelay", e))?;
     let mut reg = Vec::new();
     put_u32(&mut reg, RDV_MAGIC);
     put_u32(&mut reg, rank as u32);
@@ -372,6 +377,7 @@ pub fn bootstrap_tcp(
             Err(e) => return Err(io_err("accept data link", e)),
         };
         let _ = s.set_nonblocking(false);
+        let _ = s.set_nodelay(true);
         let _ = s.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
         let pre = (|| -> std::io::Result<(u32, u32)> {
             let magic = read_u32(&mut s)?;

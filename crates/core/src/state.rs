@@ -22,6 +22,7 @@ use prune::Mask;
 use std::sync::atomic::{AtomicBool, Ordering};
 use tensor::f16::{to_f32_table, F16};
 use tensor::pool::par_ranges;
+use tensor::simd;
 
 /// `par_ranges` granularity for the fused step kernels: enough work per
 /// chunk that fork–join overhead stays negligible.
@@ -138,25 +139,23 @@ impl SamoLayerState {
     /// dense gradient once and never re-scans the compressed buffer.
     ///
     /// Returns `true` when every stored gradient is finite (i.e. `false`
-    /// signals loss-scale overflow).
+    /// signals loss-scale overflow). Each chunk runs through
+    /// [`tensor::simd::gather_narrow_finite`], so on AVX2 hardware the
+    /// gather + round + finiteness check are all vectorized; the scalar
+    /// tier is bitwise identical, so the checkpoint determinism oracles
+    /// hold regardless of `SAMO_SIMD`.
     pub fn compress_grad_fused(&mut self, dense_scaled_grad: &[f32]) -> bool {
         assert_eq!(dense_scaled_grad.len(), self.numel());
         let ind = self.mask.indices();
+        let tier = simd::active();
         let all_finite = AtomicBool::new(true);
         let g16 = SyncPtr(self.grad16.as_mut_ptr());
         let (g16, all_finite_ref) = (&g16, &all_finite);
         par_ranges(ind.len(), STEP_MIN_CHUNK, |s, e| {
-            let mut finite = true;
-            for j in s..e {
-                let h = F16::from_f32_fast(dense_scaled_grad[ind[j] as usize]);
-                finite &= h.is_finite();
-                // SAFETY: each compressed position j is written by
-                // exactly one task.
-                unsafe {
-                    *g16.0.add(j) = h;
-                }
-            }
-            if !finite {
+            // SAFETY: each compressed position j in s..e is written by
+            // exactly one task.
+            let out = unsafe { std::slice::from_raw_parts_mut(g16.0.add(s), e - s) };
+            if !simd::gather_narrow_finite(tier, dense_scaled_grad, &ind[s..e], out) {
                 all_finite_ref.store(false, Ordering::Relaxed);
             }
         });
@@ -171,6 +170,13 @@ impl SamoLayerState {
     /// exact for `θ16` — property tested against that oracle), without
     /// the transient compressed fp16 copy or the dense `Vec` per layer
     /// per step.
+    ///
+    /// Deliberately scalar on every tier: the per-element optimizer math
+    /// is a long dependent chain (Adam moments → update → downcast →
+    /// scatter) with a data-dependent scatter at the end, so
+    /// vectorization would buy little and would put the
+    /// bitwise-determinism argument of DESIGN.md §16 at risk for no
+    /// measured win.
     ///
     /// Precondition: `dense_out` and `θ16` are already zero at every
     /// pruned position. Both are only ever produced by this type's

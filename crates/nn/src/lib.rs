@@ -53,10 +53,12 @@ pub mod layer;
 pub mod linear;
 pub mod loss;
 pub mod mixed;
+pub mod nm_linear;
 pub mod norm;
 pub mod optim;
 pub mod param;
 pub mod pool2d;
+pub mod qlinear;
 pub mod schedule;
 pub mod sparse_linear;
 
@@ -74,6 +76,8 @@ pub use layer::{Layer, Sequential};
 pub use linear::Linear;
 pub use loss::{cross_entropy, perplexity};
 pub use mixed::{DenseMixedState, LossScaler, OptState, Optimizer};
+pub use nm_linear::NmLinear;
 pub use norm::LayerNorm;
+pub use qlinear::QuantLinear;
 pub use sparse_linear::SparseLinear;
 pub use param::Parameter;

@@ -10,6 +10,7 @@
 //! paper's experiments.
 
 pub mod algorithms;
+pub mod nm;
 pub mod iterative;
 pub mod structured;
 pub mod mask;
@@ -18,5 +19,6 @@ pub mod schedule;
 pub use algorithms::{global_magnitude_prune, magnitude_prune, random_prune, EarlyBird};
 pub use iterative::{one_shot_prune, IterativePruner};
 pub use mask::Mask;
+pub use nm::{is_nm_mask, nm_prune, nm_prune_24};
 pub use schedule::GradualSchedule;
 pub use structured::{block_prune, channel_mask, prune_channels_by_bn_scale};

@@ -1,0 +1,99 @@
+//! Property tests for N:M structured mask invariants: exact survivor
+//! counts per group (ragged tails included), top-|w| selection, and
+//! agreement with the validity checker on arbitrary shapes.
+
+use proptest::prelude::*;
+use prune::{is_nm_mask, nm_prune, nm_prune_24};
+
+fn arb_case() -> impl Strategy<Value = (usize, usize, usize, usize, Vec<f32>)> {
+    // n is derived from a free seed so the strategy needs no nesting.
+    (
+        1usize..6,
+        1usize..24,
+        1usize..6,
+        0usize..6,
+        proptest::collection::vec(-10.0f32..10.0, 5 * 23),
+    )
+        .prop_map(|(rows, cols, m, nseed, w)| {
+            let n = nseed % m + 1;
+            (rows, cols, n, m, w[..rows * cols].to_vec())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every complete group of m keeps exactly n survivors; a ragged
+    /// tail of r columns keeps exactly min(n, r) — via the checker and
+    /// by direct count.
+    #[test]
+    fn survivor_counts_are_exact(case in arb_case()) {
+        let (rows, cols, n, m, w) = case;
+        let mask = nm_prune(&w, rows, cols, n, m);
+        prop_assert!(is_nm_mask(&mask, rows, cols, n, m));
+        let keep = mask.to_bools();
+        for r in 0..rows {
+            let mut g0 = 0;
+            while g0 < cols {
+                let g1 = (g0 + m).min(cols);
+                let cnt = (g0..g1).filter(|&c| keep[r * cols + c]).count();
+                prop_assert_eq!(cnt, n.min(g1 - g0), "row {} group {}..{}", r, g0, g1);
+                g0 = g1;
+            }
+        }
+    }
+
+    /// Top-|w| selection: within each group, every kept weight has
+    /// magnitude >= every dropped weight's.
+    #[test]
+    fn kept_weights_dominate_dropped(case in arb_case()) {
+        let (rows, cols, n, m, w) = case;
+        let mask = nm_prune(&w, rows, cols, n, m);
+        let keep = mask.to_bools();
+        for r in 0..rows {
+            let mut g0 = 0;
+            while g0 < cols {
+                let g1 = (g0 + m).min(cols);
+                let min_kept = (g0..g1)
+                    .filter(|&c| keep[r * cols + c])
+                    .map(|c| w[r * cols + c].abs())
+                    .fold(f32::INFINITY, f32::min);
+                for c in g0..g1 {
+                    if !keep[r * cols + c] {
+                        prop_assert!(
+                            w[r * cols + c].abs() <= min_kept,
+                            "row {} col {}: dropped |{}| > min kept |{}|",
+                            r, c, w[r * cols + c], min_kept
+                        );
+                    }
+                }
+                g0 = g1;
+            }
+        }
+    }
+
+    /// The 2:4 default is the (2, 4) instantiation, and the mask's
+    /// global nnz follows from the group arithmetic exactly.
+    #[test]
+    fn default_24_matches_general(
+        rows in 1usize..5,
+        cols in 1usize..20,
+        wfull in proptest::collection::vec(-5.0f32..5.0, 100),
+    ) {
+        let w = &wfull[..rows * cols];
+        let a = nm_prune_24(w, rows, cols);
+        let b = nm_prune(w, rows, cols, 2, 4);
+        prop_assert_eq!(a.indices().as_slice(), b.indices().as_slice());
+        let per_row = cols / 4 * 2 + 2.min(cols % 4);
+        prop_assert_eq!(a.nnz(), rows * per_row);
+    }
+
+    /// Masks are deterministic: same weights, same mask.
+    #[test]
+    fn deterministic(case in arb_case()) {
+        let (rows, cols, n, m, w) = case;
+        let a = nm_prune(&w, rows, cols, n, m);
+        let b = nm_prune(&w, rows, cols, n, m);
+        prop_assert_eq!(a.indices().as_slice(), b.indices().as_slice());
+    }
+}

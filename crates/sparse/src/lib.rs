@@ -8,12 +8,16 @@
 //! * [`formats`] — COO (with linearized 1-D `u32` indices, paper
 //!   Sec. III-B) and CSR, with validated invariants,
 //! * [`kernels`] — spMM (row-parallel and Sputnik-style nnz-balanced
-//!   row-splitting) and sDDMM.
+//!   row-splitting) and sDDMM,
+//! * [`nm`] — 2:4 structured format and SIMD spMM over the fixed
+//!   2-of-4 pattern (DESIGN.md §16).
 
 pub mod block;
 pub mod formats;
 pub mod kernels;
+pub mod nm;
 
 pub use block::{bsr_spmm, Bsr};
 pub use formats::{random_sparse, Coo, Csr};
 pub use kernels::{sddmm, spmm, spmm_f16, spmm_reference, spmm_row_split};
+pub use nm::{spmm_nm24, spmm_nm24_with_tier, Nm24};

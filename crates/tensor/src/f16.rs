@@ -322,23 +322,24 @@ pub fn to_f32_table() -> &'static [f32; 65536] {
     })
 }
 
-/// Batch f16 → f32 conversion through [`to_f32_table`] (the table ref is
-/// fetched once, so the loop is a pure gather).
+/// Batch f16 → f32 conversion, dispatched through [`crate::simd`].
+///
+/// Specified against [`F16::to_f32_lut`] — equivalently [`F16::to_f32`]:
+/// the two agree bit-for-bit over all 65536 patterns (proven exhaustively
+/// by `table_matches_scalar_to_f32_exhaustively`, and re-asserted for
+/// this kernel on every tier by `widen_slice_is_specified_by_to_f32_lut`).
+/// Both tiers read [`to_f32_table`]; the AVX2 path is a `vgatherdps` over
+/// the same table, so the dispatch cannot change a single bit.
 pub fn widen_slice(src: &[F16], dst: &mut [f32]) {
-    assert_eq!(src.len(), dst.len());
-    let table = to_f32_table();
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d = table[s.0 as usize];
-    }
+    crate::simd::widen_slice_tier(crate::simd::active(), src, dst);
 }
 
-/// Batch f32 → f16 conversion via [`F16::from_f32_fast`]; bit-identical
-/// to mapping [`F16::from_f32`] but vectorizable.
+/// Batch f32 → f16 conversion via [`F16::from_f32_fast`], dispatched
+/// through [`crate::simd`]; bit-identical to mapping [`F16::from_f32`]
+/// on either tier (the AVX2 path is a lane-for-lane transcription of the
+/// same integer arithmetic, NaN payloads included).
 pub fn narrow_slice(src: &[f32], dst: &mut [F16]) {
-    assert_eq!(src.len(), dst.len());
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d = F16::from_f32_fast(s);
-    }
+    crate::simd::narrow_slice_tier(crate::simd::active(), src, dst);
 }
 
 /// Converts a slice of `f32` values into half precision.
@@ -489,6 +490,27 @@ mod tests {
                 "to_f32 table diverges at {bits:#06x}"
             );
             assert_eq!(h.to_f32_lut().to_bits(), h.to_f32().to_bits());
+        }
+    }
+
+    #[test]
+    fn widen_slice_is_specified_by_to_f32_lut() {
+        // `widen_slice` is documented as specified against `to_f32_lut`
+        // (== `to_f32`, per the exhaustive test above). Check all 65536
+        // bit patterns through the public batch kernel on both tiers.
+        let src: Vec<F16> = (0u16..=0xFFFF).map(F16::from_bits).collect();
+        for tier in [crate::simd::Tier::Scalar, crate::simd::Tier::Avx2] {
+            let mut dst = vec![0.0f32; src.len()];
+            crate::simd::widen_slice_tier(tier, &src, &mut dst);
+            for (d, s) in dst.iter().zip(&src) {
+                assert_eq!(
+                    d.to_bits(),
+                    s.to_f32_lut().to_bits(),
+                    "widen_slice diverges from to_f32_lut at {:#06x} ({} tier)",
+                    s.0,
+                    tier.name()
+                );
+            }
         }
     }
 

@@ -12,8 +12,9 @@
 //! C auto-vectorizes well. Parallelism is over row panels of C, so worker
 //! threads write disjoint output ranges and need no synchronization.
 
-use crate::f16::F16;
+use crate::f16::{f16_slice_to_f32, narrow_slice, F16};
 use crate::pool::par_ranges;
+use crate::simd::{self, Tier};
 use std::sync::{Arc, OnceLock};
 
 /// Cached handles so the per-call telemetry cost is two atomic adds, not
@@ -40,10 +41,38 @@ const NC: usize = 1024;
 /// * `b` is `k × n` after `transb`, leading dimension `ldb`.
 /// * `c` is `m × n`, leading dimension `ldc`.
 ///
+/// The microkernel runs on the SIMD tier selected by [`simd::active`];
+/// the scalar and AVX2 paths are bitwise identical (same `mul_add`
+/// accumulation order per output element, vectorized only across
+/// independent columns).
+///
 /// # Panics
 /// Panics if any slice is too small for the described matrix.
 #[allow(clippy::too_many_arguments)]
 pub fn sgemm(
+    transa: bool,
+    transb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    sgemm_with_tier(simd::active(), transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+/// [`sgemm`] pinned to an explicit SIMD tier — the entry point the
+/// parity tests and the `repro simd` benchmark use, since the
+/// process-wide tier is resolved once and cannot be toggled per call.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_with_tier(
+    tier: Tier,
     transa: bool,
     transb: bool,
     m: usize,
@@ -98,7 +127,7 @@ pub fn sgemm(
         let c_panel =
             unsafe { std::slice::from_raw_parts_mut(c_addr.0.add(row0 * ldc), panel_len) };
         gemm_panel(
-            transa, transb, row0, row1, n, k, alpha, a, lda, b, ldb, c_panel, ldc,
+            tier, transa, transb, row0, row1, n, k, alpha, a, lda, b, ldb, c_panel, ldc,
         );
     });
 }
@@ -135,6 +164,7 @@ const NR: usize = 16;
 /// corresponds to global row `row0`).
 #[allow(clippy::too_many_arguments)]
 fn gemm_panel(
+    tier: Tier,
     transa: bool,
     transb: bool,
     row0: usize,
@@ -177,7 +207,7 @@ fn gemm_panel(
                     // alpha folded in so the inner loop is multiply-add only.
                     pack_a(transa, a, lda, ii, kk, mb, kb, alpha, packed_a);
 
-                    microkernel(packed_a, packed_b, c_panel, ii - row0, mb, kb, nb, jj, ldc);
+                    microkernel(tier, packed_a, packed_b, c_panel, ii - row0, mb, kb, nb, jj, ldc);
                     ii += mb;
                 }
                 jj += nb;
@@ -191,8 +221,62 @@ fn gemm_panel(
 /// (panel-local row offset `crow0`, columns `[jj, jj + nb)`) from the
 /// packed `mb×kb` A block and packed `kb×nb` B panel, `MR` rows of C per
 /// k-sweep so each loaded B row feeds four accumulator rows.
+///
+/// Both tiers compute each output element as the identical chain of
+/// correctly-rounded fused multiply-adds over `p = 0..kb` (scalar
+/// `f32::mul_add` ≡ `vfmadd`), with the same all-zero-A skip, so their
+/// results are bitwise equal; the column/row tails are literally shared
+/// code. That bitwise contract is what keeps the checkpoint-determinism
+/// oracles valid regardless of which tier a host selects.
 #[allow(clippy::too_many_arguments)]
 fn microkernel(
+    tier: Tier,
+    packed_a: &[f32],
+    packed_b: &[f32],
+    c_panel: &mut [f32],
+    crow0: usize,
+    mb: usize,
+    kb: usize,
+    nb: usize,
+    jj: usize,
+    ldc: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if tier == Tier::Avx2 && simd::detected_avx2() {
+        // SAFETY: AVX2+FMA presence just checked.
+        unsafe { microkernel_avx2(packed_a, packed_b, c_panel, crow0, mb, kb, nb, jj, ldc) };
+        return;
+    }
+    let _ = tier;
+    microkernel_scalar(packed_a, packed_b, c_panel, crow0, mb, kb, nb, jj, ldc);
+}
+
+/// Splits the four disjoint C row slices of an MR block out of the panel.
+///
+/// # Safety
+/// The caller must guarantee `jj + nb <= ldc` and that `c_panel` covers
+/// rows `crow0 .. crow0 + i + MR` — then the four `nb`-long slices are
+/// pairwise disjoint and in bounds.
+#[inline]
+unsafe fn c_rows_mr<'a>(
+    cp: *mut f32,
+    crow0: usize,
+    i: usize,
+    jj: usize,
+    nb: usize,
+    ldc: usize,
+) -> (&'a mut [f32], &'a mut [f32], &'a mut [f32], &'a mut [f32]) {
+    let base = (crow0 + i) * ldc + jj;
+    (
+        std::slice::from_raw_parts_mut(cp.add(base), nb),
+        std::slice::from_raw_parts_mut(cp.add(base + ldc), nb),
+        std::slice::from_raw_parts_mut(cp.add(base + 2 * ldc), nb),
+        std::slice::from_raw_parts_mut(cp.add(base + 3 * ldc), nb),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn microkernel_scalar(
     packed_a: &[f32],
     packed_b: &[f32],
     c_panel: &mut [f32],
@@ -210,18 +294,8 @@ fn microkernel(
         let a1 = &packed_a[(i + 1) * kb..(i + 2) * kb];
         let a2 = &packed_a[(i + 2) * kb..(i + 3) * kb];
         let a3 = &packed_a[(i + 3) * kb..(i + 4) * kb];
-        // SAFETY: the four C rows start `ldc` apart with `jj + nb <= n
-        // <= ldc`, so the `nb`-long row slices are pairwise disjoint and
-        // in bounds (the caller's `c_panel` covers rows `crow0..crow0+mb`).
-        let base = (crow0 + i) * ldc + jj;
-        let (c0, c1, c2, c3) = unsafe {
-            (
-                std::slice::from_raw_parts_mut(cp.add(base), nb),
-                std::slice::from_raw_parts_mut(cp.add(base + ldc), nb),
-                std::slice::from_raw_parts_mut(cp.add(base + 2 * ldc), nb),
-                std::slice::from_raw_parts_mut(cp.add(base + 3 * ldc), nb),
-            )
-        };
+        // SAFETY: see `c_rows_mr` — rows are disjoint and in bounds.
+        let (c0, c1, c2, c3) = unsafe { c_rows_mr(cp, crow0, i, jj, nb, ldc) };
         // Full NR-wide tiles: the MR×NR C tile lives in register
         // accumulators for the whole k-sweep, so C is loaded and stored
         // once per tile instead of once per k iteration.
@@ -243,13 +317,14 @@ fn microkernel(
                     continue;
                 }
                 let bt = &packed_b[p * nb + jt..p * nb + jt + NR];
-                // Fixed-trip-count FMA loops: vectorized by LLVM, with
-                // each B element reused across the four accumulator rows.
+                // Single-rounding FMA per element, matching the AVX2
+                // tier's `vfmadd` bit-for-bit; each B element is reused
+                // across the four accumulator rows.
                 for j in 0..NR {
-                    acc0[j] += av0 * bt[j];
-                    acc1[j] += av1 * bt[j];
-                    acc2[j] += av2 * bt[j];
-                    acc3[j] += av3 * bt[j];
+                    acc0[j] = av0.mul_add(bt[j], acc0[j]);
+                    acc1[j] = av1.mul_add(bt[j], acc1[j]);
+                    acc2[j] = av2.mul_add(bt[j], acc2[j]);
+                    acc3[j] = av3.mul_add(bt[j], acc3[j]);
                 }
             }
             c0[jt..jt + NR].copy_from_slice(&acc0);
@@ -258,27 +333,65 @@ fn microkernel(
             c3[jt..jt + NR].copy_from_slice(&acc3);
             jt += NR;
         }
-        // Tail columns (nb not a multiple of NR): per-k row sweeps.
+        // Tail columns (nb not a multiple of NR): shared with the AVX2
+        // tier, so the tails cannot diverge.
         if jt < nb {
-            for p in 0..kb {
-                let (av0, av1, av2, av3) = (a0[p], a1[p], a2[p], a3[p]);
-                if av0 == 0.0 && av1 == 0.0 && av2 == 0.0 && av3 == 0.0 {
-                    continue;
-                }
-                let brow = &packed_b[p * nb..(p + 1) * nb];
-                for j in jt..nb {
-                    let bv = brow[j];
-                    c0[j] += av0 * bv;
-                    c1[j] += av1 * bv;
-                    c2[j] += av2 * bv;
-                    c3[j] += av3 * bv;
-                }
-            }
+            mr_col_tail(a0, a1, a2, a3, packed_b, c0, c1, c2, c3, jt, nb, kb);
         }
         i += MR;
     }
-    // Remainder rows (mb not a multiple of MR): single-row sweeps.
-    while i < mb {
+    row_remainder(packed_a, packed_b, c_panel, crow0, i, mb, kb, nb, jj, ldc);
+}
+
+/// Column tail of a full MR row block (`jt..nb`): per-k row sweeps.
+/// Called by both the scalar and AVX2 microkernels.
+#[allow(clippy::too_many_arguments)]
+fn mr_col_tail(
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    packed_b: &[f32],
+    c0: &mut [f32],
+    c1: &mut [f32],
+    c2: &mut [f32],
+    c3: &mut [f32],
+    jt: usize,
+    nb: usize,
+    kb: usize,
+) {
+    for p in 0..kb {
+        let (av0, av1, av2, av3) = (a0[p], a1[p], a2[p], a3[p]);
+        if av0 == 0.0 && av1 == 0.0 && av2 == 0.0 && av3 == 0.0 {
+            continue;
+        }
+        let brow = &packed_b[p * nb..(p + 1) * nb];
+        for j in jt..nb {
+            let bv = brow[j];
+            c0[j] = av0.mul_add(bv, c0[j]);
+            c1[j] = av1.mul_add(bv, c1[j]);
+            c2[j] = av2.mul_add(bv, c2[j]);
+            c3[j] = av3.mul_add(bv, c3[j]);
+        }
+    }
+}
+
+/// Remainder rows (mb not a multiple of MR), rows `i0..mb`: single-row
+/// sweeps. Called by both the scalar and AVX2 microkernels.
+#[allow(clippy::too_many_arguments)]
+fn row_remainder(
+    packed_a: &[f32],
+    packed_b: &[f32],
+    c_panel: &mut [f32],
+    crow0: usize,
+    i0: usize,
+    mb: usize,
+    kb: usize,
+    nb: usize,
+    jj: usize,
+    ldc: usize,
+) {
+    for i in i0..mb {
         let arow = &packed_a[i * kb..(i + 1) * kb];
         let crow = &mut c_panel[(crow0 + i) * ldc + jj..(crow0 + i) * ldc + jj + nb];
         for (p, &aval) in arow.iter().enumerate() {
@@ -287,11 +400,95 @@ fn microkernel(
             }
             let brow = &packed_b[p * nb..(p + 1) * nb];
             for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += aval * bv;
+                *cv = aval.mul_add(bv, *cv);
             }
         }
-        i += 1;
     }
+}
+
+/// AVX2+FMA microkernel: the MR×NR register tile becomes eight YMM
+/// accumulators (two per row). Per output element it issues the same
+/// `fma(a, b, acc)` chain over `p` as the scalar tier — `vfmaddps` and
+/// `f32::mul_add` are both correctly rounded — and replicates the
+/// all-zero-A skip, so the result is bitwise identical. Column and row
+/// tails call the exact scalar helpers above.
+///
+/// # Safety
+/// Requires AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn microkernel_avx2(
+    packed_a: &[f32],
+    packed_b: &[f32],
+    c_panel: &mut [f32],
+    crow0: usize,
+    mb: usize,
+    kb: usize,
+    nb: usize,
+    jj: usize,
+    ldc: usize,
+) {
+    use std::arch::x86_64::*;
+    let cp = c_panel.as_mut_ptr();
+    let bp = packed_b.as_ptr();
+    let mut i = 0;
+    while i + MR <= mb {
+        let a0 = &packed_a[i * kb..(i + 1) * kb];
+        let a1 = &packed_a[(i + 1) * kb..(i + 2) * kb];
+        let a2 = &packed_a[(i + 2) * kb..(i + 3) * kb];
+        let a3 = &packed_a[(i + 3) * kb..(i + 4) * kb];
+        // SAFETY: see `c_rows_mr` — rows are disjoint and in bounds.
+        let (c0, c1, c2, c3) = c_rows_mr(cp, crow0, i, jj, nb, ldc);
+        let mut jt = 0;
+        while jt + NR <= nb {
+            let mut acc00 = _mm256_loadu_ps(c0.as_ptr().add(jt));
+            let mut acc01 = _mm256_loadu_ps(c0.as_ptr().add(jt + 8));
+            let mut acc10 = _mm256_loadu_ps(c1.as_ptr().add(jt));
+            let mut acc11 = _mm256_loadu_ps(c1.as_ptr().add(jt + 8));
+            let mut acc20 = _mm256_loadu_ps(c2.as_ptr().add(jt));
+            let mut acc21 = _mm256_loadu_ps(c2.as_ptr().add(jt + 8));
+            let mut acc30 = _mm256_loadu_ps(c3.as_ptr().add(jt));
+            let mut acc31 = _mm256_loadu_ps(c3.as_ptr().add(jt + 8));
+            for p in 0..kb {
+                let (av0, av1, av2, av3) = (a0[p], a1[p], a2[p], a3[p]);
+                // Same exact-zero skip as the scalar tier (a NaN/Inf in
+                // B must be skipped — or not — identically on both).
+                if av0 == 0.0 && av1 == 0.0 && av2 == 0.0 && av3 == 0.0 {
+                    continue;
+                }
+                let bt = bp.add(p * nb + jt);
+                let b0 = _mm256_loadu_ps(bt);
+                let b1 = _mm256_loadu_ps(bt.add(8));
+                let v0 = _mm256_set1_ps(av0);
+                acc00 = _mm256_fmadd_ps(v0, b0, acc00);
+                acc01 = _mm256_fmadd_ps(v0, b1, acc01);
+                let v1 = _mm256_set1_ps(av1);
+                acc10 = _mm256_fmadd_ps(v1, b0, acc10);
+                acc11 = _mm256_fmadd_ps(v1, b1, acc11);
+                let v2 = _mm256_set1_ps(av2);
+                acc20 = _mm256_fmadd_ps(v2, b0, acc20);
+                acc21 = _mm256_fmadd_ps(v2, b1, acc21);
+                let v3 = _mm256_set1_ps(av3);
+                acc30 = _mm256_fmadd_ps(v3, b0, acc30);
+                acc31 = _mm256_fmadd_ps(v3, b1, acc31);
+            }
+            _mm256_storeu_ps(c0.as_mut_ptr().add(jt), acc00);
+            _mm256_storeu_ps(c0.as_mut_ptr().add(jt + 8), acc01);
+            _mm256_storeu_ps(c1.as_mut_ptr().add(jt), acc10);
+            _mm256_storeu_ps(c1.as_mut_ptr().add(jt + 8), acc11);
+            _mm256_storeu_ps(c2.as_mut_ptr().add(jt), acc20);
+            _mm256_storeu_ps(c2.as_mut_ptr().add(jt + 8), acc21);
+            _mm256_storeu_ps(c3.as_mut_ptr().add(jt), acc30);
+            _mm256_storeu_ps(c3.as_mut_ptr().add(jt + 8), acc31);
+            jt += NR;
+        }
+        if jt < nb {
+            mr_col_tail(a0, a1, a2, a3, packed_b, c0, c1, c2, c3, jt, nb, kb);
+        }
+        i += MR;
+    }
+    row_remainder(packed_a, packed_b, c_panel, crow0, i, mb, kb, nb, jj, ldc);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -406,15 +603,15 @@ pub fn matmul_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f3
 /// half-precision output — the arithmetic profile of a tensor-core
 /// `hgemm`. `C = A · B` with all matrices contiguous row-major.
 pub fn hgemm(m: usize, n: usize, k: usize, a: &[F16], b: &[F16], c: &mut [F16]) {
-    // Widen once up front: the cost model of mixed precision on GPUs also
+    // Widen once up front through the dispatched batch converters (the
+    // table gather is bit-identical to `to_f32`, and `narrow_slice` to
+    // `from_f32`): the cost model of mixed precision on GPUs also
     // performs the multiply in wider accumulators.
-    let a32: Vec<f32> = a.iter().map(|v| v.to_f32()).collect();
-    let b32: Vec<f32> = b.iter().map(|v| v.to_f32()).collect();
+    let a32 = f16_slice_to_f32(a);
+    let b32 = f16_slice_to_f32(b);
     let mut c32 = vec![0.0f32; m * n];
     matmul(m, n, k, &a32, &b32, &mut c32);
-    for (out, &v) in c.iter_mut().zip(&c32) {
-        *out = F16::from_f32(v);
-    }
+    narrow_slice(&c32, c);
 }
 
 /// Reference naive GEMM used to validate the blocked kernel in tests and
@@ -595,6 +792,29 @@ mod tests {
         matmul(m, n, k, &aw, &bw, &mut cw);
         for (h, &w) in c.iter().zip(&cw) {
             assert_eq!(h.to_f32(), F16::from_f32(w).to_f32());
+        }
+    }
+
+    #[test]
+    fn tiers_are_bitwise_identical() {
+        // Shapes chosen to exercise full tiles, column tails, row
+        // remainders and strided C simultaneously.
+        let mut rng = StdRng::seed_from_u64(23);
+        for &(m, n, k) in &[(1, 1, 3), (4, 16, 8), (7, 19, 5), (65, 131, 40), (64, 64, 64)] {
+            let a = random_matrix(&mut rng, m * k);
+            let b = random_matrix(&mut rng, k * n);
+            let c_init = random_matrix(&mut rng, m * n);
+            let mut c_s = c_init.clone();
+            let mut c_v = c_init.clone();
+            sgemm_with_tier(
+                Tier::Scalar, false, false, m, n, k, 1.25, &a, k, &b, n, 0.5, &mut c_s, n,
+            );
+            sgemm_with_tier(
+                Tier::Avx2, false, false, m, n, k, 1.25, &a, k, &b, n, 0.5, &mut c_v, n,
+            );
+            for (i, (x, y)) in c_s.iter().zip(&c_v).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{n}x{k} diverges at {i}");
+            }
         }
     }
 

@@ -12,12 +12,17 @@
 //!   crossbeam channels),
 //! * [`gemm`] — cache-blocked, multi-threaded dense GEMM,
 //! * [`ops`] — parallel elementwise/reduction kernels,
+//! * [`simd`] — runtime AVX2/FMA dispatch with bitwise-identical scalar
+//!   fallbacks (`SAMO_SIMD` override),
+//! * [`qgemm`] — int8 per-channel symmetric-quantized GEMM for inference,
 //! * [`tensor::Tensor`] — a minimal owned row-major tensor.
 
 pub mod f16;
 pub mod gemm;
 pub mod ops;
 pub mod pool;
+pub mod qgemm;
+pub mod simd;
 pub mod tensor;
 
 pub use f16::F16;

@@ -1,0 +1,367 @@
+//! Runtime SIMD feature dispatch and the explicitly-vectorized slice
+//! kernels built on it.
+//!
+//! Every kernel in this crate with an AVX2 path keeps a scalar fallback
+//! that is **bitwise identical**: both tiers perform the same IEEE
+//! operations (correctly-rounded `mul_add`, one rounding per step) in the
+//! same per-element order, vectorizing only across independent output
+//! elements. That property is what lets the SIMD tier slide under the
+//! existing checkpoint-byte determinism oracles without re-recording
+//! anything — see DESIGN.md §16 for the full argument.
+//!
+//! The tier is chosen once per process from `is_x86_feature_detected!`
+//! (AVX2 and FMA together) and can be overridden with the `SAMO_SIMD`
+//! environment variable:
+//!
+//! * `SAMO_SIMD=off` (or `scalar`) — force the scalar tier,
+//! * `SAMO_SIMD=avx2` — require AVX2 (falls back with a warning when the
+//!   CPU lacks it),
+//! * `SAMO_SIMD=auto` or unset — use AVX2 when detected.
+//!
+//! Tests and benchmarks that need to pin a tier call the `*_tier` entry
+//! points directly instead of mutating the environment; the safe wrappers
+//! re-check [`detected_avx2`] before entering any `target_feature`
+//! function, so passing [`Tier::Avx2`] on a non-AVX2 machine degrades to
+//! scalar instead of being undefined behaviour.
+
+use crate::f16::{to_f32_table, F16};
+use std::sync::OnceLock;
+
+/// The instruction tier a kernel executes with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Portable Rust; `mul_add` keeps it bit-compatible with AVX2+FMA.
+    Scalar,
+    /// 256-bit AVX2 with FMA (x86-64 only).
+    Avx2,
+}
+
+impl Tier {
+    /// Stable lowercase name used in logs and BENCH sections.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Scalar => "scalar",
+            Tier::Avx2 => "avx2",
+        }
+    }
+}
+
+/// `true` when the CPU supports AVX2 *and* FMA (both are required by the
+/// vector paths; they appeared together in practice, but check both).
+pub fn detected_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The process-wide tier: resolved once from `SAMO_SIMD` + CPU detection.
+pub fn active() -> Tier {
+    static ACTIVE: OnceLock<Tier> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let auto = if detected_avx2() { Tier::Avx2 } else { Tier::Scalar };
+        match std::env::var("SAMO_SIMD") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "off" | "scalar" | "0" => Tier::Scalar,
+                "avx2" => {
+                    if detected_avx2() {
+                        Tier::Avx2
+                    } else {
+                        eprintln!(
+                            "SAMO_SIMD=avx2 requested but AVX2+FMA not detected; \
+                             using the scalar tier"
+                        );
+                        Tier::Scalar
+                    }
+                }
+                "auto" | "" => auto,
+                other => {
+                    eprintln!("unknown SAMO_SIMD value '{other}' (off|avx2|auto); using auto");
+                    auto
+                }
+            },
+            Err(_) => auto,
+        }
+    })
+}
+
+/// Batch f16 → f32 widening on an explicit tier. Both tiers read the
+/// same 65536-entry [`to_f32_table`] — the AVX2 path is a `vgatherdps`
+/// over it — so the output is bit-identical by construction.
+pub fn widen_slice_tier(tier: Tier, src: &[F16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    let table = to_f32_table();
+    #[cfg(target_arch = "x86_64")]
+    if tier == Tier::Avx2 && detected_avx2() {
+        // SAFETY: AVX2 presence just checked.
+        unsafe { widen_avx2(table, src, dst) };
+        return;
+    }
+    let _ = tier;
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = table[s.0 as usize];
+    }
+}
+
+/// Batch f32 → f16 narrowing on an explicit tier. The AVX2 path is a
+/// lane-for-lane transcription of [`F16::from_f32_fast`] (same integer
+/// ops; the subnormal branch's `+0.5` uses `vaddps`, the identical IEEE
+/// addition), so every lane — including NaN payloads — matches the scalar
+/// tier bit-for-bit.
+pub fn narrow_slice_tier(tier: Tier, src: &[f32], dst: &mut [F16]) {
+    assert_eq!(src.len(), dst.len());
+    #[cfg(target_arch = "x86_64")]
+    if tier == Tier::Avx2 && detected_avx2() {
+        // SAFETY: AVX2 presence just checked.
+        unsafe { narrow_avx2(src, dst) };
+        return;
+    }
+    let _ = tier;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = F16::from_f32_fast(s);
+    }
+}
+
+/// Fused gather → f32-to-f16 narrow → finiteness test:
+/// `out[j] = F16::from_f32_fast(src[idx[j]])`, returning `false` if any
+/// produced half is non-finite. This is the inner loop of the fused
+/// gradient compression step ([`core`]'s `compress_grad_fused`), where the
+/// AVX2 path replaces the scalar gather with `vgatherdps`.
+///
+/// # Panics
+/// Panics if an index is out of bounds for `src` or the lengths differ.
+pub fn gather_narrow_finite(tier: Tier, src: &[f32], idx: &[u32], out: &mut [F16]) -> bool {
+    assert_eq!(idx.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if tier == Tier::Avx2 && detected_avx2() && src.len() <= i32::MAX as usize {
+        // The hardware gather performs no bounds checks and treats the
+        // indices as signed i32, so validate up front: one vectorizable
+        // max-reduction, negligible next to the gather itself. (With
+        // `src.len() <= i32::MAX`, any in-bounds index is non-negative.)
+        let max = idx.iter().copied().max();
+        match max {
+            None => return true,
+            Some(mx) if (mx as usize) < src.len() => {
+                // SAFETY: AVX2 presence checked; all indices in bounds.
+                return unsafe { gather_narrow_finite_avx2(src, idx, out) };
+            }
+            Some(mx) => panic!(
+                "gather_narrow_finite: index {mx} out of bounds for slice of len {}",
+                src.len()
+            ),
+        }
+    }
+    let _ = tier;
+    let mut finite = true;
+    for (o, &ix) in out.iter_mut().zip(idx) {
+        let h = F16::from_f32_fast(src[ix as usize]);
+        finite &= h.is_finite();
+        *o = h;
+    }
+    finite
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::F16;
+    use std::arch::x86_64::*;
+
+    // Constants shared with `F16::from_f32_fast` (all positive as i32, so
+    // signed 32-bit compares against them are exact).
+    const F16_MAX_EXP: i32 = (127 + 16) << 23; // |x| >= 2^16 → Inf/NaN
+    const F32_INF: i32 = 255 << 23;
+    const SUB_LIMIT: i32 = 113 << 23; // |x| < 2^-14 → subnormal/zero
+    const DENORM_MAGIC: i32 = 126 << 23; // 0.5f32 aligns the mantissa
+
+    /// Eight-lane transcription of `F16::from_f32_fast`: returns the f16
+    /// bit patterns (sign | magnitude) in the low 16 bits of each 32-bit
+    /// element.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn narrow8(x: __m256) -> __m256i {
+        let bits = _mm256_castps_si256(x);
+        let sign = _mm256_and_si256(_mm256_srli_epi32::<16>(bits), _mm256_set1_epi32(0x8000));
+        let au = _mm256_and_si256(bits, _mm256_set1_epi32(0x7FFF_FFFF));
+
+        // Normal range: rebias + RTNE on the 13 dropped bits. The two
+        // scalar `wrapping_add` constants fold into one.
+        let mant_odd = _mm256_and_si256(_mm256_srli_epi32::<13>(au), _mm256_set1_epi32(1));
+        let rounded = _mm256_add_epi32(
+            _mm256_add_epi32(au, _mm256_set1_epi32(0xC800_0FFF_u32 as i32)),
+            mant_odd,
+        );
+        let normal = _mm256_srli_epi32::<13>(rounded);
+
+        // Subnormal/zero range: the `vaddps` is the exact IEEE addition
+        // the scalar path performs, so the shifted mantissa matches.
+        let shifted = _mm256_castps_si256(_mm256_add_ps(
+            _mm256_castsi256_ps(au),
+            _mm256_castsi256_ps(_mm256_set1_epi32(DENORM_MAGIC)),
+        ));
+        let subn = _mm256_sub_epi32(shifted, _mm256_set1_epi32(DENORM_MAGIC));
+
+        // Inf/NaN: Inf stays 0x7C00, NaN keeps the top 10 payload bits.
+        let nan = _mm256_or_si256(
+            _mm256_set1_epi32(0x7E00),
+            _mm256_and_si256(_mm256_srli_epi32::<13>(au), _mm256_set1_epi32(0x03FF)),
+        );
+        let is_nan = _mm256_cmpgt_epi32(au, _mm256_set1_epi32(F32_INF));
+        let infnan = _mm256_blendv_epi8(_mm256_set1_epi32(0x7C00), nan, is_nan);
+
+        let is_infnan = _mm256_cmpgt_epi32(au, _mm256_set1_epi32(F16_MAX_EXP - 1));
+        let is_sub = _mm256_cmpgt_epi32(_mm256_set1_epi32(SUB_LIMIT), au);
+        let mag = _mm256_blendv_epi8(normal, subn, is_sub);
+        let mag = _mm256_blendv_epi8(mag, infnan, is_infnan);
+        _mm256_or_si256(sign, _mm256_and_si256(mag, _mm256_set1_epi32(0xFFFF)))
+    }
+
+    /// Packs the low 16 bits of the eight 32-bit elements into eight
+    /// contiguous u16s and stores them at `dst`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn store8_u16(dst: *mut F16, halves: __m256i) {
+        // Elements are <= 0xFFFF, so unsigned-saturating pack is exact.
+        let packed = _mm256_packus_epi32(halves, halves);
+        // packus works per 128-bit lane; qwords 0 and 2 hold lanes 0-3
+        // and 4-7 respectively.
+        let lanes = _mm256_permute4x64_epi64::<0b00_00_10_00>(packed);
+        _mm_storeu_si128(dst as *mut __m128i, _mm256_castsi256_si128(lanes));
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn widen_avx2(table: &[f32; 65536], src: &[F16], dst: &mut [f32]) {
+        let n = src.len();
+        let tp = table.as_ptr();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let raw = _mm_loadu_si128(sp.add(i) as *const __m128i); // 8 × u16
+            let idx = _mm256_cvtepu16_epi32(raw);
+            let vals = _mm256_i32gather_ps::<4>(tp, idx);
+            _mm256_storeu_ps(dp.add(i), vals);
+            i += 8;
+        }
+        while i < n {
+            *dp.add(i) = *tp.add((*sp.add(i)).0 as usize);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn narrow_avx2(src: &[f32], dst: &mut [F16]) {
+        let n = src.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let halves = narrow8(_mm256_loadu_ps(sp.add(i)));
+            store8_u16(dp.add(i), halves);
+            i += 8;
+        }
+        while i < n {
+            *dp.add(i) = F16::from_f32_fast(*sp.add(i));
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2; every index must be in bounds for `src` and
+    /// `src.len() <= i32::MAX` (gather indices are signed).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_narrow_finite_avx2(src: &[f32], idx: &[u32], out: &mut [F16]) -> bool {
+        let n = idx.len();
+        let sp = src.as_ptr();
+        let ip = idx.as_ptr();
+        let op = out.as_mut_ptr();
+        let exp_mask = _mm256_set1_epi32(0x7C00);
+        let mut nonfinite = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 8 <= n {
+            let iv = _mm256_loadu_si256(ip.add(i) as *const __m256i);
+            let vals = _mm256_i32gather_ps::<4>(sp, iv);
+            let halves = narrow8(vals);
+            // Non-finite ⇔ all five exponent bits set (Inf or NaN).
+            let exp = _mm256_and_si256(halves, exp_mask);
+            nonfinite = _mm256_or_si256(nonfinite, _mm256_cmpeq_epi32(exp, exp_mask));
+            store8_u16(op.add(i), halves);
+            i += 8;
+        }
+        let mut finite = _mm256_movemask_epi8(nonfinite) == 0;
+        while i < n {
+            let h = F16::from_f32_fast(*sp.add(*ip.add(i) as usize));
+            finite &= h.is_finite();
+            *op.add(i) = h;
+            i += 1;
+        }
+        finite
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{gather_narrow_finite_avx2, narrow_avx2, widen_avx2};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_tier_is_consistent_with_detection() {
+        // Whatever the env says, Avx2 may only be active when detected.
+        if active() == Tier::Avx2 {
+            assert!(detected_avx2());
+        }
+    }
+
+    #[test]
+    fn tier_names() {
+        assert_eq!(Tier::Scalar.name(), "scalar");
+        assert_eq!(Tier::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    fn gather_narrow_matches_scalar_loop() {
+        let src: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.37).collect();
+        let idx: Vec<u32> = (0..100).rev().step_by(3).map(|i| i as u32).collect();
+        for tier in [Tier::Scalar, Tier::Avx2] {
+            let mut out = vec![F16::ZERO; idx.len()];
+            let finite = gather_narrow_finite(tier, &src, &idx, &mut out);
+            assert!(finite);
+            for (o, &ix) in out.iter().zip(&idx) {
+                assert_eq!(o.to_bits(), F16::from_f32_fast(src[ix as usize]).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn gather_narrow_reports_nonfinite() {
+        let mut src = vec![1.0f32; 40];
+        src[17] = f32::INFINITY;
+        let idx: Vec<u32> = (0..40).collect();
+        for tier in [Tier::Scalar, Tier::Avx2] {
+            let mut out = vec![F16::ZERO; 40];
+            assert!(!gather_narrow_finite(tier, &src, &idx, &mut out));
+            // Overflow-to-inf must also be flagged.
+            let big = vec![1e9f32; 9];
+            let mut out2 = vec![F16::ZERO; 9];
+            assert!(!gather_narrow_finite(tier, &big, &[0, 1, 2, 3, 4, 5, 6, 7, 8], &mut out2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_narrow_rejects_out_of_bounds() {
+        let src = vec![0.0f32; 8];
+        let idx = [0u32, 1, 2, 3, 4, 5, 6, 8];
+        let mut out = vec![F16::ZERO; 8];
+        gather_narrow_finite(active(), &src, &idx, &mut out);
+    }
+}
