@@ -21,6 +21,11 @@
 //!                         dense/CSR, int8 vs f32 GEMM; self-gating;
 //!                         merges a `simd` section into
 //!                         BENCH_hotpaths.json; NOT part of `all`)
+//!                serve   (batched inference serving over loopback TCP:
+//!                         SLA load-gen per backend at batch 1 vs
+//!                         batched, plus a hot-reload drill under load;
+//!                         self-gating; merges a `serve` section into
+//!                         BENCH_hotpaths.json; NOT part of `all`)
 //!                trace-analyze (offline critical-path / decomposition /
 //!                         flow-census analysis of a `--trace` file;
 //!                         merges an `analysis` section into
@@ -189,6 +194,14 @@ fn main() {
             drop(sp);
             ran = true;
         }
+        if what == "serve" && failed.is_none() {
+            let sp = telemetry::enabled().then(|| telemetry::span("repro.serve"));
+            if let Err(e) = bench::serve_bench::run(quick) {
+                failed = Some(format!("serve: {e}"));
+            }
+            drop(sp);
+            ran = true;
+        }
         if what == "trace-analyze" && failed.is_none() {
             let Some(input) = positionals.get(1) else {
                 eprintln!("trace-analyze requires a trace file path");
@@ -202,7 +215,7 @@ fn main() {
     }
     if !ran {
         eprintln!(
-            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench comms tcp simd pipeline trace-analyze"
+            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench comms tcp simd pipeline serve trace-analyze"
         );
         std::process::exit(2);
     }
@@ -250,9 +263,11 @@ impl Drop for FlushGuard {
 /// run on pid 1, ring hops from the threaded comms runtime on pid 2,
 /// and per-stage F/B slices from the threaded pipeline runtime on
 /// pid 3 (`repro pipeline --trace` makes the real 1F1B schedule and
-/// its bubble directly visible in Perfetto), plus paired `ph:"s"/"f"`
-/// flow arrows for every send→recv on the live meshes — the causal
-/// edges `repro trace-analyze` walks for the cross-rank critical path.
+/// its bubble directly visible in Perfetto), and queue/batch/compute/
+/// reload slices from the serving runtime on pid 4 (`repro serve
+/// --trace`, one lane per replica), plus paired `ph:"s"/"f"` flow
+/// arrows for every send→recv on the live meshes — the causal edges
+/// `repro trace-analyze` walks for the cross-rank critical path.
 fn write_trace(path: &str) -> Result<(), String> {
     let spec = axonn_sim::PipelineSpec {
         stages: 3,
@@ -268,6 +283,7 @@ fn write_trace(path: &str) -> Result<(), String> {
     events.extend(telemetry::trace::span_trace_events(&telemetry::take_spans()));
     events.extend(comms::trace::take_events());
     events.extend(samo::pipeline::trace::take_events());
+    events.extend(serve::trace::take_events());
     let flows = comms::trace::take_flows();
     telemetry::trace::write_chrome_trace_with_flows(std::path::Path::new(path), &events, &flows)
         .map_err(|e| format!("write chrome trace {path}: {e}"))?;

@@ -5,6 +5,7 @@ pub mod chart;
 pub mod comms_bench;
 pub mod hotpaths;
 pub mod pipeline_bench;
+pub mod serve_bench;
 pub mod simd_bench;
 pub mod tcp_bench;
 pub mod trace_analyze;

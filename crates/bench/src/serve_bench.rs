@@ -1,0 +1,299 @@
+//! `repro serve` — the serving runtime (DESIGN.md §17) measured
+//! end-to-end over real loopback sockets: closed-loop SLA load against
+//! every compute backend at batch size 1 vs batched, plus a hot-reload
+//! drill under sustained load — recorded as a `serve` section in
+//! `BENCH_hotpaths.json`.
+//!
+//! The run **self-gates**:
+//! * the hot-reload drill must complete **every** request (a reload
+//!   that fails traffic is a broken reload, full stop) and must
+//!   actually reload each published generation;
+//! * when AVX2+FMA is detected, batched serving must beat batch-1 by
+//!   ≥ 2× on the dense backend (the continuous batcher's reason to
+//!   exist), and the sparse backends must carry their PR-8 kernel
+//!   floors through the whole serving stack: 2:4 structured ≥ 1.3×
+//!   and int8 ≥ 1.5× over dense f32 at the same batched setting.
+//!
+//! On hardware without AVX2 the throughput gates are skipped (scalar
+//! matvec vs scalar matmul is not the comparison the floors are
+//! about) and the section records `avx2_detected: false` so CI can
+//! tell the difference. Latency quantiles are exact client-side
+//! measurements, not histogram buckets.
+
+use serve::{Backend, BatchPolicy, LoadGenConfig, ServeConfig, Server, TrainPublisher};
+use std::path::PathBuf;
+use std::time::Duration;
+use telemetry::json::Json;
+use tensor::simd::{self, Tier};
+
+use crate::Table;
+
+/// One measured serving operating point.
+struct Point {
+    backend: Backend,
+    max_batch: usize,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_fill: f64,
+    requests: u64,
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("samo-serve-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// 64 → 768 → 768 → 64: wide enough that the batched GEMM dominates
+/// per-request dispatch overhead, so backend ratios measured here are
+/// compute ratios, not protocol noise.
+const DIMS: [usize; 4] = [64, 768, 768, 64];
+
+fn measure(
+    dir: &std::path::Path,
+    backend: Backend,
+    max_batch: usize,
+    load_ms: u64,
+    clients: usize,
+) -> Result<Point, String> {
+    let mut cfg = ServeConfig::new(dir);
+    cfg.backend = backend;
+    // One replica: the batch-1 vs batched comparison must measure the
+    // batcher, not replica-level parallelism.
+    cfg.replicas = 1;
+    cfg.policy = BatchPolicy { max_batch, max_wait: Duration::from_micros(500) };
+    let server = Server::start(cfg)?;
+    let mut lg = LoadGenConfig::new(server.addr().to_string(), DIMS[0]);
+    lg.clients = clients;
+    lg.duration = Duration::from_millis(load_ms);
+    lg.seed = max_batch as u64;
+    // Warmup: let every client connect and the scratch buffers size up.
+    let mut warm = lg.clone();
+    warm.duration = Duration::from_millis(50);
+    serve::loadgen::run(&warm)?;
+    let report = serve::loadgen::run(&lg)?;
+    let stats = server.stop();
+    if report.failed() > 0 {
+        return Err(format!(
+            "{backend} max_batch={max_batch}: {} requests failed",
+            report.failed()
+        ));
+    }
+    Ok(Point {
+        backend,
+        max_batch,
+        throughput_rps: report.throughput_rps,
+        p50_ms: report.p50_ms,
+        p99_ms: report.p99_ms,
+        mean_fill: stats.mean_batch_fill,
+        requests: report.ok,
+    })
+}
+
+/// The hot-reload drill: sustained load while `generations` new
+/// checkpoints are published; returns (loadgen report, final server
+/// stats, blackout after each observed reload, steps seen).
+fn reload_drill(
+    dir: &std::path::Path,
+    publisher: &mut TrainPublisher,
+    generations: usize,
+    load_ms: u64,
+) -> Result<(serve::LoadGenReport, serve::ServeStats, Vec<f64>), String> {
+    let mut cfg = ServeConfig::new(dir);
+    cfg.replicas = 2;
+    cfg.reload_poll = Duration::from_millis(10);
+    let server = Server::start(cfg)?;
+    let mut lg = LoadGenConfig::new(server.addr().to_string(), DIMS[0]);
+    lg.clients = 8;
+    lg.duration = Duration::from_millis(load_ms);
+    let loader = std::thread::spawn(move || serve::loadgen::run(&lg));
+    let mut blackouts = Vec::with_capacity(generations);
+    let per_gen = Duration::from_millis(load_ms / (generations as u64 + 1));
+    for _ in 0..generations {
+        std::thread::sleep(per_gen);
+        let before = server.stats().reloads;
+        publisher.publish_after(1)?;
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.stats().reloads == before {
+            if std::time::Instant::now() >= deadline {
+                return Err("published checkpoint was never reloaded".into());
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        blackouts.push(server.stats().last_blackout_ms);
+    }
+    let report = loader
+        .join()
+        .map_err(|_| "load generator panicked".to_string())??;
+    let stats = server.stop();
+    Ok((report, stats, blackouts))
+}
+
+pub fn run(quick: bool) -> Result<(), String> {
+    let detected = simd::active() == Tier::Avx2;
+    let (load_ms, clients) = if quick { (300, 32) } else { (800, 32) };
+    let batch_sizes: &[usize] = if quick { &[1, 32] } else { &[1, 8, 32] };
+    let dir = tmpdir("main");
+    let mut publisher = TrainPublisher::new(&dir, &DIMS, 97)?;
+    publisher.publish_after(2)?;
+
+    telemetry::log_info!(
+        "\n=== repro serve: {}x{}x{}x{} MLP, {clients} closed-loop clients, tier {} ===",
+        DIMS[0], DIMS[1], DIMS[2], DIMS[3],
+        simd::active().name()
+    );
+    let mut tab = Table::new(
+        "serve",
+        &["backend", "max_batch", "req_per_s", "p50_ms", "p99_ms", "mean_fill"],
+    );
+    let mut points: Vec<Point> = Vec::new();
+    for &backend in &Backend::ALL {
+        for &mb in batch_sizes {
+            let p = measure(&dir, backend, mb, load_ms, clients)?;
+            tab.push(vec![
+                p.backend.to_string(),
+                p.max_batch.to_string(),
+                format!("{:.0}", p.throughput_rps),
+                format!("{:.2}", p.p50_ms),
+                format!("{:.2}", p.p99_ms),
+                format!("{:.1}", p.mean_fill),
+            ]);
+            points.push(p);
+        }
+    }
+    println!("{}", tab.render());
+
+    // --- Hot-reload drill under load. ---------------------------------
+    let generations = 3;
+    let (reload_report, reload_stats, blackouts) =
+        reload_drill(&dir, &mut publisher, generations, if quick { 900 } else { 1500 })?;
+    telemetry::log_info!(
+        "serve: reload drill: {} ok / {} failed across {} reloads, blackouts {:?} ms, steps {:?}",
+        reload_report.ok,
+        reload_report.failed(),
+        reload_stats.reloads,
+        blackouts.iter().map(|b| (b * 100.0).round() / 100.0).collect::<Vec<_>>(),
+        reload_report.steps_seen
+    );
+
+    let find = |backend: Backend, mb: usize| -> &Point {
+        points
+            .iter()
+            .find(|p| p.backend == backend && p.max_batch == mb)
+            .expect("measured above")
+    };
+    let big = *batch_sizes.last().unwrap();
+    let dense1 = find(Backend::Dense, 1);
+    let dense_b = find(Backend::Dense, big);
+    let nm24_b = find(Backend::Nm24, big);
+    let int8_b = find(Backend::Int8, big);
+    let batch_speedup = dense_b.throughput_rps / dense1.throughput_rps;
+    let nm24_ratio = nm24_b.throughput_rps / dense_b.throughput_rps;
+    let int8_ratio = int8_b.throughput_rps / dense_b.throughput_rps;
+    telemetry::log_info!(
+        "serve: dense batched/b1 {batch_speedup:.2}x, nm24/dense {nm24_ratio:.2}x, int8/dense {int8_ratio:.2}x"
+    );
+
+    // --- Record the section (preserving all others). ------------------
+    let round = |v: f64| Json::Num((v * 1e6).round() / 1e6);
+    let section = Json::Obj(vec![
+        ("schema".to_string(), Json::UInt(1)),
+        ("quick".to_string(), Json::Bool(quick)),
+        ("avx2_detected".to_string(), Json::Bool(detected)),
+        ("active_tier".to_string(), Json::Str(simd::active().name().to_string())),
+        ("dims".to_string(), Json::Arr(DIMS.iter().map(|&d| Json::UInt(d as u64)).collect())),
+        ("clients".to_string(), Json::UInt(clients as u64)),
+        (
+            "points".to_string(),
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("backend".to_string(), Json::Str(p.backend.to_string())),
+                            ("max_batch".to_string(), Json::UInt(p.max_batch as u64)),
+                            ("throughput_rps".to_string(), round(p.throughput_rps)),
+                            ("p50_ms".to_string(), round(p.p50_ms)),
+                            ("p99_ms".to_string(), round(p.p99_ms)),
+                            ("mean_fill".to_string(), round(p.mean_fill)),
+                            ("requests".to_string(), Json::UInt(p.requests)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("batch_speedup".to_string(), round(batch_speedup)),
+        ("nm24_over_dense".to_string(), round(nm24_ratio)),
+        ("int8_over_dense".to_string(), round(int8_ratio)),
+        (
+            "reload".to_string(),
+            Json::Obj(vec![
+                ("requests_ok".to_string(), Json::UInt(reload_report.ok)),
+                ("requests_failed".to_string(), Json::UInt(reload_report.failed())),
+                ("reloads".to_string(), Json::UInt(reload_stats.reloads)),
+                ("respawns".to_string(), Json::UInt(reload_stats.respawns)),
+                (
+                    "blackout_ms".to_string(),
+                    Json::Arr(blackouts.iter().map(|&b| round(b)).collect()),
+                ),
+                (
+                    "max_blackout_ms".to_string(),
+                    round(blackouts.iter().cloned().fold(0.0, f64::max)),
+                ),
+                (
+                    "steps_seen".to_string(),
+                    Json::Arr(reload_report.steps_seen.iter().map(|&s| Json::UInt(s)).collect()),
+                ),
+            ]),
+        ),
+    ]);
+    crate::tracked::merge_tracked_json("BENCH_hotpaths.json", vec![("serve".to_string(), section)])
+        .map_err(|e| format!("record serve section: {e}"))?;
+
+    // --- Self-gates. --------------------------------------------------
+    if reload_report.failed() > 0 {
+        return Err(format!(
+            "hot reload failed {} requests; a reload must be invisible to traffic",
+            reload_report.failed()
+        ));
+    }
+    if reload_stats.reloads < generations as u64 {
+        return Err(format!(
+            "only {} of {generations} published generations were reloaded",
+            reload_stats.reloads
+        ));
+    }
+    if reload_report.steps_seen.len() < 2 {
+        return Err(format!(
+            "load never observed the model advance: steps {:?}",
+            reload_report.steps_seen
+        ));
+    }
+    if detected {
+        if batch_speedup < 2.0 {
+            return Err(format!(
+                "batched serving speedup {batch_speedup:.2}x < 2.0x over batch-1 (dense)"
+            ));
+        }
+        if nm24_ratio < 1.3 {
+            return Err(format!(
+                "2:4 structured serving {nm24_ratio:.2}x < 1.3x over dense end-to-end"
+            ));
+        }
+        if int8_ratio < 1.5 {
+            return Err(format!(
+                "int8 serving {int8_ratio:.2}x < 1.5x over dense end-to-end"
+            ));
+        }
+        telemetry::log_info!(
+            "serve: gates passed (batch {batch_speedup:.2}x >= 2.0x, nm24 {nm24_ratio:.2}x >= 1.3x, int8 {int8_ratio:.2}x >= 1.5x, reload clean)"
+        );
+    } else {
+        telemetry::log_info!(
+            "serve: AVX2 not detected; throughput gates skipped, reload gates passed"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -703,6 +703,67 @@ impl Drop for TcpTransport {
     }
 }
 
+/// Client-side reuse of the transport's wire format: the same
+/// length-prefixed frames [`TcpTransport`] speaks, exposed for peers
+/// that are not mesh ranks — the serving tier's request/response
+/// protocol (`crates/serve`) rides on these so a `samo-serve` client is
+/// just another frame speaker on the same wire. Frames written here are
+/// indistinguishable on the wire from transport frames; the `delay_us`
+/// word is always 0 (fault injection is a mesh concern).
+pub mod framing {
+    use super::*;
+
+    /// Largest frame body the reader accepts; mirrors the transport's
+    /// own corrupt-length guard.
+    pub const MAX_FRAME_BYTES: u32 = MAX_FRAME;
+
+    /// Encodes one message as a complete frame, length word included.
+    pub fn encode(msg: &Message) -> Vec<u8> {
+        encode_frame(msg, 0)
+    }
+
+    /// Decodes one frame body (everything after the length word).
+    pub fn decode(body: &[u8]) -> Result<Message, String> {
+        decode_frame(body).map(|(msg, _delay)| msg)
+    }
+
+    /// Writes one message as a frame. The caller serializes access to
+    /// the stream (frames must not interleave).
+    pub fn write_message(stream: &mut TcpStream, msg: &Message) -> std::io::Result<()> {
+        stream.write_all(&encode(msg))
+    }
+
+    /// Reads one complete frame, riding out read timeouts like the
+    /// transport's reader threads. Returns `Ok(None)` on orderly EOF or
+    /// when `shutdown` flips, `Err` on a socket error or a corrupt
+    /// frame (bad length word, undecodable body).
+    pub fn read_message(
+        stream: &mut TcpStream,
+        shutdown: &AtomicBool,
+    ) -> std::io::Result<Option<Message>> {
+        let mut len_buf = [0u8; 4];
+        match read_full(stream, &mut len_buf, shutdown)? {
+            true => {}
+            false => return Ok(None),
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if !(FRAME_HEADER..=MAX_FRAME).contains(&len) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("corrupt frame length {len}"),
+            ));
+        }
+        let mut body = vec![0u8; len as usize];
+        match read_full(stream, &mut body, shutdown)? {
+            true => {}
+            false => return Ok(None),
+        }
+        decode_frame(&body)
+            .map(|(msg, _delay)| Some(msg))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -771,6 +832,39 @@ mod tests {
         let mut ragged = encode_frame(&msg(Kind::AllReduce, 0, Payload::F64(vec![1.0])), 0);
         ragged.truncate(ragged.len() - 3);
         assert!(decode_frame(&ragged[4..]).is_err());
+    }
+
+    #[test]
+    fn framing_module_roundtrips_over_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+            let shutdown = AtomicBool::new(false);
+            // Echo frames until the client hangs up.
+            while let Some(m) = framing::read_message(&mut stream, &shutdown).unwrap() {
+                framing::write_message(&mut stream, &m).unwrap();
+            }
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+        let shutdown = AtomicBool::new(false);
+        for id in 0..3u64 {
+            let m = msg(Kind::P2p, id, Payload::F32(vec![id as f32, -0.0, f32::MIN_POSITIVE]));
+            framing::write_message(&mut client, &m).unwrap();
+            let back = framing::read_message(&mut client, &shutdown).unwrap().unwrap();
+            assert_eq!(back.tag, m.tag);
+            let (Payload::F32(a), Payload::F32(b)) = (&back.payload, &m.payload) else {
+                panic!("payload type changed in transit");
+            };
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        drop(client);
+        server.join().unwrap();
     }
 
     #[test]

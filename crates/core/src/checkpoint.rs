@@ -215,14 +215,151 @@ impl CheckpointManager {
         if self.cfg.keep_last == 0 {
             return Ok(());
         }
+        // The currently-published checkpoint is pinned: a serve-side
+        // watcher may be about to load it, and pruning it would turn an
+        // atomic publish into a dangling marker.
+        let published = self.published().map(|(_, p)| p);
         let found = self.list()?;
         if found.len() > self.cfg.keep_last {
             for old in &found[..found.len() - self.cfg.keep_last] {
+                if published.as_deref() == Some(old.as_path()) {
+                    telemetry::log_debug!("checkpoint: retention skipping published {old:?}");
+                    continue;
+                }
                 fs::remove_file(old).map_err(|e| format!("prune {old:?}: {e}"))?;
                 telemetry::log_debug!("checkpoint: pruned {old:?}");
             }
         }
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- publish
+
+impl CheckpointManager {
+    /// The publish-marker path for this manager's prefix:
+    /// `{dir}/{prefix}.published`.
+    pub fn publish_marker(&self) -> PathBuf {
+        publish_marker_path(&self.cfg.dir, &self.cfg.prefix)
+    }
+
+    /// Atomically publishes `path` (a checkpoint this manager wrote) for
+    /// serve-side subscribers: writes the `{prefix}.published` marker
+    /// with the same tmp + fsync + rename + dir-sync discipline as the
+    /// saves themselves, so a watcher polling the marker can never
+    /// observe a half-written one. The marker line carries its own
+    /// CRC-32, so even a torn write planted by a crashed foreign writer
+    /// is detected and ignored by [`CheckpointSubscriber::poll`].
+    ///
+    /// Publishing is the serve handoff: training saves on its cadence,
+    /// then publishes the checkpoints it wants served; the retention
+    /// sweep never prunes the currently-published file.
+    pub fn publish(&self, path: &Path) -> Result<u64, String> {
+        let step = self
+            .parse_step(path)
+            .ok_or_else(|| format!("publish: {path:?} is not a checkpoint of prefix {:?}", self.cfg.prefix))?;
+        if !path.exists() {
+            return Err(format!("publish: checkpoint {path:?} does not exist"));
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| format!("publish: unutterable file name {path:?}"))?;
+        let line = format!("{name} {:08x}\n", crate::serialize::crc32(name.as_bytes()));
+        let marker = self.publish_marker();
+        let tmp = marker.with_extension("published.tmp");
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| format!("create {tmp:?}: {e}"))?;
+            f.write_all(line.as_bytes())
+                .map_err(|e| format!("write {tmp:?}: {e}"))?;
+            f.sync_all().map_err(|e| format!("fsync {tmp:?}: {e}"))?;
+        }
+        fs::rename(&tmp, &marker)
+            .map_err(|e| format!("rename {tmp:?} -> {marker:?}: {e}"))?;
+        if let Ok(dir) = fs::File::open(&self.cfg.dir) {
+            let _ = dir.sync_all();
+        }
+        telemetry::log_info!("checkpoint: published step {step} ({name})");
+        if telemetry::enabled() {
+            telemetry::global().counter("samo.ckpt.publishes").inc();
+        }
+        Ok(step)
+    }
+
+    /// Saves `bytes` for `steps_taken` and publishes the result in one
+    /// call — the train → publish → serve handoff as a single step.
+    pub fn save_and_publish(&mut self, steps_taken: u64, bytes: &[u8]) -> Result<PathBuf, String> {
+        let path = self.save_now(steps_taken, bytes)?;
+        self.publish(&path)?;
+        Ok(path)
+    }
+
+    /// The currently published checkpoint, if a valid marker exists.
+    pub fn published(&self) -> Option<(u64, PathBuf)> {
+        read_publish_marker(&self.cfg.dir, &self.cfg.prefix)
+    }
+}
+
+/// The publish-marker path for `prefix` under `dir`.
+pub fn publish_marker_path(dir: &Path, prefix: &str) -> PathBuf {
+    dir.join(format!("{prefix}.published"))
+}
+
+/// Parses and validates the publish marker: one `"{name} {crc:08x}\n"`
+/// line whose CRC matches, naming an existing `{prefix}-<step>.samo`
+/// file. Anything else — missing marker, torn/partial line, CRC
+/// mismatch, foreign name, missing checkpoint — yields `None`: a
+/// subscriber never acts on a publish it cannot fully validate.
+fn read_publish_marker(dir: &Path, prefix: &str) -> Option<(u64, PathBuf)> {
+    let raw = fs::read_to_string(publish_marker_path(dir, prefix)).ok()?;
+    let line = raw.strip_suffix('\n')?;
+    let (name, crc_hex) = line.rsplit_once(' ')?;
+    let crc: u32 = u32::from_str_radix(crc_hex, 16).ok()?;
+    if crc != crate::serialize::crc32(name.as_bytes()) || crc_hex.len() != 8 {
+        return None;
+    }
+    let digits = name.strip_prefix(&format!("{prefix}-"))?.strip_suffix(".samo")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let step: u64 = digits.parse().ok()?;
+    let path = dir.join(name);
+    path.exists().then_some((step, path))
+}
+
+/// Serve-side watcher handle: polls the publish marker and reports each
+/// *newly* published step exactly once. Validation is structural (see
+/// [`CheckpointManager::publish`]); content validation — the v2 CRCs —
+/// happens when the caller loads the returned path, which it must do
+/// before serving from it.
+pub struct CheckpointSubscriber {
+    dir: PathBuf,
+    prefix: String,
+    last_step: Option<u64>,
+}
+
+impl CheckpointSubscriber {
+    /// A subscriber that has seen nothing yet: the first `poll` reports
+    /// the current publish, if any.
+    pub fn new(dir: impl Into<PathBuf>, prefix: impl Into<String>) -> CheckpointSubscriber {
+        CheckpointSubscriber {
+            dir: dir.into(),
+            prefix: prefix.into(),
+            last_step: None,
+        }
+    }
+
+    /// Returns the published `(step, path)` if it differs from the last
+    /// one this subscriber reported. Republishing an older step (a
+    /// rollback) is reported too — the marker is the truth, not the
+    /// step ordering.
+    pub fn poll(&mut self) -> Option<(u64, PathBuf)> {
+        let (step, path) = read_publish_marker(&self.dir, &self.prefix)?;
+        if self.last_step == Some(step) {
+            return None;
+        }
+        self.last_step = Some(step);
+        Some((step, path))
     }
 }
 

@@ -49,7 +49,10 @@ pub mod state;
 pub mod threaded;
 pub mod trainer;
 
-pub use checkpoint::{CheckpointConfig, CheckpointManager};
+pub use checkpoint::{
+    load_checkpoint_file, publish_marker_path, CheckpointConfig, CheckpointManager,
+    CheckpointSubscriber,
+};
 pub use compressed::{compress_f16, compress_f32, expand_f16, expand_f32};
 pub use memory::{m_default_bytes, m_samo_bytes, samo_savings_fraction, SamoBreakdown};
 pub use data_parallel::DataParallelSamo;

@@ -1,0 +1,126 @@
+//! The atomic-publish contract between training and serving
+//! (DESIGN.md §17): a subscriber polling the `{prefix}.published`
+//! marker must *never* act on a torn, partial, stale, or dangling
+//! publish. The marker rides the same tmp + fsync + rename discipline
+//! as checkpoint saves, carries its own CRC over the named file, and
+//! retention never prunes the file it points at.
+
+use samo::checkpoint::{publish_marker_path, CheckpointConfig, CheckpointManager, CheckpointSubscriber};
+use samo::{SamoLayerState, TrainerMeta};
+use nn::mixed::Optimizer;
+use nn::optim::AdamConfig;
+use std::fs;
+use std::path::PathBuf;
+
+fn adam() -> Optimizer {
+    Optimizer::Adam(AdamConfig::default())
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("samo-publish-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn sample_bytes(seed: u64) -> bytes::Bytes {
+    let mask = prune::random_prune(&[64], 0.5, seed);
+    let st = SamoLayerState::from_params(&vec![0.5; 64], mask, &adam());
+    samo::serialize::save_checkpoint(
+        std::slice::from_ref(&st),
+        &TrainerMeta { loss_scale: 1.0, good_steps: 0, steps_taken: seed, steps_skipped: 0 },
+    )
+}
+
+#[test]
+fn publish_subscribe_roundtrip_reports_each_step_once() {
+    let dir = tmpdir("roundtrip");
+    let mut mgr = CheckpointManager::new(CheckpointConfig::new(&dir)).unwrap();
+    let mut sub = CheckpointSubscriber::new(&dir, "ckpt");
+    assert_eq!(sub.poll(), None, "nothing published yet");
+
+    let p10 = mgr.save_now(10, &sample_bytes(10)).unwrap();
+    assert_eq!(sub.poll(), None, "a save alone is not a publish");
+    assert_eq!(mgr.publish(&p10).unwrap(), 10);
+    assert_eq!(sub.poll(), Some((10, p10.clone())));
+    assert_eq!(sub.poll(), None, "the same publish must not re-fire");
+
+    // save_and_publish in one call; the subscriber sees the new step.
+    let p20 = mgr.save_and_publish(20, &sample_bytes(20)).unwrap();
+    assert_eq!(sub.poll(), Some((20, p20.clone())));
+    assert_eq!(mgr.published(), Some((20, p20)));
+
+    // Republishing an older retained step (rollback) fires again.
+    mgr.publish(&p10).unwrap();
+    assert_eq!(sub.poll(), Some((10, p10)));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_or_partial_publish_is_never_picked_up() {
+    let dir = tmpdir("torn");
+    let mut mgr = CheckpointManager::new(CheckpointConfig::new(&dir)).unwrap();
+    let path = mgr.save_now(5, &sample_bytes(5)).unwrap();
+    let name = path.file_name().unwrap().to_str().unwrap().to_string();
+    let marker = publish_marker_path(&dir, "ckpt");
+    let good_line = {
+        mgr.publish(&path).unwrap();
+        fs::read_to_string(&marker).unwrap()
+    };
+
+    let mut sub = CheckpointSubscriber::new(&dir, "ckpt");
+    // Each corruption below models a crash mid-write by a writer
+    // WITHOUT the rename discipline; all must be ignored.
+    let torn_cases: Vec<Vec<u8>> = vec![
+        Vec::new(),                                      // zero-length marker
+        good_line.as_bytes()[..name.len() / 2].to_vec(), // truncated mid-name
+        good_line.as_bytes()[..good_line.len() - 5].to_vec(), // truncated mid-crc
+        good_line.replace('\n', "").into_bytes(),        // missing terminator
+        format!("{name} deadbeef\n").into_bytes(),       // wrong crc
+        b"ckpt-000000000099.samo 00000000\n".to_vec(),   // dangling (no such file)
+        b"../../etc/passwd 00000000\n".to_vec(),         // foreign name shape
+    ];
+    for (i, bytes) in torn_cases.iter().enumerate() {
+        fs::write(&marker, bytes).unwrap();
+        assert_eq!(sub.poll(), None, "torn case {i} was picked up: {bytes:?}");
+        assert_eq!(mgr.published(), None, "torn case {i} validated via manager");
+    }
+
+    // Restoring the good marker recovers cleanly.
+    fs::write(&marker, good_line.as_bytes()).unwrap();
+    assert_eq!(sub.poll(), Some((5, path)));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retention_never_prunes_the_published_checkpoint() {
+    let dir = tmpdir("retention");
+    let mut cfg = CheckpointConfig::new(&dir);
+    cfg.keep_last = 2;
+    let mut mgr = CheckpointManager::new(cfg).unwrap();
+    let p1 = mgr.save_and_publish(1, &sample_bytes(1)).unwrap();
+    for step in 2..=5u64 {
+        mgr.save_now(step, &sample_bytes(step)).unwrap();
+    }
+    // Step 1 is far outside keep_last = 2, but it is published: it must
+    // survive so the marker never dangles.
+    assert!(p1.exists(), "published checkpoint was pruned");
+    let kept = mgr.list().unwrap();
+    assert!(kept.contains(&p1), "published checkpoint missing from list: {kept:?}");
+    // Moving the publish forward releases the pin; the next save prunes it.
+    let p5 = mgr.latest().unwrap().unwrap();
+    mgr.publish(&p5).unwrap();
+    mgr.save_now(6, &sample_bytes(6)).unwrap();
+    assert!(!p1.exists(), "unpinned checkpoint must be pruned normally");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn publish_rejects_foreign_or_missing_paths() {
+    let dir = tmpdir("reject");
+    let mut mgr = CheckpointManager::new(CheckpointConfig::new(&dir)).unwrap();
+    let real = mgr.save_now(3, &sample_bytes(3)).unwrap();
+    assert!(mgr.publish(&dir.join("other-000000000003.samo")).is_err(), "foreign prefix");
+    assert!(mgr.publish(&dir.join("ckpt-000000000099.samo")).is_err(), "missing file");
+    assert!(mgr.publish(&real).is_ok());
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -45,6 +45,13 @@ impl Layer for Relu {
         dx
     }
 
+    fn infer_batch(&mut self, x: &[f32], batch: usize, in_cols: usize, out: &mut Vec<f32>) -> usize {
+        assert_eq!(x.len(), batch * in_cols, "input slice/shape mismatch");
+        out.clear();
+        out.extend(x.iter().map(|&v| if v < 0.0 { 0.0 } else { v }));
+        in_cols
+    }
+
     fn params(&self) -> Vec<&Parameter> {
         vec![]
     }
@@ -114,6 +121,13 @@ impl Layer for Gelu {
             *d *= gelu_grad_scalar(xi);
         }
         dx
+    }
+
+    fn infer_batch(&mut self, x: &[f32], batch: usize, in_cols: usize, out: &mut Vec<f32>) -> usize {
+        assert_eq!(x.len(), batch * in_cols, "input slice/shape mismatch");
+        out.clear();
+        out.extend(x.iter().map(|&v| gelu_scalar(v)));
+        in_cols
     }
 
     fn params(&self) -> Vec<&Parameter> {

@@ -57,6 +57,28 @@ pub trait Layer {
         0
     }
 
+    /// Inference-only batched forward into a caller-provided buffer:
+    /// reads `batch` row-major rows of `in_cols` features from `x`,
+    /// writes `batch × out_cols` outputs into `out` (cleared and
+    /// refilled in place, so a warm buffer is reused without touching
+    /// the allocator), and returns `out_cols`. Unlike [`Self::forward`]
+    /// this never caches activations — it is the serving path, where no
+    /// backward follows. The default routes through `forward` (one
+    /// tensor allocation per layer per call); the layers the serving
+    /// runtime composes (`Linear`, `NmLinear`, `QuantLinear`, the
+    /// activations, and `Sequential` itself) override it with
+    /// scratch-reusing kernels that are allocation-free once warm,
+    /// asserted by `tests/zero_alloc.rs`.
+    fn infer_batch(&mut self, x: &[f32], batch: usize, in_cols: usize, out: &mut Vec<f32>) -> usize {
+        assert!(batch > 0, "infer_batch needs at least one row");
+        let y = self.forward(&Tensor::from_vec(&[batch, in_cols], x.to_vec()));
+        let out_cols = y.numel() / batch;
+        out.clear();
+        out.extend_from_slice(y.as_slice());
+        self.clear_caches();
+        out_cols
+    }
+
     /// Backward with a gradient-readiness callback, the hook data-parallel
     /// trainers use to overlap all-reduce with the rest of backward:
     /// `on_ready(param_offset, params)` fires as soon as a group of
@@ -81,12 +103,21 @@ pub trait Layer {
 /// the thread-per-rank data-parallel runtime owns one replica per rank.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer + Send>>,
+    /// Ping-pong buffers for [`Layer::infer_batch`]: activations bounce
+    /// between these two, so a whole-model inference pass reuses the
+    /// same warm storage on every batch.
+    infer_a: Vec<f32>,
+    infer_b: Vec<f32>,
 }
 
 impl Sequential {
     /// Creates an empty container.
     pub fn new() -> Sequential {
-        Sequential { layers: Vec::new() }
+        Sequential {
+            layers: Vec::new(),
+            infer_a: Vec::new(),
+            infer_b: Vec::new(),
+        }
     }
 
     /// Appends a layer (builder style).
@@ -120,7 +151,11 @@ impl Sequential {
     /// Rebuilds a container from owned layers (inverse of
     /// [`Self::into_layers`]); layer order is preserved.
     pub fn from_layers(layers: Vec<Box<dyn Layer + Send>>) -> Sequential {
-        Sequential { layers }
+        Sequential {
+            layers,
+            infer_a: Vec::new(),
+            infer_b: Vec::new(),
+        }
     }
 }
 
@@ -169,6 +204,27 @@ impl Layer for Sequential {
 
     fn cached_bytes(&self) -> usize {
         self.layers.iter().map(|l| l.cached_bytes()).sum()
+    }
+
+    fn infer_batch(&mut self, x: &[f32], batch: usize, in_cols: usize, out: &mut Vec<f32>) -> usize {
+        assert!(batch > 0, "infer_batch needs at least one row");
+        assert_eq!(x.len(), batch * in_cols, "input slice/shape mismatch");
+        // Take the ping-pong buffers out of `self` so the layers (also
+        // borrowed from `self`) can fill them; put them back warm.
+        let mut a = std::mem::take(&mut self.infer_a);
+        let mut b = std::mem::take(&mut self.infer_b);
+        a.clear();
+        a.extend_from_slice(x);
+        let mut cols = in_cols;
+        for layer in &mut self.layers {
+            cols = layer.infer_batch(&a, batch, cols, &mut b);
+            std::mem::swap(&mut a, &mut b);
+        }
+        out.clear();
+        out.extend_from_slice(&a);
+        self.infer_a = a;
+        self.infer_b = b;
+        cols
     }
 
     fn backward_with_ready(
@@ -231,5 +287,24 @@ mod tests {
         // (no params), first Linear (params 0..2). Offsets index into
         // `params()` order; every parameter is reported exactly once.
         assert_eq!(groups, vec![(2, 1), (2, 0), (0, 2)]);
+    }
+
+    #[test]
+    fn infer_batch_matches_forward_bitwise() {
+        let mut model = Sequential::new()
+            .push(Linear::new(6, 8, true, 1))
+            .push(crate::activations::Gelu::new())
+            .push(Linear::new(8, 3, true, 2))
+            .push(crate::activations::Relu::new());
+        let x = Tensor::randn(&[4, 6], 1.0, 3);
+        let y = model.forward(&x);
+        model.clear_caches();
+        let mut out = Vec::new();
+        // Twice: the second call exercises the warm ping-pong scratch.
+        for _ in 0..2 {
+            let cols = model.infer_batch(x.as_slice(), 4, 6, &mut out);
+            assert_eq!(cols, 3);
+            assert_eq!(out.as_slice(), y.as_slice(), "infer path must be bitwise forward");
+        }
     }
 }

@@ -97,6 +97,30 @@ impl Layer for Linear {
         y
     }
 
+    fn infer_batch(&mut self, x: &[f32], batch: usize, in_cols: usize, out: &mut Vec<f32>) -> usize {
+        assert_eq!(in_cols, self.in_features, "input feature mismatch");
+        assert_eq!(x.len(), batch * in_cols, "input slice/shape mismatch");
+        out.clear();
+        out.resize(batch * self.out_features, 0.0);
+        matmul_nt(
+            batch,
+            self.out_features,
+            self.in_features,
+            x,
+            self.weight.value.as_slice(),
+            out,
+        );
+        if let Some(b) = &self.bias {
+            let bs = b.value.as_slice();
+            for row in out.chunks_mut(self.out_features) {
+                for (v, &bv) in row.iter_mut().zip(bs) {
+                    *v += bv;
+                }
+            }
+        }
+        self.out_features
+    }
+
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let x = self
             .cached_input

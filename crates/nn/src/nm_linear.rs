@@ -19,6 +19,10 @@ use tensor::Tensor;
 pub struct NmLinear {
     weight: Nm24,
     bias: Option<Tensor>,
+    /// Transpose scratch for [`Layer::infer_batch`] (`xᵀ` in, `yᵀ` out):
+    /// warm after the first batch, reused allocation-free thereafter.
+    xt: Vec<f32>,
+    yt: Vec<f32>,
 }
 
 impl NmLinear {
@@ -34,6 +38,8 @@ impl NmLinear {
         NmLinear {
             weight: Nm24::from_dense_masked(weight.as_slice(), out_f, in_f, keep),
             bias,
+            xt: Vec::new(),
+            yt: Vec::new(),
         }
     }
 
@@ -45,7 +51,12 @@ impl NmLinear {
         if let Some(b) = &bias {
             assert_eq!(b.numel(), out_f);
         }
-        NmLinear { weight: Nm24::from_dense(weight.as_slice(), out_f, in_f), bias }
+        NmLinear {
+            weight: Nm24::from_dense(weight.as_slice(), out_f, in_f),
+            bias,
+            xt: Vec::new(),
+            yt: Vec::new(),
+        }
     }
 
     pub fn in_features(&self) -> usize {
@@ -94,6 +105,39 @@ impl Layer for NmLinear {
         y
     }
 
+    fn infer_batch(&mut self, x: &[f32], batch: usize, in_cols: usize, out: &mut Vec<f32>) -> usize {
+        let (out_f, in_f) = (self.weight.rows(), self.weight.cols());
+        assert_eq!(in_cols, in_f, "input feature mismatch");
+        assert_eq!(x.len(), batch * in_f, "input slice/shape mismatch");
+        // Same transpose dance as `forward`, but through warm scratch.
+        self.xt.clear();
+        self.xt.resize(batch * in_f, 0.0);
+        for r in 0..batch {
+            for c in 0..in_f {
+                self.xt[c * batch + r] = x[r * in_f + c];
+            }
+        }
+        self.yt.clear();
+        self.yt.resize(out_f * batch, 0.0);
+        spmm_nm24(&self.weight, &self.xt, batch, &mut self.yt);
+        out.clear();
+        out.resize(batch * out_f, 0.0);
+        for o in 0..out_f {
+            for r in 0..batch {
+                out[r * out_f + o] = self.yt[o * batch + r];
+            }
+        }
+        if let Some(b) = &self.bias {
+            let bs = b.as_slice();
+            for row in out.chunks_mut(out_f) {
+                for (v, &bv) in row.iter_mut().zip(bs) {
+                    *v += bv;
+                }
+            }
+        }
+        out_f
+    }
+
     fn backward(&mut self, _dy: &Tensor) -> Tensor {
         panic!("NmLinear is inference-only: no backward pass");
     }
@@ -136,6 +180,22 @@ mod tests {
         let yd = dl.forward(&x);
         for (a, b) in yn.as_slice().iter().zip(yd.as_slice()) {
             assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn infer_batch_matches_forward_bitwise() {
+        let (out_f, in_f, batch) = (9usize, 16usize, 6usize);
+        let w = Tensor::randn(&[out_f, in_f], 1.0, 51);
+        let bias = Tensor::randn(&[out_f], 0.5, 52);
+        let mut nl = NmLinear::from_dense(&w, Some(bias));
+        let x = Tensor::randn(&[batch, in_f], 1.0, 53);
+        let y = nl.forward(&x);
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            let cols = nl.infer_batch(x.as_slice(), batch, in_f, &mut out);
+            assert_eq!(cols, out_f);
+            assert_eq!(out.as_slice(), y.as_slice(), "infer path must be bitwise forward");
         }
     }
 

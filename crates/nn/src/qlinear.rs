@@ -8,7 +8,10 @@
 
 use crate::layer::Layer;
 use crate::param::Parameter;
-use tensor::qgemm::{error_bound, quantize_rows_i8, PackedBi8};
+use tensor::qgemm::{
+    error_bound, qgemm_i8_with_tier, quantize_rows_i8, quantize_rows_i8_into, PackedBi8,
+    QuantizedActs,
+};
 use tensor::simd;
 use tensor::Tensor;
 
@@ -20,6 +23,9 @@ pub struct QuantLinear {
     bias: Option<Tensor>,
     in_features: usize,
     out_features: usize,
+    /// Activation-quantization scratch for [`Layer::infer_batch`]: warm
+    /// after the first batch, reused allocation-free thereafter.
+    acts: QuantizedActs,
 }
 
 impl QuantLinear {
@@ -44,6 +50,7 @@ impl QuantLinear {
             bias,
             in_features: in_f,
             out_features: out_f,
+            acts: QuantizedActs::default(),
         }
     }
 
@@ -94,6 +101,25 @@ impl Layer for QuantLinear {
         y
     }
 
+    fn infer_batch(&mut self, x: &[f32], batch: usize, in_cols: usize, out: &mut Vec<f32>) -> usize {
+        assert_eq!(in_cols, self.in_features, "input feature mismatch");
+        assert_eq!(x.len(), batch * in_cols, "input slice/shape mismatch");
+        let tier = simd::active();
+        quantize_rows_i8_into(tier, x, batch, self.in_features, &mut self.acts);
+        out.clear();
+        out.resize(batch * self.out_features, 0.0);
+        qgemm_i8_with_tier(tier, &self.acts, &self.packed, out);
+        if let Some(b) = &self.bias {
+            let bs = b.as_slice();
+            for row in out.chunks_mut(self.out_features) {
+                for (v, &bv) in row.iter_mut().zip(bs) {
+                    *v += bv;
+                }
+            }
+        }
+        self.out_features
+    }
+
     fn backward(&mut self, _dy: &Tensor) -> Tensor {
         panic!("QuantLinear is inference-only: no backward pass");
     }
@@ -140,6 +166,22 @@ mod tests {
                     "row {r} out {o}: |{a} - {b}| = {err} > bound {bound}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn infer_batch_matches_forward_bitwise() {
+        let (out_f, in_f, batch) = (12usize, 33usize, 5usize);
+        let w = Tensor::randn(&[out_f, in_f], 1.0, 21);
+        let bias = Tensor::randn(&[out_f], 0.5, 22);
+        let mut ql = QuantLinear::from_weights(&w, Some(bias));
+        let x = Tensor::randn(&[batch, in_f], 1.0, 23);
+        let y = ql.forward(&x);
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            let cols = ql.infer_batch(x.as_slice(), batch, in_f, &mut out);
+            assert_eq!(cols, out_f);
+            assert_eq!(out.as_slice(), y.as_slice(), "infer path must be bitwise forward");
         }
     }
 

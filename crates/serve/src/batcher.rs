@@ -1,0 +1,145 @@
+//! Fill-or-deadline batching: coalesce queued requests into
+//! GEMM-friendly batches without ever stalling a lone request.
+//!
+//! The continuous batcher's contract is the classic serving trade: a
+//! batch dispatches as soon as it holds `max_batch` requests (fill) or
+//! `max_wait` has elapsed since its *first* request arrived (deadline),
+//! whichever comes first. The deadline is anchored to the first
+//! arrival, not refreshed per request, so a steady trickle cannot
+//! starve the batch open forever; `max_wait` is therefore a hard bound
+//! on the queueing latency any request pays to batching.
+//!
+//! The collector is generic over the channel's message type: the
+//! dispatcher's channel interleaves requests with control traffic
+//! (checkpoint swaps, fault drills, shutdown), and a control message
+//! arriving mid-fill must neither be dropped nor delay the batch — it
+//! is set aside, in order, and handed back to the caller alongside the
+//! batch.
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+/// When a batch dispatches: at `max_batch` requests, or `max_wait`
+/// after its first request arrived, whichever comes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest batch to coalesce (rows of the batched GEMM). Must be
+    /// at least 1; 1 disables coalescing entirely.
+    pub max_batch: usize,
+    /// Longest a request may wait for company.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> BatchPolicy {
+        BatchPolicy { max_batch: 32, max_wait: Duration::from_millis(1) }
+    }
+}
+
+/// Collects one batch from `rx`, seeded with the already-received
+/// `first` item. `classify` splits each further message into a
+/// batchable item (`Ok`) or a control message (`Err`), which is set
+/// aside without ending the fill. Returns the batch and the deferred
+/// control messages, both in arrival order. Never blocks past
+/// `first`'s deadline; a disconnected channel just ends the fill.
+pub fn fill_or_deadline<M, T>(
+    rx: &Receiver<M>,
+    first: T,
+    policy: &BatchPolicy,
+    mut classify: impl FnMut(M) -> Result<T, M>,
+) -> (Vec<T>, Vec<M>) {
+    debug_assert!(policy.max_batch >= 1);
+    let deadline = Instant::now() + policy.max_wait;
+    let mut batch = vec![first];
+    let mut control = Vec::new();
+    while batch.len() < policy.max_batch {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        match rx.recv_timeout(remaining) {
+            Ok(msg) => match classify(msg) {
+                Ok(item) => batch.push(item),
+                Err(ctl) => control.push(ctl),
+            },
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    (batch, control)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    /// Messages: even = batchable, odd = control.
+    fn classify(m: u32) -> Result<u32, u32> {
+        if m.is_multiple_of(2) {
+            Ok(m)
+        } else {
+            Err(m)
+        }
+    }
+
+    #[test]
+    fn fills_to_max_batch_without_waiting_out_the_deadline() {
+        let (tx, rx) = channel();
+        for m in [2u32, 4, 6, 8, 10] {
+            tx.send(m).unwrap();
+        }
+        let policy = BatchPolicy { max_batch: 4, max_wait: Duration::from_secs(60) };
+        let t0 = Instant::now();
+        let (batch, control) = fill_or_deadline(&rx, 0, &policy, classify);
+        assert!(t0.elapsed() < Duration::from_secs(1), "a full batch must not wait");
+        assert_eq!(batch, vec![0, 2, 4, 6], "fills to max_batch in arrival order");
+        assert!(control.is_empty());
+        assert_eq!(rx.try_recv().unwrap(), 8, "excess stays queued for the next batch");
+    }
+
+    #[test]
+    fn deadline_cuts_a_short_batch() {
+        let (tx, rx) = channel::<u32>();
+        tx.send(2).unwrap();
+        let policy = BatchPolicy { max_batch: 64, max_wait: Duration::from_millis(20) };
+        let t0 = Instant::now();
+        let (batch, _) = fill_or_deadline(&rx, 0, &policy, classify);
+        let waited = t0.elapsed();
+        assert_eq!(batch, vec![0, 2]);
+        assert!(waited >= Duration::from_millis(20), "must wait out the deadline: {waited:?}");
+        assert!(waited < Duration::from_secs(5), "must not block past it: {waited:?}");
+    }
+
+    #[test]
+    fn control_messages_are_deferred_in_order_not_dropped() {
+        let (tx, rx) = channel();
+        for m in [1u32, 2, 3, 4, 5] {
+            tx.send(m).unwrap();
+        }
+        let policy = BatchPolicy { max_batch: 3, max_wait: Duration::from_secs(60) };
+        let (batch, control) = fill_or_deadline(&rx, 0, &policy, classify);
+        assert_eq!(batch, vec![0, 2, 4]);
+        assert_eq!(control, vec![1, 3], "control set aside in arrival order");
+        assert_eq!(rx.try_recv().unwrap(), 5, "unread messages stay queued");
+    }
+
+    #[test]
+    fn max_batch_one_returns_immediately() {
+        let (_tx, rx) = channel::<u32>();
+        let policy = BatchPolicy { max_batch: 1, max_wait: Duration::from_secs(60) };
+        let t0 = Instant::now();
+        let (batch, _) = fill_or_deadline(&rx, 8, &policy, classify);
+        assert_eq!(batch, vec![8]);
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn disconnected_sender_ends_the_fill() {
+        let (tx, rx) = channel();
+        tx.send(2u32).unwrap();
+        drop(tx);
+        let policy = BatchPolicy { max_batch: 8, max_wait: Duration::from_secs(60) };
+        let (batch, _) = fill_or_deadline(&rx, 0, &policy, classify);
+        assert_eq!(batch, vec![0, 2]);
+    }
+}

@@ -1,0 +1,186 @@
+//! A blocking serving client: one TCP connection, closed-loop
+//! request/reply, deadline-aware reads.
+//!
+//! The transport-side frame reader (`comms::tcp::framing`) rides out
+//! read timeouts forever by design — a training rank would rather
+//! stall than miss a collective. A serving client is the opposite: an
+//! SLA load generator must be able to *give up* on a reply at its
+//! deadline and keep the connection usable. So the client keeps its
+//! own incremental frame buffer: a read that hits the deadline
+//! mid-frame simply resumes from the buffered prefix on the next
+//! call, and a late reply for an abandoned request is skipped by `id`
+//! when it finally lands — the stream never desynchronizes.
+
+use crate::protocol::{self, ClientBound};
+use comms::tcp::framing;
+use std::io::Read;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Matches the server's poll cadence.
+const POLL: Duration = Duration::from_millis(20);
+
+/// A reply to one inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferReply {
+    pub id: u64,
+    /// Checkpoint step of the model that produced the output.
+    pub step: u64,
+    pub output: Vec<f32>,
+}
+
+/// Client-visible failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No reply by the deadline; the request may still complete later.
+    Timeout,
+    /// The server answered with an error frame.
+    Server(String),
+    /// The connection died.
+    Closed,
+    Io(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Timeout => f.write_str("timed out waiting for a reply"),
+            ServeError::Server(e) => write!(f, "server error: {e}"),
+            ServeError::Closed => f.write_str("connection closed"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+pub struct ServeClient {
+    stream: TcpStream,
+    /// Incremental receive buffer; survives abandoned reads so a
+    /// deadline hit mid-frame never tears the stream.
+    rdbuf: Vec<u8>,
+    /// Total frame bytes (length word included) wanted before the
+    /// buffered frame completes; 0 while the length word is pending.
+    need: usize,
+    next_id: u64,
+}
+
+impl ServeClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServeError::Io(e.to_string()))?;
+        stream.set_nodelay(true).map_err(|e| ServeError::Io(e.to_string()))?;
+        stream
+            .set_read_timeout(Some(POLL))
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        Ok(ServeClient { stream, rdbuf: Vec::new(), need: 0, next_id: 1 })
+    }
+
+    /// Sends `features` and blocks for the matching reply until
+    /// `deadline`. Late replies to earlier abandoned requests are
+    /// discarded by id.
+    pub fn infer_deadline(
+        &mut self,
+        features: &[f32],
+        deadline: Duration,
+    ) -> Result<InferReply, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&protocol::request(id, features.to_vec()))?;
+        let until = Instant::now() + deadline;
+        loop {
+            match self.read_frame(until)? {
+                None => return Err(ServeError::Timeout),
+                Some(ClientBound::Reply { id: rid, step, output }) if rid == id => {
+                    return Ok(InferReply { id, step, output })
+                }
+                Some(ClientBound::Error { id: rid, text }) if rid == id || rid == 0 => {
+                    return Err(ServeError::Server(text))
+                }
+                Some(_) => continue, // stale reply or pong: skip
+            }
+        }
+    }
+
+    /// [`Self::infer_deadline`] with a generous 30 s deadline.
+    pub fn infer(&mut self, features: &[f32]) -> Result<InferReply, ServeError> {
+        self.infer_deadline(features, Duration::from_secs(30))
+    }
+
+    /// Round-trips a liveness ping.
+    pub fn ping(&mut self, deadline: Duration) -> Result<(), ServeError> {
+        self.send(&protocol::ping())?;
+        let until = Instant::now() + deadline;
+        loop {
+            match self.read_frame(until)? {
+                None => return Err(ServeError::Timeout),
+                Some(ClientBound::Pong) => return Ok(()),
+                Some(_) => continue,
+            }
+        }
+    }
+
+    /// Asks the server to kill replica `idx` (fault drill). Fire and
+    /// forget: the drill's effect is observed through serving behavior.
+    pub fn crash_replica(&mut self, idx: usize) -> Result<(), ServeError> {
+        self.send(&protocol::crash_replica(idx))
+    }
+
+    /// Requests a clean server shutdown and waits for the ack (or the
+    /// server closing the stream, which means the same thing).
+    pub fn shutdown_server(&mut self, deadline: Duration) -> Result<(), ServeError> {
+        self.send(&protocol::shutdown())?;
+        let until = Instant::now() + deadline;
+        loop {
+            match self.read_frame(until) {
+                Ok(None) => return Err(ServeError::Timeout),
+                Ok(Some(ClientBound::ShutdownAck)) | Err(ServeError::Closed) => return Ok(()),
+                Ok(Some(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn send(&mut self, msg: &comms::Message) -> Result<(), ServeError> {
+        framing::write_message(&mut self.stream, msg).map_err(|e| match e.kind() {
+            std::io::ErrorKind::BrokenPipe | std::io::ErrorKind::ConnectionReset => {
+                ServeError::Closed
+            }
+            _ => ServeError::Io(e.to_string()),
+        })
+    }
+
+    /// Reads one frame, resuming any buffered partial frame. `Ok(None)`
+    /// on deadline; the partial stays buffered for the next call.
+    fn read_frame(&mut self, until: Instant) -> Result<Option<ClientBound>, ServeError> {
+        loop {
+            if self.need == 0 && self.rdbuf.len() >= 4 {
+                let len = u32::from_le_bytes(self.rdbuf[..4].try_into().unwrap());
+                if len == 0 || len > framing::MAX_FRAME_BYTES {
+                    return Err(ServeError::Io(format!("corrupt frame length {len}")));
+                }
+                self.need = 4 + len as usize;
+            }
+            if self.need > 0 && self.rdbuf.len() >= self.need {
+                let body = self.rdbuf[4..self.need].to_vec();
+                self.rdbuf.drain(..self.need);
+                self.need = 0;
+                let msg = framing::decode(&body).map_err(ServeError::Io)?;
+                return protocol::parse_client_bound(msg).map(Some).map_err(ServeError::Io);
+            }
+            if Instant::now() >= until {
+                return Ok(None);
+            }
+            let mut tmp = [0u8; 4096];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Err(ServeError::Closed),
+                Ok(n) => self.rdbuf.extend_from_slice(&tmp[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(ServeError::Io(e.to_string())),
+            }
+        }
+    }
+}

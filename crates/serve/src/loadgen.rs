@@ -1,0 +1,177 @@
+//! Closed-loop SLA load generation: `clients` threads, each holding
+//! one connection and issuing the next request the moment the
+//! previous reply lands (or its deadline passes). Closed-loop offered
+//! load self-regulates — a saturated server slows the clients instead
+//! of building an unbounded queue — so throughput and latency are
+//! measured at a sustainable operating point, the honest way to read
+//! a batching trade-off.
+//!
+//! Latencies are exact (client-side, merged and sorted across
+//! threads, not bucketed), and every reply's checkpoint-step stamp is
+//! collected so reload drills can assert which models actually
+//! answered.
+
+use crate::client::{ServeClient, ServeError};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    pub addr: String,
+    /// Concurrent closed-loop client connections.
+    pub clients: usize,
+    /// How long to keep offering load.
+    pub duration: Duration,
+    /// Feature-vector width of each request.
+    pub features: usize,
+    /// Per-request reply deadline (the SLA).
+    pub deadline: Duration,
+    pub seed: u64,
+}
+
+impl LoadGenConfig {
+    pub fn new(addr: impl Into<String>, features: usize) -> LoadGenConfig {
+        LoadGenConfig {
+            addr: addr.into(),
+            clients: 8,
+            duration: Duration::from_millis(500),
+            features,
+            deadline: Duration::from_secs(5),
+            seed: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct LoadGenReport {
+    pub sent: u64,
+    pub ok: u64,
+    pub timeouts: u64,
+    pub errors: u64,
+    /// Exact client-side quantiles over completed requests.
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    /// Completed requests per second over the measured window.
+    pub throughput_rps: f64,
+    /// Distinct checkpoint steps stamped on replies, ascending.
+    pub steps_seen: Vec<u64>,
+}
+
+impl LoadGenReport {
+    /// Requests that got no valid reply: SLA misses plus hard errors.
+    pub fn failed(&self) -> u64 {
+        self.timeouts + self.errors
+    }
+}
+
+/// Deterministic pseudo-random f32 in roughly [-1, 1) (SplitMix64).
+fn feature(seed: u64, i: u64) -> f32 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 40) as f32) / (1u64 << 23) as f32 - 1.0
+}
+
+struct ThreadReport {
+    sent: u64,
+    ok: u64,
+    timeouts: u64,
+    errors: u64,
+    latencies_us: Vec<f64>,
+    steps: BTreeSet<u64>,
+}
+
+pub fn run(cfg: &LoadGenConfig) -> Result<LoadGenReport, String> {
+    let t0 = Instant::now();
+    let stop_at = t0 + cfg.duration;
+    let mut joins = Vec::with_capacity(cfg.clients);
+    for t in 0..cfg.clients {
+        let addr = cfg.addr.clone();
+        let (features, deadline) = (cfg.features, cfg.deadline);
+        let seed = cfg.seed.wrapping_add(1 + t as u64);
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("samo-loadgen-{t}"))
+                .spawn(move || client_loop(&addr, features, deadline, seed, stop_at))
+                .map_err(|e| format!("spawn loadgen client: {e}"))?,
+        );
+    }
+    let mut all = ThreadReport {
+        sent: 0,
+        ok: 0,
+        timeouts: 0,
+        errors: 0,
+        latencies_us: Vec::new(),
+        steps: BTreeSet::new(),
+    };
+    for j in joins {
+        let r = j.join().map_err(|_| "loadgen client panicked".to_string())??;
+        all.sent += r.sent;
+        all.ok += r.ok;
+        all.timeouts += r.timeouts;
+        all.errors += r.errors;
+        all.latencies_us.extend(r.latencies_us);
+        all.steps.extend(r.steps);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    all.latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let q = |q: f64| -> f64 {
+        if all.latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((q * all.latencies_us.len() as f64).ceil() as usize)
+            .clamp(1, all.latencies_us.len());
+        all.latencies_us[idx - 1] / 1e3
+    };
+    Ok(LoadGenReport {
+        sent: all.sent,
+        ok: all.ok,
+        timeouts: all.timeouts,
+        errors: all.errors,
+        p50_ms: q(0.5),
+        p99_ms: q(0.99),
+        throughput_rps: all.ok as f64 / elapsed.max(1e-9),
+        steps_seen: all.steps.into_iter().collect(),
+    })
+}
+
+fn client_loop(
+    addr: &str,
+    features: usize,
+    deadline: Duration,
+    seed: u64,
+    stop_at: Instant,
+) -> Result<ThreadReport, String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut r = ThreadReport {
+        sent: 0,
+        ok: 0,
+        timeouts: 0,
+        errors: 0,
+        latencies_us: Vec::new(),
+        steps: BTreeSet::new(),
+    };
+    let mut x = vec![0.0f32; features];
+    while Instant::now() < stop_at {
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = feature(seed.wrapping_add(r.sent), i as u64);
+        }
+        r.sent += 1;
+        let t0 = Instant::now();
+        match client.infer_deadline(&x, deadline) {
+            Ok(reply) => {
+                r.ok += 1;
+                r.latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                r.steps.insert(reply.step);
+            }
+            Err(ServeError::Timeout) => r.timeouts += 1,
+            Err(ServeError::Closed) => {
+                r.errors += 1;
+                break;
+            }
+            Err(_) => r.errors += 1,
+        }
+    }
+    Ok(r)
+}

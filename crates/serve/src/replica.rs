@@ -1,0 +1,203 @@
+//! The replica pool: one OS thread per model copy, fed batches over a
+//! plain mpsc channel — no async runtime, the repo's threads-and-
+//! channels discipline throughout.
+//!
+//! Each replica owns a full [`BuiltModel`] and two reusable buffers;
+//! after warmup a batch runs through `Sequential::infer_batch` with
+//! **zero heap allocation in the kernels** (`tests/zero_alloc.rs` at
+//! the workspace root proves this for all three backends). Commands
+//! arrive strictly ordered, which is what makes hot reload atomic
+//! *per replica*: a [`ReplicaCmd::Swap`] enqueued between two batches
+//! is applied between those batches — a batch is never computed half
+//! on the old model and half on the new.
+//!
+//! [`ReplicaCmd::Crash`] makes the thread return on the spot (the
+//! kill-replica fault drill). The dispatcher detects the death on its
+//! next send — a closed channel — respawns a fresh replica from the
+//! current checkpoint snapshot, and re-sends the batch that bounced,
+//! so a crash costs queued work at most, never the batch in hand.
+
+use crate::model::BuiltModel;
+use crate::protocol;
+use crate::stats::Shared;
+use crate::trace;
+use comms::tcp::framing;
+use comms::Message;
+use nn::Layer;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use telemetry::json::Json;
+
+/// The write half of one client connection, shared by every replica
+/// that answers that client. A failed write marks the connection dead
+/// (client hung up); the response is counted dropped, not failed —
+/// the server did its work.
+pub(crate) struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+impl ConnWriter {
+    pub fn new(stream: TcpStream) -> ConnWriter {
+        ConnWriter { stream: Mutex::new(stream), alive: AtomicBool::new(true) }
+    }
+
+    /// Serialized frame write; frames from concurrent replicas must
+    /// not interleave on the socket.
+    pub fn send(&self, msg: &Message) -> bool {
+        if !self.alive.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        match framing::write_message(&mut stream, msg) {
+            Ok(()) => true,
+            Err(_) => {
+                self.alive.store(false, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+}
+
+/// One queued inference request, carrying everything needed to answer
+/// it: the reply route and the enqueue timestamps for latency and the
+/// queue-wait trace slice.
+pub(crate) struct Pending {
+    pub id: u64,
+    pub features: Vec<f32>,
+    pub enqueued: Instant,
+    pub enqueued_us: f64,
+    pub conn: Arc<ConnWriter>,
+}
+
+/// Commands a replica consumes in order.
+pub(crate) enum ReplicaCmd {
+    Batch(Vec<Pending>),
+    /// Swap in a new model (checkpoint `step`); ack with the replica
+    /// index once applied, for the reload-blackout measurement.
+    Swap(Box<BuiltModel>, u64, Sender<usize>),
+    /// Fault drill: die immediately, abandoning anything still queued.
+    Crash,
+    Stop,
+}
+
+pub(crate) struct ReplicaHandle {
+    pub tx: Sender<ReplicaCmd>,
+    pub join: JoinHandle<()>,
+}
+
+pub(crate) fn spawn_replica(
+    idx: usize,
+    model: BuiltModel,
+    step: u64,
+    shared: Arc<Shared>,
+) -> ReplicaHandle {
+    let (tx, rx) = channel::<ReplicaCmd>();
+    let join = std::thread::Builder::new()
+        .name(format!("samo-serve-replica-{idx}"))
+        .spawn(move || {
+            let mut model = model;
+            let mut step = step;
+            let mut input: Vec<f32> = Vec::new();
+            let mut output: Vec<f32> = Vec::new();
+            for cmd in rx {
+                match cmd {
+                    ReplicaCmd::Batch(batch) => {
+                        run_batch(idx, &mut model, step, batch, &shared, &mut input, &mut output);
+                    }
+                    ReplicaCmd::Swap(m, s, ack) => {
+                        model = *m;
+                        step = s;
+                        let _ = ack.send(idx);
+                    }
+                    ReplicaCmd::Crash => return,
+                    ReplicaCmd::Stop => break,
+                }
+            }
+        })
+        .expect("spawn replica thread");
+    ReplicaHandle { tx, join }
+}
+
+fn run_batch(
+    idx: usize,
+    model: &mut BuiltModel,
+    step: u64,
+    batch: Vec<Pending>,
+    shared: &Shared,
+    input: &mut Vec<f32>,
+    output: &mut Vec<f32>,
+) {
+    let lane = idx as u64;
+    let t_batch = Instant::now();
+    let batch_ts = trace::now_us();
+    // Shape-check first: misfits get an error reply, the rest batch.
+    let mut good: Vec<Pending> = Vec::with_capacity(batch.len());
+    for p in batch {
+        if p.features.len() == model.in_features {
+            good.push(p);
+        } else {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            let text = format!(
+                "request {} has {} features, model takes {}",
+                p.id,
+                p.features.len(),
+                model.in_features
+            );
+            p.conn.send(&protocol::error_reply(p.id, &text));
+        }
+    }
+    let n = good.len();
+    if n == 0 {
+        return;
+    }
+    input.clear();
+    for p in &good {
+        input.extend_from_slice(&p.features);
+        trace::record_slice(
+            lane,
+            "queue",
+            format!("queue req {}", p.id),
+            p.enqueued_us,
+            batch_ts - p.enqueued_us,
+            vec![("id".to_string(), Json::UInt(p.id))],
+        );
+    }
+    let compute_ts = trace::now_us();
+    let out_cols = model.seq.infer_batch(input, n, model.in_features, output);
+    trace::record_slice(
+        lane,
+        "compute",
+        format!("infer n={n}"),
+        compute_ts,
+        trace::now_us() - compute_ts,
+        vec![("rows".to_string(), Json::UInt(n as u64))],
+    );
+    for (j, p) in good.iter().enumerate() {
+        let out = output[j * out_cols..(j + 1) * out_cols].to_vec();
+        if p.conn.send(&protocol::reply(p.id, step, out)) {
+            shared.responses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.latency_us.record(p.enqueued.elapsed().as_secs_f64() * 1e6);
+    }
+    shared.requests.fetch_add(n as u64, Ordering::Relaxed);
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    shared.batch_fill.record(n as f64);
+    trace::record_slice(
+        lane,
+        "batch",
+        format!("batch n={n} step={step}"),
+        batch_ts,
+        t_batch.elapsed().as_secs_f64() * 1e6,
+        vec![
+            ("rows".to_string(), Json::UInt(n as u64)),
+            ("step".to_string(), Json::UInt(step)),
+        ],
+    );
+}

@@ -1,0 +1,89 @@
+//! Perfetto trace of the serving runtime on **pid 4** (pid 0 is the
+//! simulated pipeline schedule, pid 1 span timers, pid 2 comms, pid 3
+//! the pipeline runtime). One `tid` lane per replica, plus one extra
+//! lane (index = replica count) for the reload watcher, so a combined
+//! trace from `repro serve` shows each request's life as adjacent
+//! slices: its `queue` wait from enqueue to dispatch, the `batch` it
+//! was coalesced into, and the `compute` slice inside the batch —
+//! with `reload` slices on the watcher lane cutting across them when a
+//! hot checkpoint swap lands.
+//!
+//! Recording is gated on `telemetry::enabled()`; each thread buffers
+//! into its own [`telemetry::ThreadLocalSink`] handle and buffers
+//! survive thread death, so a replica killed by the crash drill still
+//! contributes its slices to [`take_events`].
+
+use telemetry::json::Json;
+use telemetry::sink::Handle;
+use telemetry::trace::TraceEvent;
+use telemetry::ThreadLocalSink;
+
+/// The pid lane for serving events in combined trace files.
+pub const SERVE_TRACE_PID: u64 = 4;
+
+static EVENTS: ThreadLocalSink<TraceEvent> = ThreadLocalSink::new();
+
+thread_local! {
+    static LOCAL_EVENTS: Handle<TraceEvent> = EVENTS.handle();
+}
+
+/// Microseconds on the shared trace clock (see `telemetry::clock`).
+pub fn now_us() -> f64 {
+    telemetry::clock::now_us()
+}
+
+/// Records one slice on a serving lane. `cat` is one of `queue`,
+/// `batch`, `compute`, `reload`; the analyzer and the Perfetto UI both
+/// split on it.
+pub fn record_slice(
+    lane: u64,
+    cat: &'static str,
+    name: String,
+    ts_us: f64,
+    dur_us: f64,
+    args: Vec<(String, Json)>,
+) {
+    if !telemetry::enabled() {
+        return;
+    }
+    LOCAL_EVENTS.with(|buf| {
+        buf.lock().push(TraceEvent {
+            name,
+            cat: cat.into(),
+            pid: SERVE_TRACE_PID,
+            tid: lane,
+            ts_us,
+            dur_us,
+            args,
+        })
+    });
+}
+
+/// Drains every recorded serving slice (for trace-file assembly),
+/// including buffers of threads that have already exited.
+pub fn take_events() -> Vec<TraceEvent> {
+    EVENTS.drain()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_land_on_pid_4_and_drain_once() {
+        let _guard = telemetry::registry::test_lock();
+        telemetry::set_enabled(true);
+        record_slice(2, "compute", "batch n=8".into(), now_us(), 3.0, vec![]);
+        std::thread::spawn(|| {
+            record_slice(5, "queue", "req 9".into(), 1.0, 2.0, vec![]);
+        })
+        .join()
+        .unwrap();
+        let evs = take_events();
+        assert!(evs.iter().all(|e| e.pid == SERVE_TRACE_PID));
+        assert!(evs.iter().any(|e| e.tid == 2 && e.cat == "compute"));
+        assert!(evs.iter().any(|e| e.tid == 5 && e.cat == "queue"), "dead-thread slice survives");
+        assert!(take_events().is_empty());
+        telemetry::set_enabled(false);
+    }
+}

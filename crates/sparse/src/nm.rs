@@ -184,18 +184,35 @@ pub fn spmm_nm24_with_tier(tier: Tier, w: &Nm24, b: &[f32], n: usize, c: &mut [f
     // are contiguous, hence spread over all sets, and a 32-column
     // slice of all of B (cols * 128 B) really is L1-resident while
     // every output row consumes it. Same trick as dense GEMM's
-    // B-packing; the copy is a single streaming pass over B.
-    let mut bpack = Vec::with_capacity(w.cols * n);
-    let mut j = 0;
-    while j < n {
-        let j1 = (j + CW).min(n);
-        for col in 0..w.cols {
-            bpack.extend_from_slice(&b[col * n + j..col * n + j1]);
+    // B-packing; the copy is a single streaming pass over B. The pack
+    // buffer is thread-local (gemm's `PACK_SCRATCH` idiom) so a warm
+    // serving loop repacks without touching the allocator; the pool
+    // never re-enters this spMM on the same thread, so the borrow
+    // cannot conflict.
+    BPACK_SCRATCH.with(|cell| {
+        let mut bpack = cell.borrow_mut();
+        bpack.clear();
+        bpack.reserve(w.cols * n);
+        let mut j = 0;
+        while j < n {
+            let j1 = (j + CW).min(n);
+            for col in 0..w.cols {
+                bpack.extend_from_slice(&b[col * n + j..col * n + j1]);
+            }
+            j = j1;
         }
-        j = j1;
-    }
-    let bpack = &bpack[..];
+        spmm_nm24_packed(tier, w, &bpack, n, c);
+    });
+}
 
+thread_local! {
+    /// Reusable B-pack buffer for [`spmm_nm24_with_tier`].
+    static BPACK_SCRATCH: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The compute half of [`spmm_nm24_with_tier`], over an already-packed
+/// chunk-major B.
+fn spmm_nm24_packed(tier: Tier, w: &Nm24, bpack: &[f32], n: usize, c: &mut [f32]) {
     struct SendPtr(*mut f32);
     unsafe impl Send for SendPtr {}
     unsafe impl Sync for SendPtr {}

@@ -48,6 +48,19 @@ pub struct QuantizedActs {
     pub scales: Vec<f32>,
 }
 
+impl Default for QuantizedActs {
+    /// An empty scratch buffer for [`quantize_rows_i8_into`]; grows to
+    /// the largest batch quantized through it, then stays warm.
+    fn default() -> Self {
+        QuantizedActs {
+            rows: 0,
+            k: 0,
+            data: Vec::new(),
+            scales: Vec::new(),
+        }
+    }
+}
+
 /// Per-column symmetric-quantized, pair-interleaved weight matrix
 /// (`k × n` logical shape).
 pub struct PackedBi8 {
@@ -89,19 +102,39 @@ pub fn quantize_rows_i8(a: &[f32], rows: usize, k: usize) -> QuantizedActs {
 /// [`quantize_rows_i8`] pinned to an explicit SIMD tier (parity tests,
 /// bench). Tiers are bitwise identical — see the module docs.
 pub fn quantize_rows_i8_with_tier(tier: Tier, a: &[f32], rows: usize, k: usize) -> QuantizedActs {
+    let mut out = QuantizedActs {
+        rows: 0,
+        k: 0,
+        data: Vec::new(),
+        scales: Vec::new(),
+    };
+    quantize_rows_i8_into(tier, a, rows, k, &mut out);
+    out
+}
+
+/// [`quantize_rows_i8_with_tier`] into caller-owned storage: `out.data`
+/// and `out.scales` are cleared and refilled in place, so a warm
+/// `QuantizedActs` is reused without touching the allocator — the
+/// serving hot loop's entry point (`QuantLinear::infer_batch`, asserted
+/// allocation-free by `tests/zero_alloc.rs`). Bitwise identical to the
+/// allocating variant on every tier.
+pub fn quantize_rows_i8_into(tier: Tier, a: &[f32], rows: usize, k: usize, out: &mut QuantizedActs) {
     assert_eq!(a.len(), rows * k, "activation slice/shape mismatch");
     assert!(k <= MAX_K, "k {k} exceeds MAX_K {MAX_K}");
-    let mut data = vec![0i8; rows * k];
-    let mut scales = vec![1.0f32; rows];
+    out.rows = rows;
+    out.k = k;
+    out.data.clear();
+    out.data.resize(rows * k, 0);
+    out.scales.clear();
+    out.scales.resize(rows, 1.0);
     for r in 0..rows {
         let row = &a[r * k..(r + 1) * k];
         let s = channel_scale(row.iter().copied());
         let inv = 1.0 / s;
-        let out = &mut data[r * k..(r + 1) * k];
-        quantize_row(tier, row, inv, out);
-        scales[r] = s;
+        let dst = &mut out.data[r * k..(r + 1) * k];
+        quantize_row(tier, row, inv, dst);
+        out.scales[r] = s;
     }
-    QuantizedActs { rows, k, data, scales }
 }
 
 /// One row's quantize pass, dispatched by tier.
@@ -223,25 +256,39 @@ pub fn qgemm_i8_with_tier(tier: Tier, a: &QuantizedActs, b: &PackedBi8, c: &mut 
 
     // Re-pack each A row's quantized pairs as (lo, hi) adjacent i16s so
     // the AVX2 path can broadcast one 32-bit word per pair-row; shared
-    // with the scalar path so both consume identical operands.
-    let mut a_pairs = vec![0i16; rows * k2 * 2];
-    for r in 0..rows {
-        let src = &a.data[r * k..(r + 1) * k];
-        let dst = &mut a_pairs[r * k2 * 2..(r + 1) * k2 * 2];
-        for g in 0..k2 {
-            dst[2 * g] = src[2 * g] as i16;
-            dst[2 * g + 1] = if 2 * g + 1 < k { src[2 * g + 1] as i16 } else { 0 };
+    // with the scalar path so both consume identical operands. The
+    // scratch is thread-local (same idiom as gemm's `PACK_SCRATCH`) so
+    // a warm serving loop re-packs without touching the allocator; the
+    // pool never re-enters this GEMM on the same thread, so the borrow
+    // cannot conflict.
+    APAIR_SCRATCH.with(|cell| {
+        let mut a_pairs = cell.borrow_mut();
+        a_pairs.clear();
+        a_pairs.resize(rows * k2 * 2, 0);
+        for r in 0..rows {
+            let src = &a.data[r * k..(r + 1) * k];
+            let dst = &mut a_pairs[r * k2 * 2..(r + 1) * k2 * 2];
+            for g in 0..k2 {
+                dst[2 * g] = src[2 * g] as i16;
+                dst[2 * g + 1] = if 2 * g + 1 < k { src[2 * g + 1] as i16 } else { 0 };
+            }
         }
-    }
+        let a_pairs: &[i16] = &a_pairs;
 
-    let c_addr = SendPtrF32(c.as_mut_ptr());
-    let c_addr = &c_addr;
-    par_ranges(rows, 1, |r0, r1| {
-        // SAFETY: row ranges are disjoint across tasks.
-        let c_rows =
-            unsafe { std::slice::from_raw_parts_mut(c_addr.0.add(r0 * n), (r1 - r0) * n) };
-        qgemm_rows(tier, &a_pairs, &a.scales, b, r0, r1, k2, n, c_rows);
+        let c_addr = SendPtrF32(c.as_mut_ptr());
+        let c_addr = &c_addr;
+        par_ranges(rows, 1, |r0, r1| {
+            // SAFETY: row ranges are disjoint across tasks.
+            let c_rows =
+                unsafe { std::slice::from_raw_parts_mut(c_addr.0.add(r0 * n), (r1 - r0) * n) };
+            qgemm_rows(tier, a_pairs, &a.scales, b, r0, r1, k2, n, c_rows);
+        });
     });
+}
+
+thread_local! {
+    /// Reusable A-pair re-pack buffer for [`qgemm_i8_with_tier`].
+    static APAIR_SCRATCH: std::cell::RefCell<Vec<i16>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 struct SendPtrF32(*mut f32);

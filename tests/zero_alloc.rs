@@ -14,11 +14,13 @@
 //! pool workers, the libtest main thread — cannot perturb the count
 //! even when system load stretches the measured window.
 
-use nn::layer::Layer;
+use nn::layer::{Layer, Sequential};
 use nn::linear::Linear;
 use nn::loss::mse;
 use nn::mixed::Optimizer;
+use nn::nm_linear::NmLinear;
 use nn::optim::AdamConfig;
+use nn::qlinear::QuantLinear;
 use samo::SamoTrainer;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -134,4 +136,48 @@ fn hot_paths_allocate_nothing_in_steady_state() {
         }
     });
     assert_eq!(events, 0, "matmul allocated {events} time(s) after warm-up");
+
+    // --- Steady-state serving loop (`Layer::infer_batch`) -------------
+    // The serving runtime's replica loop is exactly this: one warm
+    // model, one warm output buffer, `infer_batch` per batch. Every
+    // backend the replica pool can run — dense θ16-derived f32, 2:4
+    // structured, int8 — must be allocation-free once warm (the nm/int8
+    // kernels keep their packing scratch thread-local for this).
+    let (in_f, hidden, out_f, batch) = (32usize, 64, 16, 8);
+    let wx = Tensor::randn(&[in_f * batch], 1.0, 7);
+    let mut out = Vec::new();
+
+    let mut dense = Sequential::new()
+        .push(Linear::new(in_f, hidden, true, 8))
+        .push(nn::activations::Gelu::new())
+        .push(Linear::new(hidden, out_f, true, 9));
+    let w1 = Tensor::randn(&[hidden, in_f], 1.0, 10);
+    let w2 = Tensor::randn(&[out_f, hidden], 1.0, 11);
+    let mut nm = Sequential::new()
+        .push(NmLinear::from_dense(&w1, None))
+        .push(nn::activations::Gelu::new())
+        .push(NmLinear::from_dense(&w2, None));
+    let mut int8 = Sequential::new()
+        .push(QuantLinear::from_weights(&w1, None))
+        .push(nn::activations::Gelu::new())
+        .push(QuantLinear::from_weights(&w2, None));
+
+    for (name, model) in [
+        ("dense", &mut dense as &mut Sequential),
+        ("nm24", &mut nm),
+        ("int8", &mut int8),
+    ] {
+        for _ in 0..2 {
+            model.infer_batch(wx.as_slice(), batch, in_f, &mut out); // warm scratch
+        }
+        let events = alloc_events_during(|| {
+            for _ in 0..4 {
+                model.infer_batch(wx.as_slice(), batch, in_f, &mut out);
+            }
+        });
+        assert_eq!(
+            events, 0,
+            "{name} serving loop allocated {events} time(s) after warm-up"
+        );
+    }
 }
