@@ -26,6 +26,12 @@
 //!                         batched, plus a hot-reload drill under load;
 //!                         self-gating; merges a `serve` section into
 //!                         BENCH_hotpaths.json; NOT part of `all`)
+//!                dynamic (dynamic sparsity: MaskSchedule-driven trainer
+//!                         memory gated against 24(1-p(t))phi + 2phi per
+//!                         step, plus the in-place remap kernel vs the
+//!                         naive dense rebuild; self-gating; merges a
+//!                         `dynamic` section into BENCH_hotpaths.json;
+//!                         NOT part of `all`)
 //!                trace-analyze (offline critical-path / decomposition /
 //!                         flow-census analysis of a `--trace` file;
 //!                         merges an `analysis` section into
@@ -202,6 +208,14 @@ fn main() {
             drop(sp);
             ran = true;
         }
+        if what == "dynamic" && failed.is_none() {
+            let sp = telemetry::enabled().then(|| telemetry::span("repro.dynamic"));
+            if let Err(e) = bench::dynamic_bench::run(quick) {
+                failed = Some(format!("dynamic: {e}"));
+            }
+            drop(sp);
+            ran = true;
+        }
         if what == "trace-analyze" && failed.is_none() {
             let Some(input) = positionals.get(1) else {
                 eprintln!("trace-analyze requires a trace file path");
@@ -215,7 +229,7 @@ fn main() {
     }
     if !ran {
         eprintln!(
-            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench comms tcp simd pipeline serve trace-analyze"
+            "unknown experiment '{what}'. Choose from: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 memory ablation sensitivity scorecard cnn memorymap faults all bench comms tcp simd pipeline serve dynamic trace-analyze"
         );
         std::process::exit(2);
     }

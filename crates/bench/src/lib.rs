@@ -3,6 +3,7 @@
 
 pub mod chart;
 pub mod comms_bench;
+pub mod dynamic_bench;
 pub mod hotpaths;
 pub mod pipeline_bench;
 pub mod serve_bench;

@@ -515,6 +515,80 @@ impl<T: Transport> Communicator<T> {
         Ok(out)
     }
 
+    /// Ring all-gather of **f32** segments — the f32 twin of
+    /// [`Self::all_gather_f16`]. Used by the dynamic-sparsity remap path
+    /// to reassemble full-precision shard state (`θ32`/moments) on every
+    /// rank before the masks move; gradients keep using the f16 gather.
+    pub fn all_gather_f32(
+        &mut self,
+        mine: &[f32],
+        counts: &[usize],
+    ) -> Result<Vec<f32>, CommsError> {
+        self.ready()?;
+        let res = self.all_gather_f32_inner(mine, counts);
+        self.poisoned |= res.is_err();
+        res
+    }
+
+    fn all_gather_f32_inner(
+        &mut self,
+        mine: &[f32],
+        counts: &[usize],
+    ) -> Result<Vec<f32>, CommsError> {
+        let g = self.world();
+        let r = self.rank();
+        if counts.len() != g {
+            return Err(CommsError::Mismatch(format!(
+                "all_gather counts has {} entries for world {g}",
+                counts.len()
+            )));
+        }
+        if mine.len() != counts[r] {
+            return Err(CommsError::Mismatch(format!(
+                "rank {r} contributes {} elements, counts says {}",
+                mine.len(),
+                counts[r]
+            )));
+        }
+        let mut offsets = Vec::with_capacity(g + 1);
+        let mut total = 0usize;
+        for &c in counts {
+            offsets.push(total);
+            total += c;
+        }
+        offsets.push(total);
+        let mut out = vec![0.0f32; total];
+        out[offsets[r]..offsets[r] + mine.len()].copy_from_slice(mine);
+        if g == 1 {
+            return Ok(out);
+        }
+        let sp = telemetry::enabled().then(|| telemetry::span("comms.allgather"));
+        let id = self.fresh_id();
+        let deadline = self.deadline();
+        for s in 0..g - 1 {
+            let send_seg = (r + g - s) % g;
+            let tag = self.tag(Kind::AllGather, id, s as u32);
+            let chunk = out[offsets[send_seg]..offsets[send_seg + 1]].to_vec();
+            let next = self.next();
+            self.send_traced(next, Message { tag, payload: Payload::F32(chunk) })?;
+            let recv_seg = (r + g - s - 1) % g;
+            let msg = self.recv_match(self.prev(), tag, deadline)?;
+            let Payload::F32(vals) = msg.payload else {
+                return Err(CommsError::Mismatch("all_gather_f32 expects f32 payloads".into()));
+            };
+            if vals.len() != counts[recv_seg] {
+                return Err(CommsError::Mismatch(format!(
+                    "all_gather segment {recv_seg}: got {} elements, want {}",
+                    vals.len(),
+                    counts[recv_seg]
+                )));
+            }
+            out[offsets[recv_seg]..offsets[recv_seg + 1]].copy_from_slice(&vals);
+        }
+        drop(sp);
+        Ok(out)
+    }
+
     // --- Point-to-point (pipeline boundary traffic) -------------------
 
     /// Sends `data` to rank `to` as a tagged point-to-point message —
@@ -1053,6 +1127,21 @@ mod tests {
         let want: Vec<F16> = per_rank.iter().flatten().copied().collect();
         let got = run_ranks(4, Arc::default(), DEFAULT_TIMEOUT, |comm, rank| {
             comm.all_gather_f16(&per_rank[rank], &counts).unwrap()
+        });
+        for g in got {
+            assert_eq!(g, want);
+        }
+    }
+
+    #[test]
+    fn all_gather_f32_assembles_uneven_contributions() {
+        let counts = [3usize, 0, 5, 2];
+        let per_rank: Vec<Vec<f32>> = (0..4)
+            .map(|r| (0..counts[r]).map(|i| (r * 100 + i) as f32 * 0.5 + 0.25).collect())
+            .collect();
+        let want: Vec<f32> = per_rank.iter().flatten().copied().collect();
+        let got = run_ranks(4, Arc::default(), DEFAULT_TIMEOUT, |comm, rank| {
+            comm.all_gather_f32(&per_rank[rank], &counts).unwrap()
         });
         for g in got {
             assert_eq!(g, want);

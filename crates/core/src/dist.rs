@@ -26,11 +26,12 @@
 //! and [`DistDataParallel::resync`] installs the new communicator,
 //! restores the agreed checkpoint, and barriers the new mesh together.
 
-use crate::state::SamoLayerState;
+use crate::state::{RemapScratch, SamoLayerState};
 use comms::{CommsError, Communicator, Transport};
 use nn::layer::Layer;
 use nn::mixed::{LossScaler, LossScalerState, Optimizer};
-use prune::Mask;
+use prune::{Mask, MaskSchedule};
+use tensor::f16::F16;
 
 /// A data-parallel SAMO trainer over an arbitrary transport. One
 /// instance per rank (usually one per process).
@@ -39,6 +40,9 @@ pub struct DistDataParallel<T: Transport> {
     pub layers: Vec<SamoLayerState>,
     pub opt: Optimizer,
     pub scaler: LossScaler,
+    schedule: Option<MaskSchedule>,
+    remap_scratch: Vec<RemapScratch>,
+    remap_events: u64,
     steps_taken: u64,
     steps_skipped: u64,
 }
@@ -68,9 +72,34 @@ impl<T: Transport> DistDataParallel<T> {
             layers,
             opt,
             scaler: LossScaler::default(),
+            schedule: None,
+            remap_scratch: Vec::new(),
+            remap_events: 0,
             steps_taken: 0,
             steps_skipped: 0,
         }
+    }
+
+    /// Installs a dynamic-sparsity [`MaskSchedule`] (see
+    /// [`SamoTrainer::set_mask_schedule`](crate::SamoTrainer::set_mask_schedule)).
+    /// Every rank of the mesh must install the same schedule before the
+    /// same step: at each update step the ranks reduce the dense f16
+    /// gradient, derive identical masks from the reduced bits, remap
+    /// their compressed state in place, and bump the comms epoch
+    /// together to renegotiate the gradient bucket layout.
+    pub fn set_mask_schedule(&mut self, schedule: MaskSchedule) {
+        let opt = &self.opt;
+        self.remap_scratch = self
+            .layers
+            .iter_mut()
+            .map(|l| RemapScratch::for_layer(l, opt))
+            .collect();
+        self.schedule = Some(schedule);
+    }
+
+    /// Mask-change events applied by the installed schedule.
+    pub fn remap_events(&self) -> u64 {
+        self.remap_events
     }
 
     /// This rank's index in the mesh.
@@ -114,6 +143,9 @@ impl<T: Transport> DistDataParallel<T> {
     /// `Err` means a collective failed (dead peer, timeout, poisoned
     /// communicator) and the group needs [`Self::resync`].
     pub fn step(&mut self, model: &mut impl Layer) -> Result<bool, CommsError> {
+        if self.schedule.is_some() {
+            self.maybe_remap(model)?;
+        }
         // Compress every layer's gradient and start its ring; ids line
         // up across ranks because everyone walks layers in order.
         let mut order: Vec<(u64, usize)> = Vec::with_capacity(self.layers.len());
@@ -166,6 +198,48 @@ impl<T: Transport> DistDataParallel<T> {
         Ok(proceed)
     }
 
+    /// Dynamic-sparsity hook, run before the compressed rings so the
+    /// new mask's gradient buckets are filled by this step's normal
+    /// compress. The grow score is the ring-reduced f16-narrowed dense
+    /// gradient widened back to f32 — exactly the bits
+    /// [`SamoTrainer`](crate::SamoTrainer) canonicalizes locally, so
+    /// with replicated data every runtime ranks regrowth candidates
+    /// identically. When any mask changes, every rank bumps the comms
+    /// epoch in lockstep (the masks are identical, so the verdict is
+    /// too): the compressed-gradient bucket layout is renegotiated and
+    /// stale-epoch buckets are dropped on receive.
+    fn maybe_remap(&mut self, model: &mut impl Layer) -> Result<(), CommsError> {
+        let t = self.steps_taken + self.steps_skipped;
+        let Some(sched) = &self.schedule else { return Ok(()) };
+        if !sched.is_update_step(t) {
+            return Ok(());
+        }
+        let sched = sched.clone();
+        let mut moved = false;
+        let params = model.params_mut();
+        assert_eq!(params.len(), self.layers.len());
+        for (i, p) in params.into_iter().enumerate() {
+            let layer = &mut self.layers[i];
+            let sc = &mut self.remap_scratch[i];
+            let mut dense16: Vec<F16> =
+                p.grad.as_slice().iter().map(|&g| F16::from_f32(g)).collect();
+            self.comm.allreduce_mean_f16(&mut dense16)?;
+            sc.score.clear();
+            sc.score.extend(dense16.iter().map(|g| g.to_f32()));
+            let new_mask = sched.next_mask(t, p.value.as_slice(), &sc.score, layer.mask());
+            if &new_mask != layer.mask() {
+                layer.remap_compressed_state(new_mask, sc);
+                layer.write_dense_f32_params_into(p.value.as_mut_slice());
+                moved = true;
+            }
+        }
+        if moved {
+            self.remap_events += 1;
+            self.comm.bump_epoch();
+        }
+        Ok(())
+    }
+
     /// Serializes this rank's training state — byte-identical to
     /// [`SamoTrainer::save`](crate::SamoTrainer::save) for the same trajectory, which is what
     /// lets the multi-process drill diff checkpoints against the
@@ -202,6 +276,16 @@ impl<T: Transport> DistDataParallel<T> {
             }
         }
         self.layers = layers;
+        if self.schedule.is_some() {
+            // Restored layers are fresh allocations without remap
+            // headroom — re-prime the scratch against them.
+            let opt = &self.opt;
+            self.remap_scratch = self
+                .layers
+                .iter_mut()
+                .map(|l| RemapScratch::for_layer(l, opt))
+                .collect();
+        }
         for (p, st) in model.params_mut().into_iter().zip(&self.layers) {
             if p.numel() != st.numel() {
                 return Err(format!("parameter {} size mismatch", p.name));

@@ -313,6 +313,188 @@ impl SamoLayerState {
         assert_eq!(out.len(), self.theta16.len());
         tensor::ops::widen_into(&self.theta16, out);
     }
+
+    /// Reserves worst-case (dense) capacity on every compressed buffer so
+    /// subsequent [`Self::remap_compressed_state`] calls never reallocate
+    /// whichever direction the mask moves. Called once when a
+    /// [`RemapScratch`] is built; byte accounting is length-based, so the
+    /// steady-state memory model is unaffected.
+    fn reserve_remap_headroom(&mut self) {
+        let numel = self.numel();
+        let reserve = |v_len: usize| numel.saturating_sub(v_len);
+        self.theta32.reserve(reserve(self.theta32.len()));
+        self.grad16.reserve(reserve(self.grad16.len()));
+        self.grad32.reserve(reserve(self.grad32.len()));
+        match &mut self.os {
+            OptState::Adam(a) => {
+                a.m.reserve(reserve(a.m.len()));
+                a.v.reserve(reserve(a.v.len()));
+            }
+            OptState::Sgd(s) => s.velocity.reserve(reserve(s.velocity.len())),
+        }
+    }
+
+    /// Migrates the compressed state from the current mask to `new_mask`
+    /// in a single merge pass over the two sorted index lists:
+    ///
+    /// * **surviving** indices (in both masks) copy `θ32`/`∇θ16`/`∇θ32`
+    ///   and the optimizer moments to their new compressed position;
+    /// * **newborn** indices (only in `new_mask`) initialize the master
+    ///   weight from the dense `θ16` view (zero under the pruned-zeros
+    ///   invariant) with zero moments and zero gradient;
+    /// * **dead** indices (only in the old mask) drop their compressed
+    ///   state and are zeroed in the dense `θ16`.
+    ///
+    /// The Adam step count is preserved (bias correction keeps its
+    /// schedule; newborns simply enter with zero moments, exactly as in
+    /// Dettmers & Zettlemoyer's regrowth). The new buffers are staged in
+    /// `scratch` and swapped in, so with a warm [`RemapScratch`] the
+    /// kernel performs **zero heap allocations** (asserted by
+    /// `tests/zero_alloc.rs`). Returns the retired mask so callers can
+    /// control where its refcount drop happens.
+    pub fn remap_compressed_state(&mut self, new_mask: Mask, scratch: &mut RemapScratch) -> Mask {
+        assert_eq!(
+            new_mask.shape(),
+            self.mask.shape(),
+            "remap must preserve the tensor shape"
+        );
+        let new_nnz = new_mask.nnz();
+        let table = to_f32_table();
+        let SamoLayerState { mask, theta16, theta32, grad16, grad32, os } = self;
+        let old_ind = mask.indices();
+        let new_ind = new_mask.indices();
+
+        scratch.theta32.clear();
+        scratch.theta32.resize(new_nnz, 0.0);
+        scratch.grad16.clear();
+        scratch.grad16.resize(new_nnz, F16::ZERO);
+        scratch.grad32.clear();
+        scratch.grad32.resize(new_nnz, 0.0);
+        // (old, new) first-moment slices, plus the (old, new) second
+        // moments when the optimizer carries them (Adam).
+        type Moments<'a> = (&'a [f32], &'a mut [f32], Option<(&'a [f32], &'a mut [f32])>);
+        let (old_m, new_m, mut second): Moments =
+            match (&mut *os, &mut scratch.os) {
+                (OptState::Adam(a), OptState::Adam(s)) => {
+                    s.m.clear();
+                    s.m.resize(new_nnz, 0.0);
+                    s.v.clear();
+                    s.v.resize(new_nnz, 0.0);
+                    (&a.m, &mut s.m, Some((&a.v, &mut s.v)))
+                }
+                (OptState::Sgd(a), OptState::Sgd(s)) => {
+                    s.velocity.clear();
+                    s.velocity.resize(new_nnz, 0.0);
+                    (&a.velocity, &mut s.velocity, None)
+                }
+                _ => panic!("optimizer-state kind mismatch between layer and scratch"),
+            };
+
+        // Two-pointer merge over the sorted index sets. Schedule
+        // transitions keep most indices (sparsify/densify move only the
+        // delta; churn swaps a small fraction), so survivors arrive in
+        // long runs of equal indices: detect each run once, then move it
+        // with `copy_from_slice` (memcpy) across all five arrays instead
+        // of per-element branchy copies.
+        let old_ind: &[u32] = old_ind.as_slice();
+        let new_ind: &[u32] = new_ind.as_slice();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old_ind.len() && j < new_nnz {
+            let o = old_ind[i];
+            let n = new_ind[j];
+            if o == n {
+                let max = (old_ind.len() - i).min(new_nnz - j);
+                let mut run = 1;
+                while run < max && old_ind[i + run] == new_ind[j + run] {
+                    run += 1;
+                }
+                scratch.theta32[j..j + run].copy_from_slice(&theta32[i..i + run]);
+                scratch.grad16[j..j + run].copy_from_slice(&grad16[i..i + run]);
+                scratch.grad32[j..j + run].copy_from_slice(&grad32[i..i + run]);
+                new_m[j..j + run].copy_from_slice(&old_m[i..i + run]);
+                if let Some((ov, nv)) = second.as_mut() {
+                    nv[j..j + run].copy_from_slice(&ov[i..i + run]);
+                }
+                i += run;
+                j += run;
+            } else if o < n {
+                // Death run: every old index below `n` is dead.
+                while i < old_ind.len() && old_ind[i] < n {
+                    theta16[old_ind[i] as usize] = F16::ZERO;
+                    i += 1;
+                }
+            } else {
+                // Birth run: every new index below `o` is a newborn.
+                while j < new_nnz && new_ind[j] < o {
+                    scratch.theta32[j] = table[theta16[new_ind[j] as usize].0 as usize];
+                    j += 1;
+                }
+            }
+        }
+        // Tails: one side exhausted, the rest is pure deaths or births.
+        for &o in &old_ind[i..] {
+            theta16[o as usize] = F16::ZERO;
+        }
+        for &n in &new_ind[j..] {
+            scratch.theta32[j] = table[theta16[n as usize].0 as usize];
+            j += 1;
+        }
+
+        std::mem::swap(theta32, &mut scratch.theta32);
+        std::mem::swap(grad16, &mut scratch.grad16);
+        std::mem::swap(grad32, &mut scratch.grad32);
+        match (os, &mut scratch.os) {
+            (OptState::Adam(a), OptState::Adam(s)) => {
+                std::mem::swap(&mut a.m, &mut s.m);
+                std::mem::swap(&mut a.v, &mut s.v);
+            }
+            (OptState::Sgd(a), OptState::Sgd(s)) => std::mem::swap(&mut a.velocity, &mut s.velocity),
+            _ => unreachable!("variant checked above"),
+        }
+        std::mem::replace(mask, new_mask)
+    }
+}
+
+/// Pre-sized staging buffers for [`SamoLayerState::remap_compressed_state`]:
+/// every vector carries worst-case (dense) capacity so remapping in either
+/// direction — sparsify or densify — stays allocation-free. The buffer
+/// swap means the retired compressed tensors become the next remap's
+/// staging area, so one scratch per layer amortizes forever.
+#[derive(Debug)]
+pub struct RemapScratch {
+    theta32: Vec<f32>,
+    grad16: Vec<F16>,
+    grad32: Vec<f32>,
+    os: OptState,
+    /// Dense (φ-length) staging for the trainer's grow-score
+    /// canonicalization; lives here so schedule evaluation reuses the
+    /// same warm allocation.
+    pub score: Vec<f32>,
+}
+
+impl RemapScratch {
+    /// Builds scratch matched to `layer`'s optimizer-state kind and also
+    /// reserves remap headroom on the layer's own buffers (both sides of
+    /// the swap must carry dense capacity).
+    pub fn for_layer(layer: &mut SamoLayerState, opt: &Optimizer) -> RemapScratch {
+        let numel = layer.numel();
+        layer.reserve_remap_headroom();
+        let mut os = OptState::new(opt, 0);
+        match &mut os {
+            OptState::Adam(a) => {
+                a.m.reserve(numel);
+                a.v.reserve(numel);
+            }
+            OptState::Sgd(s) => s.velocity.reserve(numel),
+        }
+        RemapScratch {
+            theta32: Vec::with_capacity(numel),
+            grad16: Vec::with_capacity(numel),
+            grad32: Vec::with_capacity(numel),
+            os,
+            score: Vec::with_capacity(numel),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -395,6 +577,168 @@ mod tests {
             st.measured_bytes(true),
             crate::memory::m_samo_bytes(phi as u64, 0.9)
         );
+    }
+
+    /// Steps a layer a few times so θ32, the moments, and the step count
+    /// are all nonzero before a remap exercises them.
+    fn warmed_layer(opt: &Optimizer) -> SamoLayerState {
+        let values: Vec<f32> = (1..=8).map(|i| i as f32 * 0.1).collect();
+        let mut st = SamoLayerState::from_params(&values, mask_half(), opt);
+        for k in 0..3 {
+            let grads: Vec<f32> = (0..8).map(|i| (i as f32 + k as f32) * 0.01).collect();
+            st.compress_grad(&grads);
+            st.optimizer_step(opt, 1.0);
+        }
+        st
+    }
+
+    #[test]
+    fn remap_copies_survivors_drops_dead_births_newborns() {
+        let opt = adam();
+        let mut st = warmed_layer(&opt);
+        let before = st.clone();
+        // Old mask {1,3,4,6} -> new mask {3,4,5,7}: survivors {3,4},
+        // dead {1,6}, newborn {5,7}.
+        let new_mask = Mask::new(&[8], vec![3, 4, 5, 7]);
+        let mut scratch = RemapScratch::for_layer(&mut st, &opt);
+        let retired = st.remap_compressed_state(new_mask.clone(), &mut scratch);
+        assert_eq!(retired, before.mask().clone());
+        assert_eq!(st.mask(), &new_mask);
+        assert_eq!(st.nnz(), 4);
+
+        let (om, ov, nm, nv) = match (&before.os, &st.os) {
+            (OptState::Adam(o), OptState::Adam(n)) => {
+                assert_eq!(o.step, n.step, "Adam step schedule preserved");
+                (&o.m, &o.v, &n.m, &n.v)
+            }
+            _ => unreachable!(),
+        };
+        // Survivors: old compressed slot 1 (dense 3) -> new slot 0, old
+        // slot 2 (dense 4) -> new slot 1. Bitwise copies everywhere.
+        for (new_j, old_j) in [(0usize, 1usize), (1, 2)] {
+            assert_eq!(st.theta32[new_j].to_bits(), before.theta32[old_j].to_bits());
+            assert_eq!(st.grad16[new_j].0, before.grad16[old_j].0);
+            assert_eq!(st.grad32[new_j].to_bits(), before.grad32[old_j].to_bits());
+            assert_eq!(nm[new_j].to_bits(), om[old_j].to_bits());
+            assert_eq!(nv[new_j].to_bits(), ov[old_j].to_bits());
+        }
+        // Newborns (dense 5, 7 -> new slots 2, 3): zero master (the dense
+        // θ16 was zero there), zero moments, zero gradient.
+        for j in [2usize, 3] {
+            assert_eq!(st.theta32[j], 0.0);
+            assert_eq!(st.grad16[j].0, 0);
+            assert_eq!(st.grad32[j], 0.0);
+            assert_eq!(nm[j], 0.0);
+            assert_eq!(nv[j], 0.0);
+        }
+        // Dense θ16: dead positions zeroed, survivors untouched, the
+        // pruned-zeros invariant holds everywhere.
+        for i in 0..8usize {
+            if [3usize, 4].contains(&i) {
+                assert_eq!(st.theta16[i].0, before.theta16[i].0, "survivor {i} moved");
+            } else {
+                assert_eq!(st.theta16[i].0, 0, "position {i} must be zero");
+            }
+        }
+    }
+
+    #[test]
+    fn remap_matches_from_params_for_fresh_positions() {
+        // Remapping a *fresh* (never-stepped) layer to any mask must give
+        // exactly what building from the dense view with that mask gives.
+        let opt = adam();
+        let values: Vec<f32> = (1..=8).map(|i| i as f32 * 0.25).collect();
+        let mut st = SamoLayerState::from_params(&values, mask_half(), &opt);
+        let dense = st.dense_f32_params();
+        let new_mask = Mask::new(&[8], vec![1, 2, 4]);
+        let mut scratch = RemapScratch::for_layer(&mut st, &opt);
+        st.remap_compressed_state(new_mask.clone(), &mut scratch);
+        let oracle = SamoLayerState::from_params(&dense, new_mask, &opt);
+        assert_eq!(st.theta32, oracle.theta32);
+        assert_eq!(
+            st.theta16.iter().map(|h| h.0).collect::<Vec<_>>(),
+            oracle.theta16.iter().map(|h| h.0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn remap_to_same_mask_is_identity() {
+        let opt = adam();
+        let mut st = warmed_layer(&opt);
+        let before = st.clone();
+        let mut scratch = RemapScratch::for_layer(&mut st, &opt);
+        st.remap_compressed_state(before.mask().clone(), &mut scratch);
+        assert_eq!(st.theta32, before.theta32);
+        assert_eq!(st.grad32, before.grad32);
+        assert_eq!(
+            st.grad16.iter().map(|h| h.0).collect::<Vec<_>>(),
+            before.grad16.iter().map(|h| h.0).collect::<Vec<_>>()
+        );
+        match (&st.os, &before.os) {
+            (OptState::Adam(a), OptState::Adam(b)) => {
+                assert_eq!(a.m, b.m);
+                assert_eq!(a.v, b.v);
+                assert_eq!(a.step, b.step);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn remap_densify_then_sparsify_roundtrip_keeps_survivor_state() {
+        // Densify {1,3,4,6} -> all 8, then sparsify back: surviving
+        // master weights and moments must ride through both remaps.
+        let opt = adam();
+        let mut st = warmed_layer(&opt);
+        let before = st.clone();
+        let mut scratch = RemapScratch::for_layer(&mut st, &opt);
+        st.remap_compressed_state(Mask::dense(&[8]), &mut scratch);
+        assert_eq!(st.nnz(), 8);
+        st.remap_compressed_state(mask_half(), &mut scratch);
+        assert_eq!(st.nnz(), 4);
+        assert_eq!(st.theta32, before.theta32);
+        match (&st.os, &before.os) {
+            (OptState::Adam(a), OptState::Adam(b)) => {
+                assert_eq!(a.m, b.m);
+                assert_eq!(a.v, b.v);
+            }
+            _ => unreachable!(),
+        }
+        for i in 0..8usize {
+            assert_eq!(st.theta16[i].0, before.theta16[i].0);
+        }
+    }
+
+    #[test]
+    fn remap_works_for_sgd_state() {
+        let opt = Optimizer::Sgd(nn::optim::SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        });
+        let mut st = warmed_layer(&opt);
+        let before = st.clone();
+        let new_mask = Mask::new(&[8], vec![1, 3, 5]);
+        let mut scratch = RemapScratch::for_layer(&mut st, &opt);
+        st.remap_compressed_state(new_mask, &mut scratch);
+        match (&st.os, &before.os) {
+            (OptState::Sgd(n), OptState::Sgd(o)) => {
+                // Survivors 1 (old slot 0) and 3 (old slot 1); newborn 5.
+                assert_eq!(n.velocity[0].to_bits(), o.velocity[0].to_bits());
+                assert_eq!(n.velocity[1].to_bits(), o.velocity[1].to_bits());
+                assert_eq!(n.velocity[2], 0.0);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn remap_rejects_shape_change() {
+        let opt = adam();
+        let mut st = SamoLayerState::from_params(&[0.0; 8], mask_half(), &opt);
+        let mut scratch = RemapScratch::for_layer(&mut st, &opt);
+        st.remap_compressed_state(Mask::dense(&[4]), &mut scratch);
     }
 
     #[test]

@@ -32,15 +32,17 @@
 //! in-flight traffic), and barriers the group back together.
 
 use crate::sharded::ShardedSamoLayerState;
+use crate::state::{RemapScratch, SamoLayerState};
 use crate::trainer::samo_ring_allreduce_bytes;
 use comms::{CommsError, Communicator, FaultController, InProcTransport, Transport};
 use nn::layer::Layer;
-use nn::mixed::{LossScaler, LossScalerState, Optimizer};
-use prune::Mask;
+use nn::mixed::{LossScaler, LossScalerState, OptState, Optimizer};
+use prune::{Mask, MaskSchedule};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use tensor::f16::F16;
 use tensor::Tensor;
 
 /// The per-step work a rank thread runs before the collective phase:
@@ -64,6 +66,7 @@ type InspectFn<M> = Box<dyn FnOnce(&mut M, &Vec<ShardedSamoLayerState>) + Send>;
 enum Cmd<M> {
     Step(StepFn<M>),
     SetScaler(LossScaler),
+    SetSchedule(MaskSchedule),
     Snapshot,
     Restore(Arc<Vec<u8>>),
     Inspect(InspectFn<M>),
@@ -73,6 +76,9 @@ enum Cmd<M> {
 struct StepOutcome {
     applied: bool,
     finite: bool,
+    /// Total unpruned parameters after this step — refreshes the parent
+    /// mirror when a dynamic-sparsity remap changes the mask.
+    nnz: usize,
 }
 
 struct SnapshotData {
@@ -97,6 +103,7 @@ struct Rank<M: Layer, T: Transport> {
     opt: Optimizer,
     scaler: LossScaler,
     comm: Communicator<T>,
+    schedule: Option<MaskSchedule>,
     poisoned: bool,
     steps_taken: u64,
     steps_skipped: u64,
@@ -123,51 +130,68 @@ impl<M: Layer, T: Transport> Rank<M, T> {
         let scale_used = self.scaler.scale();
         let dy = f(self.rank, &mut self.model, scale_used);
 
-        // Backward with overlapped all-reduce: as each parameter group
-        // reports its gradient ready (reverse execution order —
-        // identical on every rank, so ring ids line up), compress it
-        // and start its ring; pump in-flight rings between groups.
-        let sp = tel.then(|| telemetry::span("samo.dp_threaded.backward_allreduce"));
-        let mut order: Vec<(u64, usize)> = Vec::with_capacity(self.states.len());
-        let mut comm_err: Option<CommsError> = None;
-        {
-            let states = &mut self.states;
-            let comm = &mut self.comm;
-            let order = &mut order;
-            let comm_err = &mut comm_err;
-            self.model.backward_with_ready(&dy, &mut |off, params| {
-                if comm_err.is_some() {
-                    return; // finish backward, but stop talking
-                }
-                for (i, p) in params.iter().enumerate() {
-                    let pi = off + i;
-                    states[pi].compress_grad(p.grad.as_slice());
-                    match comm.ring_start(states[pi].grad16.clone()) {
-                        Ok(id) => order.push((id, pi)),
-                        Err(e) => {
-                            *comm_err = Some(e);
-                            return;
+        let update = self
+            .schedule
+            .as_ref()
+            .is_some_and(|s| s.is_update_step(self.steps_taken + self.steps_skipped));
+        let t_comm = if update {
+            // Dynamic-sparsity update step: the compressed bucket layout
+            // is about to be renegotiated, so skip the overlapped
+            // compressed rings — run a plain backward, reduce the
+            // *dense* f16 gradient, remap, and install the reduced
+            // compressed gradient for the (possibly new) mask.
+            let sp = tel.then(|| telemetry::span("samo.dp_threaded.remap"));
+            let _ = self.model.backward(&dy);
+            self.remap_step()?;
+            sp.map(telemetry::SpanGuard::finish)
+        } else {
+            // Backward with overlapped all-reduce: as each parameter
+            // group reports its gradient ready (reverse execution order
+            // — identical on every rank, so ring ids line up), compress
+            // it and start its ring; pump in-flight rings between
+            // groups.
+            let sp = tel.then(|| telemetry::span("samo.dp_threaded.backward_allreduce"));
+            let mut order: Vec<(u64, usize)> = Vec::with_capacity(self.states.len());
+            let mut comm_err: Option<CommsError> = None;
+            {
+                let states = &mut self.states;
+                let comm = &mut self.comm;
+                let order = &mut order;
+                let comm_err = &mut comm_err;
+                self.model.backward_with_ready(&dy, &mut |off, params| {
+                    if comm_err.is_some() {
+                        return; // finish backward, but stop talking
+                    }
+                    for (i, p) in params.iter().enumerate() {
+                        let pi = off + i;
+                        states[pi].compress_grad(p.grad.as_slice());
+                        match comm.ring_start(states[pi].grad16.clone()) {
+                            Ok(id) => order.push((id, pi)),
+                            Err(e) => {
+                                *comm_err = Some(e);
+                                return;
+                            }
                         }
                     }
-                }
-                if let Err(e) = comm.ring_pump() {
-                    *comm_err = Some(e);
-                }
-            });
-        }
-        if let Some(e) = comm_err {
-            return Err(e);
-        }
-        self.comm.ring_finish()?;
-        for (id, mean) in self.comm.take_completed() {
-            let pi = order
-                .iter()
-                .find(|(rid, _)| *rid == id)
-                .expect("completed ring was started by this step")
-                .1;
-            self.states[pi].grad16.copy_from_slice(&mean);
-        }
-        let t_comm = sp.map(telemetry::SpanGuard::finish);
+                    if let Err(e) = comm.ring_pump() {
+                        *comm_err = Some(e);
+                    }
+                });
+            }
+            if let Some(e) = comm_err {
+                return Err(e);
+            }
+            self.comm.ring_finish()?;
+            for (id, mean) in self.comm.take_completed() {
+                let pi = order
+                    .iter()
+                    .find(|(rid, _)| *rid == id)
+                    .expect("completed ring was started by this step")
+                    .1;
+                self.states[pi].grad16.copy_from_slice(&mean);
+            }
+            sp.map(telemetry::SpanGuard::finish)
+        };
 
         // The reduced bits are identical on every rank, so a local
         // overflow scan and scaler update reach the same verdict
@@ -186,7 +210,11 @@ impl<M: Layer, T: Transport> Rank<M, T> {
             if let Some(t0) = t_step0 {
                 self.relay_step_metrics(t0);
             }
-            return Ok(StepOutcome { applied: false, finite });
+            return Ok(StepOutcome {
+                applied: false,
+                finite,
+                nnz: self.states.iter().map(ShardedSamoLayerState::nnz).sum(),
+            });
         }
 
         // Shard-step, then all-gather the updated fp16 shards.
@@ -222,7 +250,120 @@ impl<M: Layer, T: Transport> Rank<M, T> {
         if let Some(t0) = t_step0 {
             self.relay_step_metrics(t0);
         }
-        Ok(StepOutcome { applied: true, finite })
+        Ok(StepOutcome {
+            applied: true,
+            finite,
+            nnz: self.states.iter().map(ShardedSamoLayerState::nnz).sum(),
+        })
+    }
+
+    /// The dynamic-sparsity update path, run in place of the overlapped
+    /// compressed ring when the installed [`MaskSchedule`] fires.
+    ///
+    /// Every rank reduces the f16-narrowed *dense* gradient — bitwise
+    /// the values a compressed ring would agree on, and, widened, the
+    /// canonical grow score ([`crate::SamoTrainer`] ranks regrowth
+    /// candidates from exactly the same bits) — then computes the new
+    /// mask locally (inputs are identical on every rank, so no mask
+    /// broadcast is needed). When a mask changes, the full fp32 state is
+    /// reassembled from every rank's `[θ32 | os]` shard segment over
+    /// [`Communicator::all_gather_f32`], remapped in place with
+    /// [`SamoLayerState::remap_compressed_state`], and re-sharded under
+    /// the new bounds — shard boundaries depend on `nnz`, so surviving
+    /// values migrate between ranks here. Finally the comms epoch is
+    /// bumped in lockstep: the compressed-gradient bucket layout has
+    /// been renegotiated and any stale in-flight bucket from the old
+    /// layout is dropped by every future receive.
+    fn remap_step(&mut self) -> Result<(), CommsError> {
+        let t = self.steps_taken + self.steps_skipped;
+        let sched = self.schedule.clone().expect("remap_step requires a schedule");
+        let world = self.comm.world();
+        let mut moved = false;
+        let params = self.model.params_mut();
+        assert_eq!(params.len(), self.states.len());
+        for (pi, p) in params.into_iter().enumerate() {
+            let st = &mut self.states[pi];
+            let mut dense16: Vec<F16> =
+                p.grad.as_slice().iter().map(|&g| F16::from_f32(g)).collect();
+            self.comm.allreduce_mean_f16(&mut dense16)?;
+            let score: Vec<f32> = dense16.iter().map(|g| g.to_f32()).collect();
+            let new_mask = sched.next_mask(t, p.value.as_slice(), &score, st.mask());
+            if &new_mask != st.mask() {
+                let nnz = st.nnz();
+                let bounds = comms::segment_bounds(nnz, world);
+                let karrays = match &st.os_shard {
+                    OptState::Adam(_) => 3,
+                    OptState::Sgd(_) => 2,
+                };
+                let (lo, hi) = st.shard_range();
+                let mut mine: Vec<f32> = Vec::with_capacity((hi - lo) * karrays);
+                mine.extend_from_slice(&st.theta32_shard);
+                match &st.os_shard {
+                    OptState::Adam(a) => {
+                        mine.extend_from_slice(&a.m);
+                        mine.extend_from_slice(&a.v);
+                    }
+                    OptState::Sgd(s) => mine.extend_from_slice(&s.velocity),
+                }
+                let counts: Vec<usize> =
+                    bounds.iter().map(|&(l, h)| (h - l) * karrays).collect();
+                let gathered = self.comm.all_gather_f32(&mine, &counts)?;
+                let mut theta32 = vec![0.0f32; nnz];
+                let mut os = OptState::new(&self.opt, nnz);
+                let mut off = 0usize;
+                for &(l, h) in &bounds {
+                    let seg = h - l;
+                    theta32[l..h].copy_from_slice(&gathered[off..off + seg]);
+                    match &mut os {
+                        OptState::Adam(full) => {
+                            full.m[l..h].copy_from_slice(&gathered[off + seg..off + 2 * seg]);
+                            full.v[l..h]
+                                .copy_from_slice(&gathered[off + 2 * seg..off + 3 * seg]);
+                        }
+                        OptState::Sgd(full) => {
+                            full.velocity[l..h]
+                                .copy_from_slice(&gathered[off + seg..off + 2 * seg]);
+                        }
+                    }
+                    off += seg * karrays;
+                }
+                if let (OptState::Adam(full), OptState::Adam(shard)) = (&mut os, &st.os_shard) {
+                    full.step = shard.step;
+                }
+                let mut full = SamoLayerState::from_parts(
+                    st.mask().clone(),
+                    theta32,
+                    st.grad16.clone(),
+                    os,
+                );
+                let mut scratch = RemapScratch::for_layer(&mut full, &self.opt);
+                full.remap_compressed_state(new_mask, &mut scratch);
+                let ind = full.mask().indices().clone();
+                for (g, &ix) in full.grad16.iter_mut().zip(ind.iter()) {
+                    *g = dense16[ix as usize];
+                }
+                *st = ShardedSamoLayerState::from_full_layer(&full, &self.opt, self.rank, world);
+                st.write_dense_f32_params_into(p.value.as_mut_slice());
+                moved = true;
+            } else {
+                // Mask unchanged: the dense reduction above already
+                // carries the agreed gradient — install its compressed
+                // view directly (the per-layer rings were skipped).
+                let ind = st.mask().indices().clone();
+                for (g, &ix) in st.grad16.iter_mut().zip(ind.iter()) {
+                    *g = dense16[ix as usize];
+                }
+            }
+        }
+        if moved {
+            self.comm.bump_epoch();
+            if telemetry::enabled() && self.rank == 0 {
+                telemetry::global()
+                    .counter("samo.dp_threaded.remap_events")
+                    .inc();
+            }
+        }
+        Ok(())
     }
 
     /// Mesh-native metrics aggregation: every rank ships its step wall
@@ -403,6 +544,10 @@ fn rank_loop<M: Layer, T: Transport>(mut rk: Rank<M, T>, rx: Receiver<Cmd<M>>, t
                 rk.scaler = s;
                 Resp::Ack
             }
+            Cmd::SetSchedule(s) => {
+                rk.schedule = Some(s);
+                Resp::Ack
+            }
             Cmd::Snapshot => Resp::Snapshot(Box::new(SnapshotData {
                 states: rk.states.clone(),
                 stats: rk.stats(),
@@ -534,6 +679,7 @@ impl<M: Layer + Send + 'static> ThreadedDataParallelSamo<M> {
                 opt: opt.clone(),
                 scaler: scaler.clone(),
                 comm: Communicator::new(t).with_timeout(timeout),
+                schedule: None,
                 poisoned: false,
                 steps_taken: 0,
                 steps_skipped: 0,
@@ -622,6 +768,25 @@ impl<M: Layer + Send + 'static> ThreadedDataParallelSamo<M> {
         }
     }
 
+    /// Installs a dynamic-sparsity [`MaskSchedule`] on every rank. At
+    /// each schedule update step the ranks recompute the masks from
+    /// identical reduced bits (no broadcast needed), migrate the
+    /// sharded compressed state, and renegotiate the compressed-
+    /// gradient bucket layout on a fresh comms epoch — the trajectory
+    /// stays bitwise identical to a [`crate::SamoTrainer`] driven by
+    /// the same schedule on replicated data.
+    pub fn set_mask_schedule(&mut self, schedule: MaskSchedule) {
+        for tx in &self.cmd {
+            tx.send(Cmd::SetSchedule(schedule.clone()))
+                .expect("rank thread alive");
+        }
+        for rx in &self.resp {
+            let Ok(Resp::Ack) = rx.recv() else {
+                panic!("rank thread died during set_mask_schedule");
+            };
+        }
+    }
+
     /// Runs one concurrent training step: every rank thread executes
     /// `f(rank, model, loss_scale)` (forward + scaled backward seed),
     /// backward with overlapped ring all-reduce, shard-step, and
@@ -653,8 +818,10 @@ impl<M: Layer + Send + 'static> ThreadedDataParallelSamo<M> {
         let applied = outcomes[0].applied;
         let finite = outcomes[0].finite;
         debug_assert!(
-            outcomes.iter().all(|o| o.applied == applied && o.finite == finite),
-            "ranks must agree on the step verdict"
+            outcomes
+                .iter()
+                .all(|o| o.applied == applied && o.finite == finite && o.nnz == outcomes[0].nnz),
+            "ranks must agree on the step verdict and mask"
         );
         // Keep the mirror scaler in lockstep with the rank replicas.
         let _ = self.scaler.check_and_update(finite);
@@ -663,6 +830,8 @@ impl<M: Layer + Send + 'static> ThreadedDataParallelSamo<M> {
         } else {
             self.steps_skipped += 1;
         }
+        // A dynamic-sparsity remap may have changed the mask this step.
+        self.nnz = outcomes[0].nnz;
         self.allreduce_bytes +=
             samo_ring_allreduce_bytes(self.nnz as u64, self.world as u64);
         Ok(applied)
@@ -712,7 +881,8 @@ impl<M: Layer + Send + 'static> ThreadedDataParallelSamo<M> {
             return Err(errors.join("; "));
         }
         // Re-sync the mirror from the checkpoint's own metadata.
-        let (_, meta) = crate::serialize::load_checkpoint(checkpoint, &self.opt)?;
+        let (layers, meta) = crate::serialize::load_checkpoint(checkpoint, &self.opt)?;
+        self.nnz = layers.iter().map(SamoLayerState::nnz).sum();
         if let Some(meta) = meta {
             self.scaler.restore_state(LossScalerState {
                 scale: meta.loss_scale,

@@ -2,20 +2,24 @@
 //! dense masked baseline it must be numerically equivalent to, plus the
 //! compressed data-parallel gradient all-reduce (paper Sec. IV-A).
 
-use crate::state::SamoLayerState;
+use crate::state::{RemapScratch, SamoLayerState};
 use nn::layer::Layer;
 use nn::mixed::{DenseMixedState, LossScaler, Optimizer};
-use prune::Mask;
+use prune::{Mask, MaskSchedule};
 use tensor::f16::F16;
 
 /// SAMO training state for a whole model: one compressed layer state per
-/// parameter tensor, plus the shared loss scaler.
+/// parameter tensor, plus the shared loss scaler and (optionally) a
+/// dynamic-sparsity [`MaskSchedule`] with its per-layer remap scratch.
 pub struct SamoTrainer {
     pub layers: Vec<SamoLayerState>,
     pub opt: Optimizer,
     pub scaler: LossScaler,
     steps_taken: u64,
     steps_skipped: u64,
+    schedule: Option<MaskSchedule>,
+    remap_scratch: Vec<RemapScratch>,
+    remap_events: u64,
 }
 
 impl SamoTrainer {
@@ -44,7 +48,43 @@ impl SamoTrainer {
             scaler: LossScaler::default(),
             steps_taken: 0,
             steps_skipped: 0,
+            schedule: None,
+            remap_scratch: Vec::new(),
+            remap_events: 0,
         }
+    }
+
+    /// Installs a dynamic-sparsity schedule: on every schedule update
+    /// step, [`Self::step`] recomputes each layer's mask and remaps the
+    /// compressed state in place before compressing the new gradient.
+    /// Pre-sizes one [`RemapScratch`] per layer so remap events never
+    /// allocate once warm.
+    pub fn set_mask_schedule(&mut self, schedule: MaskSchedule) {
+        let opt = &self.opt;
+        self.remap_scratch = self
+            .layers
+            .iter_mut()
+            .map(|l| RemapScratch::for_layer(l, opt))
+            .collect();
+        self.schedule = Some(schedule);
+    }
+
+    /// The installed dynamic-sparsity schedule, if any.
+    pub fn mask_schedule(&self) -> Option<&MaskSchedule> {
+        self.schedule.as_ref()
+    }
+
+    /// Number of steps at which at least one layer's mask actually moved.
+    pub fn remap_events(&self) -> u64 {
+        self.remap_events
+    }
+
+    /// The deterministic step index `t` the schedule is evaluated at:
+    /// applied plus skipped steps, so every rank of a data-parallel
+    /// group (which agrees on the skip verdict bitwise) agrees on the
+    /// remap timeline too.
+    pub fn step_index(&self) -> u64 {
+        self.steps_taken + self.steps_skipped
     }
 
     /// Total parameters φ across all layers.
@@ -117,6 +157,17 @@ impl SamoTrainer {
             }
         }
         self.layers = layers;
+        if self.schedule.is_some() {
+            // The restored layers are fresh allocations without remap
+            // headroom; rebuild the scratch (and re-reserve) so future
+            // remap events stay allocation-free.
+            let opt = &self.opt;
+            self.remap_scratch = self
+                .layers
+                .iter_mut()
+                .map(|l| RemapScratch::for_layer(l, opt))
+                .collect();
+        }
         for (p, st) in model.params_mut().into_iter().zip(&self.layers) {
             if p.numel() != st.numel() {
                 return Err(format!("parameter {} size mismatch", p.name));
@@ -175,6 +226,9 @@ impl SamoTrainer {
     /// disabled, the only overhead is one atomic load.
     pub fn step(&mut self, model: &mut impl Layer) -> bool {
         let tel = telemetry::enabled();
+        if self.schedule.is_some() {
+            self.maybe_remap(model);
+        }
         // Backward pass hook: compress gradients layer by layer, folding
         // the overflow scan into the same pass. The allocation-free
         // `for_each_param_mut` traversal (not `params_mut`, which builds
@@ -215,6 +269,53 @@ impl SamoTrainer {
             self.record_step(proceed, scale, t_compress, t_optimizer, None);
         }
         proceed
+    }
+
+    /// Dynamic-sparsity hook run at the top of [`Self::step`]: if the
+    /// schedule fires at the current step index, recompute each layer's
+    /// mask from the dense weights and the f16-canonicalized dense
+    /// gradient (the *grow score* — exactly the values a data-parallel
+    /// gradient ring reduces, so every runtime ranks regrowth candidates
+    /// identically) and remap the compressed state in place. Runs before
+    /// the compress/verdict phase so the new mask's gradient slots are
+    /// filled by the normal fused compress whether or not the scaler
+    /// skips the step — the remap timeline is therefore a pure function
+    /// of the step index.
+    fn maybe_remap(&mut self, model: &mut impl Layer) {
+        let t = self.step_index();
+        let Some(sched) = &self.schedule else { return };
+        if !sched.is_update_step(t) {
+            return;
+        }
+        let sched = sched.clone();
+        let tel = telemetry::enabled();
+        let sp = tel.then(|| telemetry::span("samo.step.remap"));
+        let layers = &mut self.layers;
+        let scratch = &mut self.remap_scratch;
+        let mut i = 0;
+        let mut moved = false;
+        model.for_each_param_mut(&mut |p| {
+            let layer = &mut layers[i];
+            let sc = &mut scratch[i];
+            sc.score.clear();
+            sc.score
+                .extend(p.grad.as_slice().iter().map(|&g| F16::from_f32(g).to_f32()));
+            let new_mask = sched.next_mask(t, p.value.as_slice(), &sc.score, layer.mask());
+            if &new_mask != layer.mask() {
+                layer.remap_compressed_state(new_mask, sc);
+                layer.write_dense_f32_params_into(p.value.as_mut_slice());
+                moved = true;
+            }
+            i += 1;
+        });
+        assert_eq!(i, layers.len());
+        if moved {
+            self.remap_events += 1;
+            if tel {
+                telemetry::global().counter("samo.remap_events").inc();
+            }
+        }
+        drop(sp);
     }
 
     /// Cold path: metric/JSONL bookkeeping for one completed `step()`.
@@ -679,6 +780,59 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn mask_schedule_remaps_and_memory_tracks_the_trajectory() {
+        use prune::MomentumPruneRegrow;
+        let mut model = Linear::new(12, 12, false, 71);
+        let phi = 144u64;
+        // Trajectory sparsifies 0.5 -> 0.9 then densifies back to 0.25.
+        let traj = MomentumPruneRegrow::new(vec![(0, 0.5), (6, 0.9), (12, 0.25)], 3, 0.1);
+        let start = prune::magnitude_prune(
+            model.params()[0].value.as_slice(),
+            &[12, 12],
+            traj.sparsity_at(0),
+        );
+        let mut tr = SamoTrainer::new(&mut model, vec![start], adam());
+        tr.set_mask_schedule(MaskSchedule::MomentumPruneRegrow(traj.clone()));
+
+        let x = Tensor::randn(&[8, 12], 1.0, 72);
+        let target = Tensor::randn(&[8, 12], 1.0, 73);
+        let mut seen_nnz = std::collections::BTreeSet::new();
+        for _ in 0..14 {
+            let t = tr.step_index();
+            let y = model.forward(&x);
+            let (_, mut dy) = mse(&y, &target);
+            tensor::ops::scale(tr.loss_scale(), dy.as_mut_slice());
+            model.backward(&dy);
+            tr.step(&mut model);
+            if traj.is_update_step(t) {
+                let want = ((1.0 - traj.sparsity_at(t)) * phi as f64).round() as usize;
+                assert_eq!(tr.nnz(), want, "nnz off trajectory at t = {t}");
+            }
+            seen_nnz.insert(tr.nnz());
+            // Memory follows 24(1 − p(t))φ + 2φ as p evolves.
+            assert_eq!(
+                tr.model_state_bytes(true),
+                formula_state_bytes(&tr.opt, phi, tr.nnz() as u64)
+            );
+            // Dense view invariant: pruned positions are exactly zero.
+            let keep = tr.layers[0].mask().to_bools();
+            for (i, &w) in model.params()[0].value.as_slice().iter().enumerate() {
+                if !keep[i] {
+                    assert_eq!(w, 0.0, "pruned weight {i} nonzero after remap");
+                }
+            }
+        }
+        assert!(
+            tr.remap_events() >= 3,
+            "expected >= 3 mask changes, saw {}",
+            tr.remap_events()
+        );
+        assert!(seen_nnz.len() >= 3, "mask never moved: {seen_nnz:?}");
+        // Final phase densified: more survivors than the start.
+        assert_eq!(tr.nnz(), ((1.0 - 0.25) * phi as f64).round() as usize);
     }
 
     #[test]

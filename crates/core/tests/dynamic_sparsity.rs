@@ -1,0 +1,220 @@
+//! Dynamic sparsity across runtimes: a [`MaskSchedule`] driving
+//! prune-and-regrow mask evolution (including a densification phase)
+//! produces **bitwise-identical** checkpoints between the
+//! single-process [`samo::SamoTrainer`], the thread-per-rank
+//! [`ThreadedDataParallelSamo`] over the in-process mesh, the same
+//! runtime over loopback-TCP endpoints, and the cross-process
+//! [`DistDataParallel`] trainer (the `samo-launch` path) — replicated
+//! data parallelism, so the ring-reduced grow score equals the local
+//! one bit for bit and every runtime computes the same masks without a
+//! broadcast.
+
+use comms::{Communicator, FaultController, HeartbeatConfig, TcpTransport};
+use nn::layer::{Layer, Sequential};
+use nn::linear::Linear;
+use nn::loss::mse;
+use nn::mixed::Optimizer;
+use nn::optim::AdamConfig;
+use prune::{MaskSchedule, MomentumPruneRegrow};
+use samo::threaded::ThreadedDataParallelSamo;
+use samo::{DistDataParallel, SamoTrainer};
+use std::sync::Arc;
+use std::time::Duration;
+use tensor::Tensor;
+
+const IN: usize = 6;
+const OUT: usize = 4;
+const BATCH: usize = 5;
+const STEPS: usize = 14;
+
+fn build_model(seed: u64) -> Sequential {
+    Sequential::new()
+        .push(Linear::new(IN, 10, true, seed))
+        .push(nn::activations::Gelu::new())
+        .push(Linear::new(10, OUT, true, seed + 1))
+}
+
+/// Every parameter tensor starts at the schedule's initial sparsity —
+/// the t = 0 update then only churns (swap), and later updates walk
+/// the trajectory through a sparsify leg and back down a densify leg.
+fn masks_for(model: &Sequential) -> Vec<prune::Mask> {
+    model
+        .params()
+        .iter()
+        .map(|p| prune::magnitude_prune(p.value.as_slice(), p.value.shape(), 0.3))
+        .collect()
+}
+
+/// Update steps fire at t = 0, 3, 6, 9, 12: sparsity 0.30 → 0.525 →
+/// 0.75 (knot) → 0.50 → 0.25 (knot) — at least three mask changes and
+/// the final two are densifications.
+fn schedule() -> MaskSchedule {
+    MaskSchedule::MomentumPruneRegrow(MomentumPruneRegrow::new(
+        vec![(0, 0.30), (6, 0.75), (12, 0.25)],
+        3,
+        0.1,
+    ))
+}
+
+fn adam() -> Optimizer {
+    Optimizer::Adam(AdamConfig::default())
+}
+
+/// Replicated data parallelism: every rank sees the SAME batch.
+fn batch_for(step: usize) -> (Tensor, Tensor) {
+    let seed = 37_000 + step as u64;
+    (
+        Tensor::randn(&[BATCH, IN], 1.0, seed),
+        Tensor::randn(&[BATCH, OUT], 1.0, seed + 10_000),
+    )
+}
+
+fn drive_oracle(oracle: &mut SamoTrainer, model: &mut Sequential, step: usize) -> bool {
+    let (x, target) = batch_for(step);
+    let y = model.forward(&x);
+    let (_, mut dy) = mse(&y, &target);
+    tensor::ops::scale(oracle.loss_scale(), dy.as_mut_slice());
+    model.backward(&dy);
+    oracle.step(model)
+}
+
+fn oracle_checkpoints() -> (Vec<bytes::Bytes>, Vec<usize>) {
+    let mut model = build_model(91);
+    let mut oracle = SamoTrainer::new(&mut model, masks_for(&build_model(91)), adam());
+    oracle.set_mask_schedule(schedule());
+    let mut ckpts = Vec::with_capacity(STEPS);
+    let mut nnzs = Vec::with_capacity(STEPS);
+    for step in 0..STEPS {
+        drive_oracle(&mut oracle, &mut model, step);
+        ckpts.push(oracle.save());
+        nnzs.push(oracle.nnz());
+    }
+    assert!(oracle.remap_events() >= 3, "schedule must actually move the masks");
+    (ckpts, nnzs)
+}
+
+fn threaded_step(
+    th: &mut ThreadedDataParallelSamo<Sequential>,
+    step: usize,
+) -> Result<bool, String> {
+    th.step(move |_rank, m, scale| {
+        let (x, target) = batch_for(step);
+        let y = m.forward(&x);
+        let (_, mut dy) = mse(&y, &target);
+        tensor::ops::scale(scale, dy.as_mut_slice());
+        dy
+    })
+}
+
+/// The nnz trajectory itself must evolve in both directions — proof the
+/// run really pruned *and* regrew (densified) rather than clamping.
+fn assert_bidirectional(nnzs: &[usize]) {
+    assert!(
+        nnzs.windows(2).any(|w| w[1] < w[0]),
+        "nnz never shrank: {nnzs:?}"
+    );
+    assert!(
+        nnzs.windows(2).any(|w| w[1] > w[0]),
+        "nnz never grew (no densification): {nnzs:?}"
+    );
+}
+
+#[test]
+fn threaded_mesh_matches_single_process_across_remaps() {
+    let (want, nnzs) = oracle_checkpoints();
+    assert_bidirectional(&nnzs);
+
+    let world = 3;
+    let replicas: Vec<Sequential> = (0..world).map(|_| build_model(91)).collect();
+    let masks = masks_for(&replicas[0]);
+    let mut th = ThreadedDataParallelSamo::new(replicas, masks, adam());
+    th.set_mask_schedule(schedule());
+    for step in 0..STEPS {
+        threaded_step(&mut th, step).expect("healthy mesh");
+        assert_eq!(
+            th.save().as_ref(),
+            want[step].as_ref(),
+            "threaded (in-proc mesh) diverged from SamoTrainer at step {step}"
+        );
+        assert_eq!(th.nnz(), nnzs[step], "nnz mirror stale at step {step}");
+    }
+}
+
+#[test]
+fn threaded_tcp_matches_single_process_across_remaps() {
+    let (want, nnzs) = oracle_checkpoints();
+
+    let world = 2;
+    let replicas: Vec<Sequential> = (0..world).map(|_| build_model(91)).collect();
+    let masks = masks_for(&replicas[0]);
+    let faults = Arc::new(FaultController::new());
+    let mesh = TcpTransport::local_mesh_with(world, Arc::clone(&faults), HeartbeatConfig::default())
+        .unwrap();
+    let mut th = ThreadedDataParallelSamo::with_transports(
+        replicas,
+        masks,
+        adam(),
+        Duration::from_secs(10),
+        mesh,
+        faults,
+    );
+    th.set_mask_schedule(schedule());
+    for step in 0..STEPS {
+        threaded_step(&mut th, step).expect("healthy TCP mesh");
+        assert_eq!(
+            th.save().as_ref(),
+            want[step].as_ref(),
+            "threaded (TCP) diverged from SamoTrainer at step {step}"
+        );
+        assert_eq!(th.nnz(), nnzs[step], "nnz mirror stale at step {step}");
+    }
+}
+
+/// The `samo-launch` trainer: one [`DistDataParallel`] per rank thread
+/// over real TCP sockets, each installing the same schedule. Epoch
+/// renegotiation runs in lockstep on every mask change, and each rank's
+/// per-step checkpoint equals the single-process one.
+#[test]
+fn dist_tcp_matches_single_process_across_remaps() {
+    let (want, _) = oracle_checkpoints();
+
+    let world = 2;
+    let transports = TcpTransport::local_mesh(world).unwrap();
+    let saved: Vec<(Vec<bytes::Bytes>, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = transports
+            .into_iter()
+            .map(|t| {
+                s.spawn(move || {
+                    let comm = Communicator::new(t).with_timeout(Duration::from_secs(10));
+                    let mut model = build_model(91);
+                    let masks = masks_for(&model);
+                    let mut dist = DistDataParallel::new(&mut model, masks, adam(), comm);
+                    dist.set_mask_schedule(schedule());
+                    let mut ckpts = Vec::with_capacity(STEPS);
+                    for step in 0..STEPS {
+                        let (x, target) = batch_for(step);
+                        let y = model.forward(&x);
+                        let (_, mut dy) = mse(&y, &target);
+                        tensor::ops::scale(dist.loss_scale(), dy.as_mut_slice());
+                        model.backward(&dy);
+                        dist.step(&mut model).expect("healthy step");
+                        ckpts.push(dist.save());
+                    }
+                    (ckpts, dist.remap_events())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (rank, (ckpts, remaps)) in saved.iter().enumerate() {
+        assert!(*remaps >= 3, "rank {rank} applied only {remaps} remaps");
+        for step in 0..STEPS {
+            assert_eq!(
+                ckpts[step].as_ref(),
+                want[step].as_ref(),
+                "rank {rank} diverged from SamoTrainer at step {step}"
+            );
+        }
+    }
+}

@@ -28,10 +28,12 @@ impl IterativePruner {
         IterativePruner::with_rate(shape, target_sparsity, 0.2)
     }
 
-    /// Custom per-round pruning rate in (0, 1).
+    /// Custom per-round pruning rate in (0, 1]. `rate == 1.0` is the
+    /// degenerate one-shot schedule: a single round prunes straight to
+    /// the target (`min_keep` clamping stops it from emptying the mask).
     pub fn with_rate(shape: &[usize], target_sparsity: f64, rate: f64) -> IterativePruner {
         assert!((0.0..=1.0).contains(&target_sparsity));
-        assert!(rate > 0.0 && rate < 1.0);
+        assert!(rate > 0.0 && rate <= 1.0, "per-round rate must be in (0, 1]");
         IterativePruner {
             shape: shape.to_vec(),
             target_sparsity,
@@ -61,14 +63,25 @@ impl IterativePruner {
     }
 
     /// Number of rounds the geometric schedule needs from scratch.
+    ///
+    /// Simulates the exact floor-and-clamp decay `prune_round` performs
+    /// instead of the closed-form `⌈ln(1−target)/ln(1−rate)⌉`: the log
+    /// quotient explodes on the degenerate rates (`rate == 1.0` makes
+    /// `ln(0) = −∞` and the ceil'd quotient returned 0 rounds) and can
+    /// disagree with integer flooring near the boundary. The counting
+    /// loop terminates because `floor(k·(1−rate)) < k` for every `k ≥ 1`
+    /// and `rate > 0`.
     pub fn rounds_needed(&self) -> usize {
-        // After k rounds, density = (1 - rate)^k; solve for density ≤
-        // 1 - target.
-        let keep_target = 1.0 - self.target_sparsity;
-        if keep_target <= 0.0 {
-            return usize::MAX;
+        let numel: usize = self.shape.iter().product();
+        let min_keep = ((1.0 - self.target_sparsity) * numel as f64).round() as usize;
+        let mut keep = numel;
+        let mut rounds = 0usize;
+        while keep > min_keep {
+            keep = (((keep as f64) * (1.0 - self.per_round_fraction)).floor() as usize)
+                .max(min_keep);
+            rounds += 1;
         }
-        (keep_target.ln() / (1.0 - self.per_round_fraction).ln()).ceil() as usize
+        rounds
     }
 
     /// Performs one pruning round given the current (trained) weights:
@@ -99,9 +112,9 @@ impl IterativePruner {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
         });
-        let mut kept: Vec<u32> = surviving[..keep.min(surviving.len())].to_vec();
-        kept.sort_unstable();
-        self.current = Mask::new(&self.shape, kept);
+        surviving.truncate(keep);
+        surviving.sort_unstable();
+        self.current = Mask::new(&self.shape, surviving);
         self.rounds_done += 1;
         self.current.clone()
     }
@@ -184,6 +197,39 @@ mod tests {
         let before = p.mask().clone();
         p.prune_round(&w);
         assert_eq!(p.mask(), &before);
+    }
+
+    /// Regression: `rate == 1.0` made the closed-form round count hit
+    /// `ln(0) = −∞` and report 0 rounds; it is really one-shot pruning.
+    #[test]
+    fn rate_one_is_one_shot() {
+        let w = ramp(100);
+        let mut p = IterativePruner::with_rate(&[100], 0.9, 1.0);
+        assert_eq!(p.rounds_needed(), 1);
+        p.prune_round(&w);
+        assert!(p.is_done());
+        assert_eq!(p.mask().nnz(), 10);
+    }
+
+    /// `target == 1.0` no longer reports `usize::MAX`: the floor decay
+    /// genuinely reaches an empty mask in finitely many rounds.
+    #[test]
+    fn full_sparsity_target_terminates() {
+        let w = ramp(64);
+        let mut p = IterativePruner::with_rate(&[64], 1.0, 0.5);
+        let needed = p.rounds_needed();
+        assert!(needed < usize::MAX && needed > 0, "needed = {needed}");
+        for _ in 0..needed {
+            p.prune_round(&w);
+        }
+        assert!(p.is_done());
+        assert_eq!(p.mask().nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn rejects_zero_rate() {
+        IterativePruner::with_rate(&[10], 0.5, 0.0);
     }
 
     #[test]

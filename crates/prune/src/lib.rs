@@ -10,6 +10,7 @@
 //! paper's experiments.
 
 pub mod algorithms;
+pub mod dynamic;
 pub mod nm;
 pub mod iterative;
 pub mod structured;
@@ -17,6 +18,7 @@ pub mod mask;
 pub mod schedule;
 
 pub use algorithms::{global_magnitude_prune, magnitude_prune, random_prune, EarlyBird};
+pub use dynamic::{MaskSchedule, MomentumPruneRegrow};
 pub use iterative::{one_shot_prune, IterativePruner};
 pub use mask::Mask;
 pub use nm::{is_nm_mask, nm_prune, nm_prune_24};

@@ -48,14 +48,24 @@ impl GradualSchedule {
         self.final_sparsity + (self.initial - self.final_sparsity) * remaining
     }
 
-    /// True on steps where the mask should be recomputed.
+    /// True on steps where the mask should be recomputed. Step `end` is
+    /// always an update step even when `(end − begin)` is not a multiple
+    /// of `frequency` — otherwise the applied mask never reaches
+    /// `final_sparsity` on non-divisible windows.
     pub fn is_update_step(&self, t: u64) -> bool {
-        t >= self.begin && t <= self.end && (t - self.begin).is_multiple_of(self.frequency)
+        t >= self.begin
+            && t <= self.end
+            && ((t - self.begin).is_multiple_of(self.frequency) || t == self.end)
     }
 
-    /// Recomputes the mask at step `t` from the current weights, never
-    /// resurrecting weights pruned by `previous` (monotone masks, as in
-    /// iterative pruning). Pass `None` for the first update.
+    /// Recomputes the mask at step `t` from the current weights. When
+    /// the target sparsity rises, the new mask prunes survivors of
+    /// `previous` only (monotone, as in iterative pruning). When the
+    /// target *falls* (densification — possible once the window starts
+    /// above `final_sparsity`), the deficit is honored by admitting the
+    /// largest-|w| currently-pruned positions rather than silently
+    /// clamping to the old survivor set. Pass `None` for the first
+    /// update.
     pub fn mask_at(
         &self,
         t: u64,
@@ -67,9 +77,13 @@ impl GradualSchedule {
         match previous {
             None => magnitude_prune(weights, shape, target),
             Some(prev) => {
-                // Rank only the survivors; prune down to the new target.
                 let numel: usize = shape.iter().product();
+                assert_eq!(weights.len(), numel);
                 let keep = ((1.0 - target) * numel as f64).round() as usize;
+                if keep > prev.nnz() {
+                    return crate::dynamic::grow_to(prev, keep, weights);
+                }
+                // Rank only the survivors; prune down to the new target.
                 let mut surviving: Vec<u32> = prev.indices().as_slice().to_vec();
                 surviving.sort_by(|&a, &b| {
                     weights[b as usize]
@@ -78,10 +92,9 @@ impl GradualSchedule {
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(a.cmp(&b))
                 });
-                let mut kept: Vec<u32> =
-                    surviving[..keep.min(surviving.len())].to_vec();
-                kept.sort_unstable();
-                Mask::new(shape, kept)
+                surviving.truncate(keep);
+                surviving.sort_unstable();
+                Mask::new(shape, surviving)
             }
         }
     }
@@ -160,5 +173,61 @@ mod tests {
     #[should_panic(expected = "window")]
     fn rejects_empty_window() {
         GradualSchedule::new(0.5, 100, 100);
+    }
+
+    /// Regression: `(end − begin) % frequency != 0` used to skip the
+    /// final update, so the applied mask never reached `final_sparsity`.
+    #[test]
+    fn end_is_always_an_update_step_on_non_divisible_windows() {
+        let s = GradualSchedule {
+            initial: 0.0,
+            final_sparsity: 0.5,
+            begin: 10,
+            end: 55,
+            frequency: 10,
+        };
+        let updates: Vec<u64> = (0..70).filter(|&t| s.is_update_step(t)).collect();
+        assert_eq!(updates, vec![10, 20, 30, 40, 50, 55]);
+
+        // Applying the mask only on update steps must reach the target.
+        let n = 100usize;
+        let weights: Vec<f32> = (0..n).map(|i| ((i * 37) % 97) as f32 * 0.01).collect();
+        let mut mask: Option<Mask> = None;
+        for t in 0..70 {
+            if s.is_update_step(t) {
+                mask = Some(s.mask_at(t, &weights, &[n], mask.as_ref()));
+            }
+        }
+        assert_eq!(mask.unwrap().nnz(), 50, "final update must hit s_f = 0.5");
+    }
+
+    /// A decreasing sparsity target (densification) is honored: the new
+    /// mask grows to the requested keep count by admitting the
+    /// largest-|w| previously-pruned positions, instead of silently
+    /// returning the old survivors.
+    #[test]
+    fn densification_targets_are_honored() {
+        let s = GradualSchedule {
+            initial: 0.9,
+            final_sparsity: 0.5,
+            begin: 0,
+            end: 100,
+            frequency: 50,
+        };
+        let n = 100usize;
+        // 61 is coprime to 199 and n < 199, so all magnitudes are distinct.
+        let weights: Vec<f32> = (0..n).map(|i| ((i * 61) % 199) as f32 * 0.01 + 0.01).collect();
+        let start = s.mask_at(0, &weights, &[n], None);
+        assert_eq!(start.nnz(), 10);
+        let end = s.mask_at(100, &weights, &[n], Some(&start));
+        assert_eq!(end.nnz(), 50, "densification must reach the target keep count");
+        // Growth keeps every old survivor and admits by magnitude.
+        let old = start.to_bools();
+        let new = end.to_bools();
+        for (i, &was) in old.iter().enumerate() {
+            assert!(!was || new[i], "densification dropped survivor {i}");
+        }
+        let one_shot = magnitude_prune(&weights, &[n], 0.5);
+        assert_eq!(end, one_shot, "static weights: grown mask == one-shot mask");
     }
 }

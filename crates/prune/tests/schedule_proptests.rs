@@ -1,0 +1,85 @@
+//! Property tests for the pruning-schedule substrate: the round count
+//! reported by `IterativePruner::rounds_needed` must always be *exact*
+//! (reaching `is_done()` in that many rounds and not before), and
+//! `GradualSchedule` masks must hit the requested keep count on every
+//! update step — including the `t == end` boundary and densification.
+
+use proptest::prelude::*;
+use prune::{GradualSchedule, IterativePruner};
+
+fn weights(n: usize, seed: u64) -> Vec<f32> {
+    // Deterministic, collision-free magnitudes (xorshift-mixed).
+    (0..n)
+        .map(|i| {
+            let mut x = seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            x ^= x >> 29;
+            x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+            (x >> 11) as f32 / (1u64 << 53) as f32 + i as f32 * 1e-9
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `rounds_needed()` iterations of `prune_round` always reach
+    /// `is_done()`, for any numel, target, and rate in (0, 1] —
+    /// including the degenerate `rate == 1.0` one-shot and
+    /// `target == 1.0` empty-mask cases the closed form used to botch.
+    #[test]
+    fn rounds_needed_is_exact(
+        n in 1usize..500,
+        target_pct in 0u32..101,
+        rate_pct in 1u32..101,
+        seed in any::<u64>(),
+    ) {
+        let target = target_pct as f64 / 100.0;
+        let rate = rate_pct as f64 / 100.0;
+        let w = weights(n, seed);
+        let mut p = IterativePruner::with_rate(&[n], target, rate);
+        let needed = p.rounds_needed();
+        prop_assert!(needed < usize::MAX);
+        for round in 0..needed {
+            prop_assert!(!p.is_done(), "done early: {round} < {needed} rounds");
+            p.prune_round(&w);
+        }
+        prop_assert!(p.is_done(), "not done after {needed} rounds");
+        let min_keep = ((1.0 - target) * n as f64).round() as usize;
+        prop_assert_eq!(p.mask().nnz(), min_keep);
+    }
+
+    /// Every update step's mask lands exactly on the scheduled keep
+    /// count, whichever direction the ramp runs (sparsify when
+    /// `initial < final`, densify when `initial > final`), and the
+    /// window end is always applied.
+    #[test]
+    fn gradual_masks_track_the_ramp_exactly(
+        n in 2usize..300,
+        si_pct in 0u32..91,
+        sf_pct in 0u32..91,
+        begin in 0u64..50,
+        span in 1u64..120,
+        frequency in 1u64..40,
+        seed in any::<u64>(),
+    ) {
+        let s = GradualSchedule {
+            initial: si_pct as f64 / 100.0,
+            final_sparsity: sf_pct as f64 / 100.0,
+            begin,
+            end: begin + span,
+            frequency,
+        };
+        let w = weights(n, seed);
+        let mut mask = None;
+        for t in 0..=(begin + span + 5) {
+            if s.is_update_step(t) {
+                let m = s.mask_at(t, &w, &[n], mask.as_ref());
+                let want = ((1.0 - s.sparsity_at(t)) * n as f64).round() as usize;
+                prop_assert_eq!(m.nnz(), want, "wrong keep count at t = {}", t);
+                mask = Some(m);
+            }
+        }
+        let final_keep = ((1.0 - s.final_sparsity) * n as f64).round() as usize;
+        prop_assert_eq!(mask.unwrap().nnz(), final_keep, "end step not applied");
+    }
+}

@@ -252,3 +252,101 @@ fn manager_cadence_retention_and_reload() {
     assert_eq!(params_of(&mut m), params_of(&mut m2));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Masks every parameter at the dynamic schedule's initial sparsity.
+fn dyn_masks(m: &Sequential) -> Vec<Mask> {
+    m.params()
+        .iter()
+        .map(|p| prune::magnitude_prune(p.value.as_slice(), p.value.shape(), 0.5))
+        .collect()
+}
+
+/// Prune 0.5 → 0.9, then densify back to 0.6: update steps at
+/// t = 0, 5, 10, 15, 20.
+fn dyn_schedule() -> prune::MaskSchedule {
+    prune::MaskSchedule::MomentumPruneRegrow(prune::MomentumPruneRegrow::new(
+        vec![(0, 0.5), (10, 0.9), (20, 0.6)],
+        5,
+        0.1,
+    ))
+}
+
+/// Kill-and-resume straddling dynamic-sparsity remap events: a
+/// checkpoint saved mid-sparsification (generation A) and one saved
+/// after the densification leg (generation B) both resume bitwise
+/// identical to the uninterrupted run — the v2 format round-trips the
+/// evolved mask, and the restored trainer re-primes its remap scratch
+/// and continues the exact schedule. The handoff runs through the
+/// `CheckpointManager` publish marker, including the torn-marker path:
+/// a corrupted marker is detected (CRC) and ignored, and recovery falls
+/// back to the newest durable file.
+#[test]
+fn kill_and_resume_across_remap_events_is_bitwise_identical() {
+    let dir = std::env::temp_dir().join(format!("samo-ft-dyn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let total = 26u64;
+    let (gen_a, gen_b) = (7u64, 22u64);
+
+    // Reference: uninterrupted run across all five schedule updates.
+    let mut m_ref = model(55);
+    let mut tr_ref = SamoTrainer::new(&mut m_ref, dyn_masks(&model(55)), adam());
+    tr_ref.set_mask_schedule(dyn_schedule());
+    for s in 0..total {
+        train_step(&mut tr_ref, &mut m_ref, s);
+    }
+    assert!(tr_ref.remap_events() >= 3, "schedule must actually move the masks");
+    let want = tr_ref.save();
+
+    // Victim: same run, published at gen A (mid-sparsification) and
+    // gen B (post-densification), then "killed".
+    let mut mgr = CheckpointManager::new(CheckpointConfig::new(&dir)).unwrap();
+    let mut published = Vec::new();
+    {
+        let mut m = model(55);
+        let mut tr = SamoTrainer::new(&mut m, dyn_masks(&model(55)), adam());
+        tr.set_mask_schedule(dyn_schedule());
+        for s in 0..total {
+            train_step(&mut tr, &mut m, s);
+            if s + 1 == gen_a || s + 1 == gen_b {
+                published.push(mgr.save_and_publish(s + 1, &tr.save()).unwrap());
+            }
+        }
+    }
+
+    // Resume from BOTH generations; each must reconverge bitwise.
+    for (path, from) in published.iter().zip([gen_a, gen_b]) {
+        let bytes = read_checkpoint_file(path).unwrap();
+        let mut m2 = model(999); // init seed intentionally different
+        let mut tr2 = SamoTrainer::new(&mut m2, dyn_masks(&model(55)), adam());
+        tr2.set_mask_schedule(dyn_schedule());
+        tr2.restore(&bytes, &mut m2).unwrap();
+        assert_eq!(tr2.steps_taken() + tr2.steps_skipped(), from);
+        for s in from..total {
+            train_step(&mut tr2, &mut m2, s);
+        }
+        assert_eq!(
+            tr2.save().as_ref(),
+            want.as_ref(),
+            "resume from step {from} diverged from the uninterrupted run"
+        );
+        assert_eq!(params_of(&mut m_ref), params_of(&mut m2));
+    }
+
+    // Torn-publish: a crashed foreign writer mangles the marker. The
+    // CRC check rejects it, and recovery falls back to the newest
+    // durable checkpoint — which is generation B.
+    assert_eq!(mgr.published().map(|(s, _)| s), Some(gen_b));
+    std::fs::write(mgr.publish_marker(), b"samo-ckpt-999.bin deadbe").unwrap();
+    assert_eq!(mgr.published(), None, "torn marker must be ignored");
+    let fallback = mgr.latest().unwrap().expect("durable files survive a torn marker");
+    let bytes = read_checkpoint_file(&fallback).unwrap();
+    let mut m3 = model(1234);
+    let mut tr3 = SamoTrainer::new(&mut m3, dyn_masks(&model(55)), adam());
+    tr3.set_mask_schedule(dyn_schedule());
+    tr3.restore(&bytes, &mut m3).unwrap();
+    for s in gen_b..total {
+        train_step(&mut tr3, &mut m3, s);
+    }
+    assert_eq!(tr3.save().as_ref(), want.as_ref(), "torn-marker fallback diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}

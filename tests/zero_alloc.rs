@@ -124,6 +124,76 @@ fn hot_paths_allocate_nothing_in_steady_state() {
         assert_eq!(events, 0, "SamoTrainer::step allocated {events} time(s)");
     }
 
+    // --- remap_compressed_state (dynamic sparsity) --------------------
+    // The mask-migration kernel stays off the heap with a warm
+    // `RemapScratch`: scratch and live buffers both reserve dense
+    // (numel) capacity up front, so densify *and* sparsify remaps fit
+    // forever. Masks themselves allocate at construction, so they are
+    // built (and cloned) outside the window — matching the trainer,
+    // which computes the new mask before calling the kernel.
+    let opt = Optimizer::Adam(AdamConfig::default());
+    let values: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mask_a = prune::random_prune(&[32, 32], 0.75, 12);
+    let mask_dense = prune::random_prune(&[32, 32], 0.5, 13);
+    let mask_sparse = prune::random_prune(&[32, 32], 0.9, 14);
+    let mut layer = samo::SamoLayerState::from_params(&values, mask_a, &opt);
+    let mut scratch = samo::state::RemapScratch::for_layer(&mut layer, &opt);
+    // Warm both directions once (buffers were reserved by for_layer,
+    // so even the first remap should already be silent — keep the
+    // warm-up anyway so the assertion tests steady state, not setup).
+    layer.remap_compressed_state(mask_dense.clone(), &mut scratch);
+    layer.remap_compressed_state(mask_sparse.clone(), &mut scratch);
+    let (to_dense, to_sparse) = (mask_dense.clone(), mask_sparse.clone());
+    let events = alloc_events_during(|| {
+        // Densify 0.9 → 0.5, then sparsify back — retired masks drop
+        // inside the window (dealloc is free), survivors migrate, and
+        // nothing touches the heap.
+        layer.remap_compressed_state(to_dense, &mut scratch);
+        layer.remap_compressed_state(to_sparse, &mut scratch);
+    });
+    assert_eq!(events, 0, "remap kernel allocated {events} time(s)");
+
+    // --- SamoTrainer::step between remap events -----------------------
+    // With a MaskSchedule installed, steps *between* schedule updates
+    // (and after the schedule's window ends) must stay allocation-free:
+    // the schedule check is a pure function of the step index, and the
+    // per-layer scratch persists across remaps.
+    let mut model2 = Linear::new(32, 32, false, 21);
+    let mask2 = prune::magnitude_prune(
+        model2.params()[0].value.as_slice(),
+        &[32, 32],
+        0.25,
+    );
+    let mut tr2 = SamoTrainer::new(&mut model2, vec![mask2], opt);
+    tr2.set_mask_schedule(prune::MaskSchedule::MomentumPruneRegrow(
+        prune::MomentumPruneRegrow::new(vec![(0, 0.25), (4, 0.75), (8, 0.4)], 2, 0.1),
+    ));
+    // t = 0..2 unmeasured: crosses the remap events at t = 0 and 2.
+    for _ in 0..3 {
+        run_fwd_bwd(&mut model2, tr2.loss_scale());
+        tr2.step(&mut model2);
+    }
+    // t = 3 sits between the updates at 2 and 4: steady state.
+    run_fwd_bwd(&mut model2, tr2.loss_scale());
+    let events = alloc_events_during(|| {
+        tr2.step(&mut model2);
+    });
+    assert_eq!(events, 0, "step between remap events allocated {events} time(s)");
+    // Cross the remaining updates (sparsify at 4/6, densify at 8)...
+    while tr2.step_index() <= 8 {
+        run_fwd_bwd(&mut model2, tr2.loss_scale());
+        tr2.step(&mut model2);
+    }
+    assert!(tr2.remap_events() >= 3, "schedule must have moved the masks");
+    // ...then the post-schedule steady state is silent again.
+    for _ in 0..3 {
+        run_fwd_bwd(&mut model2, tr2.loss_scale());
+        let events = alloc_events_during(|| {
+            tr2.step(&mut model2);
+        });
+        assert_eq!(events, 0, "post-schedule step allocated {events} time(s)");
+    }
+
     // --- GEMM (gemm_panel packing scratch is thread-local) ------------
     let dim = 64;
     let a = Tensor::randn(&[dim, dim], 1.0, 5);
